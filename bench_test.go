@@ -1,0 +1,372 @@
+// Benchmark harness: one benchmark per table and figure of the paper (see
+// the experiment index in DESIGN.md), plus ablation benches for the design
+// choices the study calls out (trust-store restrictiveness, retry budget,
+// crawl depth, sampling strategy, scanner concurrency).
+//
+// The world is built once per scale and scan results are cached inside the
+// study, so each benchmark measures the cost of regenerating its artifact
+// from a warm pipeline — the same split the paper has between the one-off
+// crawl/scan and the analysis runs. Set GOVHTTPS_BENCH_SCALE to change the
+// world size (default 0.05; 1.0 is the full 135k-hostname study).
+package repro_test
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"io"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/crawler"
+	"repro/internal/ctlog"
+	"repro/internal/notify"
+	"repro/internal/scanner"
+	"repro/internal/world"
+)
+
+var (
+	benchOnce  sync.Once
+	benchStudy *core.Study
+)
+
+func benchScale() float64 {
+	if v := os.Getenv("GOVHTTPS_BENCH_SCALE"); v != "" {
+		if f, err := strconv.ParseFloat(v, 64); err == nil && f > 0 && f <= 1 {
+			return f
+		}
+	}
+	return 0.05
+}
+
+// study returns the shared, warm benchmark study.
+func study(b *testing.B) *core.Study {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchStudy = core.MustNewStudy(world.Config{Seed: 42, Scale: benchScale()})
+		// Warm every scan cache outside the timed region.
+		ctx := context.Background()
+		benchStudy.Worldwide(ctx)
+		benchStudy.USAAll(ctx)
+		benchStudy.ROK(ctx)
+		for _, ds := range benchStudy.World.USA.Datasets {
+			if _, err := benchStudy.USADataset(ctx, ds.Key); err != nil {
+				panic(err)
+			}
+		}
+	})
+	return benchStudy
+}
+
+// benchExperiment runs one registry experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	s := study(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := core.RunExperiment(ctx, s, id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) == 0 {
+			b.Fatal("empty artifact")
+		}
+	}
+}
+
+// --- Tables ---
+
+func BenchmarkTable1Overlap(b *testing.B)   { benchExperiment(b, "T1") }
+func BenchmarkTable2Worldwide(b *testing.B) { benchExperiment(b, "T2") }
+
+// --- Figures ---
+
+func BenchmarkFigure1Choropleth(b *testing.B)        { benchExperiment(b, "F1") }
+func BenchmarkFigure2Issuers(b *testing.B)           { benchExperiment(b, "F2") }
+func BenchmarkFigure3Durations(b *testing.B)         { benchExperiment(b, "F3") }
+func BenchmarkFigure4KeyAlgo(b *testing.B)           { benchExperiment(b, "F4") }
+func BenchmarkFigure5Hosting(b *testing.B)           { benchExperiment(b, "F5") }
+func BenchmarkFigure6TopMillionHosting(b *testing.B) { benchExperiment(b, "F6") }
+func BenchmarkFigure7RankRegression(b *testing.B)    { benchExperiment(b, "F7") }
+func BenchmarkFigure8USAIssuers(b *testing.B)        { benchExperiment(b, "F8") }
+func BenchmarkFigure9USAKeyAlgo(b *testing.B)        { benchExperiment(b, "F9") }
+func BenchmarkFigure10IssueDates(b *testing.B)       { benchExperiment(b, "F10") }
+func BenchmarkFigure11ROKIssuers(b *testing.B)       { benchExperiment(b, "F11") }
+func BenchmarkFigure12ROKKeyAlgo(b *testing.B)       { benchExperiment(b, "F12") }
+func BenchmarkFigure13Disclosure(b *testing.B)       { benchExperiment(b, "F13") }
+
+// --- Appendix tables ---
+
+func BenchmarkTableA1GSADatasets(b *testing.B) { benchExperiment(b, "TA1") }
+func BenchmarkTableA2GSAVulns(b *testing.B)    { benchExperiment(b, "TA2") }
+func BenchmarkTableA3ROK(b *testing.B)         { benchExperiment(b, "TA3") }
+func BenchmarkTableA4ROKVulns(b *testing.B)    { benchExperiment(b, "TA4") }
+
+// --- Appendix figures ---
+
+func BenchmarkFigureA1USAHostingPerDataset(b *testing.B) { benchExperiment(b, "FA1") }
+func BenchmarkFigureA2USAEV(b *testing.B)                { benchExperiment(b, "FA2") }
+func BenchmarkFigureA3ROKEV(b *testing.B)                { benchExperiment(b, "FA3") }
+
+func BenchmarkFigureA4Crawler(b *testing.B) {
+	// The crawl is the measured workload itself: a fresh 7-level BFS over
+	// the world's link graph per iteration.
+	s := study(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := crawler.New(&crawler.WebFetcher{Dialer: s.World.Net, Resolver: s.World.DNS, Vantage: "lab"})
+		hosts, _ := c.Crawl(ctx, s.World.SeedHosts)
+		if len(hosts) <= len(s.World.SeedHosts) {
+			b.Fatal("crawl did not expand")
+		}
+	}
+}
+
+func BenchmarkFigureA5CrossGov(b *testing.B) { benchExperiment(b, "FA5") }
+func BenchmarkFigureA6WorldEV(b *testing.B)  { benchExperiment(b, "FA6") }
+
+// --- Section results ---
+
+func BenchmarkSection533KeyReuse(b *testing.B) { benchExperiment(b, "S533") }
+func BenchmarkSection534CAA(b *testing.B)      { benchExperiment(b, "S534") }
+
+func BenchmarkSection722Effectiveness(b *testing.B) {
+	// Remediation mutates the world, so this bench owns a private study
+	// per iteration (the measured workload includes the follow-up scan).
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := core.MustNewStudy(world.Config{Seed: 42, Scale: benchScale() / 5})
+		s.Worldwide(ctx)
+		b.StartTimer()
+		out, err := core.RunExperiment(ctx, s, "S722")
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = out
+	}
+}
+
+// --- Pipeline benches ---
+
+// BenchmarkScanWorldwide measures the raw scanning pipeline end to end:
+// DNS, TCP, TLS handshake, chain retrieval, verification, classification.
+func BenchmarkScanWorldwide(b *testing.B) {
+	s := study(b)
+	hosts := s.World.GovHosts
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results := s.Scanner().ScanAll(ctx, hosts)
+		if len(results) != len(hosts) {
+			b.Fatal("short scan")
+		}
+	}
+	b.ReportMetric(float64(len(hosts)), "hosts/op")
+}
+
+// BenchmarkScanSingleHost measures one full host probe.
+func BenchmarkScanSingleHost(b *testing.B) {
+	s := study(b)
+	sc := s.Scanner()
+	host := s.World.GovHosts[len(s.World.GovHosts)/2]
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := sc.Scan(ctx, host)
+		if res.Hostname != host {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+// --- Ablation benches (design choices called out in DESIGN.md) ---
+
+// BenchmarkAblationTrustStores compares scan outcomes under the three
+// modeled trust stores (§4.3's conservative-store choice).
+func BenchmarkAblationTrustStores(b *testing.B) {
+	for _, storeName := range []string{"apple", "microsoft", "nss"} {
+		b.Run(storeName, func(b *testing.B) {
+			s := study(b)
+			store := s.World.Stores[storeName]
+			hosts := s.World.GovHosts[:min(2000, len(s.World.GovHosts))]
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sc := scanner.New(s.World.Net, s.World.DNS, s.World.Class,
+					scanner.DefaultConfig(store, s.World.ScanTime))
+				results := sc.ScanAll(ctx, hosts)
+				tab := analysis.ComputeTable2(results)
+				if tab.Total == 0 {
+					b.Fatal("empty scan")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRetries compares retry budgets (the paper retried 3x).
+func BenchmarkAblationRetries(b *testing.B) {
+	for _, retries := range []int{0, 1, 3} {
+		b.Run(fmt.Sprintf("retries=%d", retries), func(b *testing.B) {
+			s := study(b)
+			cfg := scanner.DefaultConfig(s.Store(), s.World.ScanTime)
+			cfg.Retries = retries
+			hosts := s.World.GovHosts[:min(2000, len(s.World.GovHosts))]
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sc := scanner.New(s.World.Net, s.World.DNS, s.World.Class, cfg)
+				sc.ScanAll(ctx, hosts)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCrawlDepth sweeps the crawl depth limit, showing the
+// Figure A.4 saturation after level 5.
+func BenchmarkAblationCrawlDepth(b *testing.B) {
+	for _, depth := range []int{1, 3, 5, 7} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			s := study(b)
+			ctx := context.Background()
+			b.ResetTimer()
+			var last int
+			for i := 0; i < b.N; i++ {
+				c := crawler.New(&crawler.WebFetcher{Dialer: s.World.Net, Resolver: s.World.DNS, Vantage: "lab"})
+				c.MaxDepth = depth
+				hosts, _ := c.Crawl(ctx, s.World.SeedHosts)
+				last = len(hosts)
+			}
+			b.ReportMetric(float64(last), "hosts")
+		})
+	}
+}
+
+// BenchmarkAblationSampling compares uniform vs rank-matched non-government
+// sampling (§5.5 / §7.1.3).
+func BenchmarkAblationSampling(b *testing.B) {
+	s := study(b)
+	ctx := context.Background()
+	results := s.Worldwide(ctx)
+	b.Run("rank-matched", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rc := analysis.ComputeRankComparison(s.World.TopLists, results, 42, 50)
+			if rc.Matched.N == 0 {
+				b.Fatal("empty matched sample")
+			}
+		}
+	})
+}
+
+// BenchmarkAblationConcurrency sweeps the scanner's worker pool.
+func BenchmarkAblationConcurrency(b *testing.B) {
+	for _, conc := range []int{1, 8, 64, 256} {
+		b.Run(fmt.Sprintf("workers=%d", conc), func(b *testing.B) {
+			s := study(b)
+			cfg := scanner.DefaultConfig(s.Store(), s.World.ScanTime)
+			cfg.Concurrency = conc
+			hosts := s.World.GovHosts[:min(2000, len(s.World.GovHosts))]
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sc := scanner.New(s.World.Net, s.World.DNS, s.World.Class, cfg)
+				sc.ScanAll(ctx, hosts)
+			}
+		})
+	}
+}
+
+// BenchmarkWorldBuild measures world generation itself.
+func BenchmarkWorldBuild(b *testing.B) {
+	cfg := world.Config{Seed: 42, Scale: benchScale() / 5}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := world.MustBuild(cfg)
+		if len(w.GovHosts) == 0 {
+			b.Fatal("empty world")
+		}
+	}
+}
+
+// BenchmarkDisclosureCampaign measures report building + the campaign.
+func BenchmarkDisclosureCampaign(b *testing.B) {
+	s := study(b)
+	ctx := context.Background()
+	results := s.Worldwide(ctx)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reports := notify.BuildReports(results, s.CountryOf, nil)
+		c := notify.Campaign(reports, s.Rand("bench"))
+		if c.EmailsSent == 0 {
+			b.Fatal("no emails")
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// --- Extension benches ---
+
+func BenchmarkExtensionCTCoverage(b *testing.B) { benchExperiment(b, "E1") }
+func BenchmarkExtensionLookalikes(b *testing.B) { benchExperiment(b, "E2") }
+func BenchmarkExtensionRecommend(b *testing.B)  { benchExperiment(b, "E3") }
+
+// BenchmarkCTInclusionProof measures Merkle proof generation+verification
+// on the world's CT log.
+func BenchmarkCTInclusionProof(b *testing.B) {
+	s := study(b)
+	log := s.World.CT
+	size := log.Size()
+	if size < 2 {
+		b.Skip("log too small")
+	}
+	entries := log.Entries()
+	root := log.Root()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := i % size
+		proof, err := log.InclusionProof(idx, size)
+		if err != nil {
+			b.Fatal(err)
+		}
+		leaf := ctlog.LeafHash(entries[idx].Cert.Encode())
+		if !ctlog.VerifyInclusion(root, leaf, idx, size, proof) {
+			b.Fatal("proof rejected")
+		}
+	}
+}
+
+// BenchmarkJSONExport measures the zgrab-style JSON-lines serialization.
+func BenchmarkJSONExport(b *testing.B) {
+	s := study(b)
+	results := s.Worldwide(context.Background())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := scanner.WriteJSONL(io.Discard, results); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtensionHSTSPreload(b *testing.B) { benchExperiment(b, "E5") }
+func BenchmarkExtensionACMEPolicy(b *testing.B)  { benchExperiment(b, "E6") }

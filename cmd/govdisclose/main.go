@@ -1,0 +1,54 @@
+// Command govdisclose runs the §7.2 responsible-disclosure campaign against
+// the synthetic world: it scans, builds per-country vulnerability reports,
+// emails the registrars, then applies the remediation model and measures
+// notification effectiveness two months later (§7.2.2).
+//
+// Usage:
+//
+//	govdisclose [-seed 42] [-scale 1.0]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/notify"
+	"repro/internal/report"
+	"repro/internal/scanner"
+	"repro/internal/world"
+)
+
+func main() {
+	seed := flag.Int64("seed", 42, "world seed")
+	scale := flag.Float64("scale", 1.0, "population scale")
+	flag.Parse()
+
+	study, err := core.NewStudy(world.Config{Seed: *seed, Scale: *scale})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "govdisclose:", err)
+		os.Exit(1)
+	}
+	ctx := context.Background()
+
+	before := study.Worldwide(ctx)
+	reports := notify.BuildReports(before, study.CountryOf, nil)
+	campaign := notify.Campaign(reports, study.Rand("disclosure"))
+	fmt.Print(report.Campaign(campaign))
+	fmt.Println()
+
+	invalid := study.InvalidWorldwideHosts(ctx)
+	study.World.Remediate(invalid, world.DefaultRemediationRates(), study.Rand("remediation"))
+
+	follow := scanner.New(study.World.Net, study.World.DNS, study.World.Class,
+		scanner.DefaultConfig(study.Store(), world.FollowUpScanTime))
+	after := follow.ScanAll(ctx, study.World.GovHosts)
+	eff, err := notify.MeasureEffectiveness(before, after)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "govdisclose:", err)
+		os.Exit(1)
+	}
+	fmt.Print(report.Effectiveness(eff))
+}

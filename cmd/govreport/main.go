@@ -1,0 +1,66 @@
+// Command govreport regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	govreport -list                 # show the experiment registry
+//	govreport -exp T2               # one experiment
+//	govreport -all                  # every experiment in order
+//	govreport -all -scale 0.05      # faster, scaled-down world
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/world"
+)
+
+func main() {
+	seed := flag.Int64("seed", 42, "world seed")
+	scale := flag.Float64("scale", 1.0, "population scale")
+	exp := flag.String("exp", "", "experiment ID (e.g. T2, F7, TA1)")
+	all := flag.Bool("all", false, "run every experiment")
+	list := flag.Bool("list", false, "list experiments")
+	flag.Parse()
+
+	if *list {
+		for _, e := range core.Experiments() {
+			fmt.Printf("%-5s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *exp == "" && !*all {
+		fmt.Fprintln(os.Stderr, "govreport: pass -exp <ID>, -all, or -list")
+		os.Exit(2)
+	}
+
+	study, err := core.NewStudy(world.Config{Seed: *seed, Scale: *scale})
+	if err != nil {
+		fatal(err)
+	}
+	ctx := context.Background()
+
+	if *all {
+		for _, e := range core.Experiments() {
+			out, err := e.Run(ctx, study)
+			if err != nil {
+				fatal(fmt.Errorf("%s: %w", e.ID, err))
+			}
+			fmt.Printf("### %s — %s\n\n%s\n", e.ID, e.Title, out)
+		}
+		return
+	}
+	out, err := core.RunExperiment(ctx, study, *exp)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "govreport:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,69 @@
+// Command govscan runs the paper's scanning pipeline against the synthetic
+// world and prints the Table 2 breakdown for the selected dataset.
+//
+// Usage:
+//
+//	govscan [-seed 42] [-scale 1.0] [-dataset worldwide|usa|rok] [-store apple]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/scanner"
+	"repro/internal/world"
+)
+
+func main() {
+	seed := flag.Int64("seed", 42, "world seed")
+	scale := flag.Float64("scale", 1.0, "population scale")
+	dataset := flag.String("dataset", "worldwide", "worldwide, usa, or rok")
+	store := flag.String("store", "apple", "trust store: apple, microsoft, nss")
+	jsonOut := flag.Bool("json", false, "emit zgrab-style JSON lines instead of Table 2")
+	flag.Parse()
+
+	study, err := core.NewStudy(world.Config{Seed: *seed, Scale: *scale})
+	if err != nil {
+		fatal(err)
+	}
+	if err := study.UseStore(*store); err != nil {
+		fatal(err)
+	}
+
+	ctx := context.Background()
+	start := time.Now()
+	var results []scanner.Result
+	switch *dataset {
+	case "worldwide":
+		results = study.Worldwide(ctx)
+	case "usa":
+		results = study.USAAll(ctx)
+	case "rok":
+		results = study.ROK(ctx)
+	default:
+		fatal(fmt.Errorf("unknown dataset %q", *dataset))
+	}
+	took := time.Since(start)
+
+	if *jsonOut {
+		if err := scanner.WriteJSONL(os.Stdout, results); err != nil {
+			fatal(err)
+		}
+		fmt.Fprint(os.Stderr, report.Scan(results, took))
+		return
+	}
+	fmt.Print(report.Scan(results, took))
+	fmt.Println()
+	fmt.Print(report.Table2(analysis.ComputeTable2(results)))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "govscan:", err)
+	os.Exit(1)
+}

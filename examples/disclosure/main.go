@@ -1,0 +1,34 @@
+// Disclosure campaign (§7.2): scan the world, notify every country's
+// registrar about its broken government sites, then fast-forward two months
+// and measure how much actually got fixed (§7.2.2).
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/govhttps"
+)
+
+func main() {
+	study := govhttps.MustNewStudy(govhttps.SmallConfig())
+	ctx := context.Background()
+
+	campaign := govhttps.Disclose(ctx, study)
+	fmt.Printf("disclosure: %d reports, %d emails sent, %d delivered, %.1f%% response rate\n",
+		len(campaign.Reports), campaign.EmailsSent, campaign.Delivered, 100*campaign.ResponseRate())
+	fmt.Printf("skipped: %d all-https countries, %d territories\n\n",
+		len(campaign.SkippedAllValid), len(campaign.SkippedTerritories))
+
+	eff, err := govhttps.FollowUp(ctx, study, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("two months later, of %d previously invalid hosts:\n", eff.PreviouslyInvalid)
+	fmt.Printf("  fixed:          %d\n", eff.Fixed)
+	fmt.Printf("  removed:        %d\n", eff.Unreachable)
+	fmt.Printf("  still invalid:  %d\n", eff.StillInvalid)
+	fmt.Printf("improvement: %.1f%% conservative / %.1f%% optimistic (paper: 8.3%% / 18.7%%)\n",
+		100*eff.ImprovementConservative(), 100*eff.ImprovementOptimistic())
+}

@@ -1,0 +1,30 @@
+// Quickstart: build a small synthetic world, run the worldwide scan, and
+// print the paper's headline result — Table 2, the validity and error
+// taxonomy of government https adoption.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/govhttps"
+)
+
+func main() {
+	// SmallConfig builds a 2%-scale world in milliseconds; swap in
+	// DefaultConfig() for the full 135k-hostname reproduction.
+	study := govhttps.MustNewStudy(govhttps.SmallConfig())
+	ctx := context.Background()
+
+	out, err := govhttps.RunExperiment(ctx, study, "T2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(out)
+
+	// The same data is available programmatically.
+	tab := govhttps.Summarize(study.Worldwide(ctx))
+	fmt.Printf("\nheadline: %.1f%% of government sites lack valid https\n",
+		100-tab.PctOfTotal(tab.Valid))
+}

@@ -1,0 +1,354 @@
+// Package acme implements a miniature ACME certificate authority in the
+// style of RFC 8555, the automation behind Let's Encrypt that the paper
+// credits for free, easy https (§3.1) and builds its recommendations on
+// (§8.1): the server issues http-01 challenges, validates them by fetching
+// the token over the (simulated) network, enforces DNS CAA authorization
+// (§5.3.4), and — implementing the paper's §8.1 proposal — can refuse to
+// certify a public key that is already bound to an unrelated hostname.
+package acme
+
+import (
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/ca"
+	"repro/internal/cert"
+	"repro/internal/dnssim"
+	"repro/internal/httpsim"
+)
+
+// ChallengePath is the http-01 well-known prefix.
+const ChallengePath = "/.well-known/acme-challenge/"
+
+// Protocol errors, mirrored in HTTP responses as JSON problem documents.
+var (
+	ErrCAARefused    = errors.New("acme: CAA record forbids issuance")
+	ErrChallenge     = errors.New("acme: challenge validation failed")
+	ErrKeyReuse      = errors.New("acme: public key already certified for an unrelated hostname")
+	ErrUnknownOrder  = errors.New("acme: unknown order")
+	ErrOrderNotReady = errors.New("acme: order not ready")
+)
+
+// Dialer abstracts the network (satisfied by *simnet.Network).
+type Dialer interface {
+	Dial(ctx context.Context, fromVantage string, ep netip.AddrPort) (net.Conn, error)
+}
+
+// Server is the ACME certificate authority.
+type Server struct {
+	// Authority signs the issued certificates.
+	Authority *ca.Authority
+	// CADomain is the identity checked against CAA records
+	// (e.g. "letsencrypt.org").
+	CADomain string
+	// Zone resolves identifiers and CAA policy.
+	Zone *dnssim.Zone
+	// Net fetches http-01 challenges.
+	Net Dialer
+	// EnforceKeyReuse activates the §8.1 recommendation: a key already
+	// certified for a hostname can only be reused by that hostname or its
+	// subdomains.
+	EnforceKeyReuse bool
+	// Clock returns issuance time; defaults to a fixed epoch for
+	// determinism.
+	Clock func() time.Time
+
+	mu     sync.Mutex
+	orders map[string]*order
+	seq    int
+	policy *ReusePolicy
+}
+
+type order struct {
+	id        string
+	hostnames []string
+	key       cert.PublicKey
+	tokens    map[string]string // hostname -> token
+	validated bool
+}
+
+// NewServer assembles an ACME server.
+func NewServer(authority *ca.Authority, caDomain string, zone *dnssim.Zone, d Dialer) *Server {
+	return &Server{
+		Authority: authority,
+		CADomain:  caDomain,
+		Zone:      zone,
+		Net:       d,
+		Clock: func() time.Time {
+			return time.Date(2020, 4, 1, 0, 0, 0, 0, time.UTC)
+		},
+		orders: make(map[string]*order),
+		policy: NewReusePolicy(),
+	}
+}
+
+// OrderRequest is the client's new-order payload.
+type OrderRequest struct {
+	Hostnames []string `json:"hostnames"`
+	KeyType   string   `json:"key_type"` // "RSA" or "EC"
+	KeyBits   int      `json:"key_bits"`
+	KeyID     string   `json:"key_id"` // hex fingerprint of the key pair
+}
+
+// OrderResponse returns the order ID and per-hostname challenge tokens.
+type OrderResponse struct {
+	OrderID string            `json:"order_id"`
+	Tokens  map[string]string `json:"tokens"`
+}
+
+// FinalizeRequest asks the server to validate and issue.
+type FinalizeRequest struct {
+	OrderID string `json:"order_id"`
+}
+
+// FinalizeResponse carries the issued chain.
+type FinalizeResponse struct {
+	// Chain is the base64 of cert.EncodeChain (leaf first).
+	Chain string `json:"chain"`
+	// Error is the problem description on failure.
+	Error string `json:"error,omitempty"`
+}
+
+// NewOrder registers an order and mints challenge tokens.
+func (s *Server) NewOrder(req OrderRequest) (OrderResponse, error) {
+	if len(req.Hostnames) == 0 {
+		return OrderResponse{}, errors.New("acme: order without hostnames")
+	}
+	key, err := parseKey(req)
+	if err != nil {
+		return OrderResponse{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	o := &order{
+		id:        fmt.Sprintf("order-%06d", s.seq),
+		hostnames: append([]string(nil), req.Hostnames...),
+		key:       key,
+		tokens:    make(map[string]string),
+	}
+	for i, h := range o.hostnames {
+		o.tokens[strings.ToLower(h)] = fmt.Sprintf("tok-%06d-%d-%08x", s.seq, i, tokenHash(h, s.seq))
+	}
+	s.orders[o.id] = o
+	return OrderResponse{OrderID: o.id, Tokens: copyTokens(o.tokens)}, nil
+}
+
+// Finalize validates every challenge and issues the certificate chain.
+func (s *Server) Finalize(ctx context.Context, orderID string) ([]*cert.Certificate, error) {
+	s.mu.Lock()
+	o, ok := s.orders[orderID]
+	s.mu.Unlock()
+	if !ok {
+		return nil, ErrUnknownOrder
+	}
+
+	// §5.3.4 / §8.2: CAA records restrict which CAs may issue.
+	for _, h := range o.hostnames {
+		name := strings.TrimPrefix(strings.ToLower(h), "*.")
+		if !s.Zone.AllowsIssuance(name, s.CADomain) {
+			return nil, fmt.Errorf("%w: %s restricts issuance", ErrCAARefused, name)
+		}
+	}
+
+	// §8.1: refuse keys already bound to unrelated hostnames.
+	if s.EnforceKeyReuse {
+		if err := s.policy.Check(o.key.ID, o.hostnames); err != nil {
+			return nil, err
+		}
+	}
+
+	// http-01: fetch each token over the network, exactly as the CA's
+	// validation servers would.
+	for _, h := range o.hostnames {
+		name := strings.TrimPrefix(strings.ToLower(h), "*.")
+		if err := s.validateHTTP01(ctx, name, o.tokens[strings.ToLower(h)]); err != nil {
+			return nil, err
+		}
+	}
+
+	chain := s.Authority.Issue(ca.Request{
+		Hostnames: o.hostnames,
+		Key:       o.key,
+		NotBefore: s.Clock(),
+	})
+	s.mu.Lock()
+	o.validated = true
+	s.mu.Unlock()
+	s.policy.Record(o.key.ID, o.hostnames)
+	return chain, nil
+}
+
+// ReusePolicy implements the §8.1 recommendation as a standalone rule: a
+// previously certified key may only recertify for the same hostname or a
+// subdomain of one it already holds. The experiment registry replays the
+// world's issuance history through it to quantify what the policy would
+// have blocked.
+type ReusePolicy struct {
+	mu     sync.Mutex
+	owners map[cert.KeyID][]string
+}
+
+// NewReusePolicy creates an empty policy state.
+func NewReusePolicy() *ReusePolicy {
+	return &ReusePolicy{owners: make(map[cert.KeyID][]string)}
+}
+
+// Check returns ErrKeyReuse when the key is already certified for a
+// hostname unrelated to every requested name.
+func (p *ReusePolicy) Check(key cert.KeyID, hostnames []string) error {
+	p.mu.Lock()
+	owners := append([]string(nil), p.owners[key]...)
+	p.mu.Unlock()
+	if len(owners) == 0 {
+		return nil
+	}
+	for _, h := range hostnames {
+		name := strings.TrimPrefix(strings.ToLower(h), "*.")
+		allowed := false
+		for _, owner := range owners {
+			owner = strings.TrimPrefix(strings.ToLower(owner), "*.")
+			if name == owner || strings.HasSuffix(name, "."+owner) ||
+				strings.HasSuffix(owner, "."+name) {
+				allowed = true
+				break
+			}
+		}
+		if !allowed {
+			return fmt.Errorf("%w: key already certified for %v, requested %s",
+				ErrKeyReuse, owners, name)
+		}
+	}
+	return nil
+}
+
+// Record registers a successful issuance.
+func (p *ReusePolicy) Record(key cert.KeyID, hostnames []string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.owners[key] = append(p.owners[key], hostnames...)
+}
+
+func (s *Server) validateHTTP01(ctx context.Context, hostname, token string) error {
+	if token == "" {
+		return fmt.Errorf("%w: no token for %s", ErrChallenge, hostname)
+	}
+	addrs, err := s.Zone.LookupA(hostname)
+	if err != nil || len(addrs) == 0 {
+		return fmt.Errorf("%w: %s does not resolve", ErrChallenge, hostname)
+	}
+	conn, err := s.Net.Dial(ctx, "acme-va", netip.AddrPortFrom(addrs[0], 80))
+	if err != nil {
+		return fmt.Errorf("%w: %s: %v", ErrChallenge, hostname, err)
+	}
+	defer conn.Close()
+	resp, err := httpsim.Get(conn, hostname, ChallengePath+token)
+	if err != nil {
+		return fmt.Errorf("%w: %s: %v", ErrChallenge, hostname, err)
+	}
+	if resp.StatusCode != 200 || strings.TrimSpace(string(resp.Body)) != token {
+		return fmt.Errorf("%w: %s served %d %q", ErrChallenge, hostname, resp.StatusCode, resp.Body)
+	}
+	return nil
+}
+
+// Handle serves the ACME HTTP API over one connection: POST /acme/new-order
+// and POST /acme/finalize with JSON bodies.
+func (s *Server) Handle(conn net.Conn) {
+	defer conn.Close()
+	req, err := httpsim.ReadRequest(newReader(conn))
+	if err != nil {
+		return
+	}
+	writeProblem := func(status int, err error) {
+		body, _ := json.Marshal(FinalizeResponse{Error: err.Error()})
+		httpsim.WriteResponse(conn, status, jsonHdr, body)
+	}
+	switch {
+	case req.Method == "POST" && req.Path == "/acme/new-order":
+		var or OrderRequest
+		if err := json.Unmarshal(req.Body, &or); err != nil {
+			writeProblem(400, err)
+			return
+		}
+		resp, err := s.NewOrder(or)
+		if err != nil {
+			writeProblem(400, err)
+			return
+		}
+		body, _ := json.Marshal(resp)
+		httpsim.WriteResponse(conn, 200, jsonHdr, body)
+	case req.Method == "POST" && req.Path == "/acme/finalize":
+		var fr FinalizeRequest
+		if err := json.Unmarshal(req.Body, &fr); err != nil {
+			writeProblem(400, err)
+			return
+		}
+		chain, err := s.Finalize(context.Background(), fr.OrderID)
+		if err != nil {
+			status := 403
+			if errors.Is(err, ErrUnknownOrder) {
+				status = 404
+			}
+			writeProblem(status, err)
+			return
+		}
+		body, _ := json.Marshal(FinalizeResponse{
+			Chain: base64.StdEncoding.EncodeToString(cert.EncodeChain(chain)),
+		})
+		httpsim.WriteResponse(conn, 200, jsonHdr, body)
+	default:
+		httpsim.WriteResponse(conn, 404, nil, []byte("not found"))
+	}
+}
+
+var jsonHdr = map[string]string{"Content-Type": "application/json"}
+
+func parseKey(req OrderRequest) (cert.PublicKey, error) {
+	var id cert.KeyID
+	raw := req.KeyID
+	if len(raw) != len(id)*2 {
+		return cert.PublicKey{}, fmt.Errorf("acme: key id must be %d hex chars", len(id)*2)
+	}
+	for i := 0; i < len(id); i++ {
+		var b byte
+		if _, err := fmt.Sscanf(raw[i*2:i*2+2], "%02x", &b); err != nil {
+			return cert.PublicKey{}, fmt.Errorf("acme: bad key id: %w", err)
+		}
+		id[i] = b
+	}
+	t := cert.KeyRSA
+	if strings.EqualFold(req.KeyType, "EC") {
+		t = cert.KeyECDSA
+	}
+	bits := req.KeyBits
+	if bits == 0 {
+		bits = 2048
+	}
+	return cert.PublicKey{Type: t, Bits: bits, ID: id}, nil
+}
+
+func copyTokens(in map[string]string) map[string]string {
+	out := make(map[string]string, len(in))
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}
+
+func tokenHash(s string, seq int) uint32 {
+	var h uint32 = 2166136261
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h ^ uint32(seq*2654435761)
+}

@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/hosting"
+	"repro/internal/scanner"
+)
+
+// HostingBucket aggregates validity for one hosting category or provider
+// (Figures 5, 6, A.1).
+type HostingBucket struct {
+	Label string
+	Total int
+	// HTTPS counts hosts attempting https.
+	HTTPS int
+	// Valid counts hosts with fully valid https.
+	Valid int
+	// HTTPOnly counts plain-http hosts.
+	HTTPOnly int
+}
+
+// ValidPctOfTotal is the share of all hosts in the bucket with valid https
+// — the quantity Figure 5 plots.
+func (b HostingBucket) ValidPctOfTotal() float64 { return pct(b.Valid, b.Total) }
+
+// ValidPctOfHTTPS is the share of https attempts that validate.
+func (b HostingBucket) ValidPctOfHTTPS() float64 { return pct(b.Valid, b.HTTPS) }
+
+// HostingBreakdown groups results by hosting kind (Cloud/CDN/Private).
+func HostingBreakdown(results []scanner.Result) []HostingBucket {
+	byKind := map[hosting.Kind]*HostingBucket{}
+	for _, k := range []hosting.Kind{hosting.Cloud, hosting.CDN, hosting.Private} {
+		byKind[k] = &HostingBucket{Label: k.String()}
+	}
+	for i := range results {
+		r := &results[i]
+		if !r.Available {
+			continue
+		}
+		b := byKind[r.HostKind]
+		b.Total++
+		switch {
+		case r.ValidHTTPS():
+			b.HTTPS++
+			b.Valid++
+		case r.HasHTTPS():
+			b.HTTPS++
+		default:
+			b.HTTPOnly++
+		}
+	}
+	return []HostingBucket{*byKind[hosting.Cloud], *byKind[hosting.CDN], *byKind[hosting.Private]}
+}
+
+// ProviderBreakdown groups results by provider name (AWS, Azure, ...,
+// Private), sorted by total descending.
+func ProviderBreakdown(results []scanner.Result) []HostingBucket {
+	byName := map[string]*HostingBucket{}
+	for i := range results {
+		r := &results[i]
+		if !r.Available {
+			continue
+		}
+		b, ok := byName[r.Provider]
+		if !ok {
+			b = &HostingBucket{Label: r.Provider}
+			byName[r.Provider] = b
+		}
+		b.Total++
+		switch {
+		case r.ValidHTTPS():
+			b.HTTPS++
+			b.Valid++
+		case r.HasHTTPS():
+			b.HTTPS++
+		default:
+			b.HTTPOnly++
+		}
+	}
+	out := make([]HostingBucket, 0, len(byName))
+	for _, b := range byName {
+		out = append(out, *b)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out
+}
+
+// CloudCDNShare returns the fraction of available hosts on public cloud or
+// CDN (§6.1.2: 13.02% for the US; §6.2.2: 0.21% for ROK).
+func CloudCDNShare(results []scanner.Result) float64 {
+	total, cloud := 0, 0
+	for i := range results {
+		r := &results[i]
+		if !r.Available {
+			continue
+		}
+		total++
+		if r.HostKind == hosting.Cloud || r.HostKind == hosting.CDN {
+			cloud++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(cloud) / float64(total)
+}

@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/scanner"
+	"repro/internal/truststore"
+)
+
+// IssuerStats aggregates one issuing CA's government certificates
+// (Figures 2, 8, 11).
+type IssuerStats struct {
+	// Issuer is the issuing CA common name; self-signed leaves report
+	// their own subject, matching how OpenSSL displays them.
+	Issuer  string
+	Total   int
+	Valid   int
+	Invalid int
+	// EV counts certificates carrying a trusted EV policy OID.
+	EV int
+}
+
+// InvalidPct is the issuer's invalidity rate.
+func (s IssuerStats) InvalidPct() float64 { return pct(s.Invalid, s.Total) }
+
+// IssuerBreakdown aggregates results by certificate issuer, sorted by
+// total descending (then name). Hosts without a retrieved chain are
+// skipped, as are the paper's 92 hosts without issuer information.
+func IssuerBreakdown(results []scanner.Result, store *truststore.Store) []IssuerStats {
+	agg := make(map[string]*IssuerStats)
+	for i := range results {
+		r := &results[i]
+		if len(r.Chain) == 0 {
+			continue
+		}
+		leaf := r.Chain[0]
+		issuer := leaf.Issuer.CommonName
+		if issuer == "" {
+			continue // no issuer information encoded
+		}
+		s, ok := agg[issuer]
+		if !ok {
+			s = &IssuerStats{Issuer: issuer}
+			agg[issuer] = s
+		}
+		s.Total++
+		if r.Verify.Valid() {
+			s.Valid++
+		} else {
+			s.Invalid++
+		}
+		if store != nil {
+			for _, oid := range leaf.PolicyOIDs {
+				if store.IsTrustedEVPolicy(oid) {
+					s.EV++
+					break
+				}
+			}
+		}
+	}
+	out := make([]IssuerStats, 0, len(agg))
+	for _, s := range agg {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Issuer < out[j].Issuer
+	})
+	return out
+}
+
+// TopIssuers truncates the breakdown to the n largest issuers, as the
+// paper's Figure 2 shows the top 40.
+func TopIssuers(stats []IssuerStats, n int) []IssuerStats {
+	if n > len(stats) {
+		n = len(stats)
+	}
+	return stats[:n]
+}
+
+// EVIssuerBreakdown restricts the breakdown to EV certificates (Figures
+// A.2, A.3, A.6): only hosts whose leaf carries a trusted EV policy.
+func EVIssuerBreakdown(results []scanner.Result, store *truststore.Store) []IssuerStats {
+	var evResults []scanner.Result
+	for i := range results {
+		r := &results[i]
+		if len(r.Chain) == 0 {
+			continue
+		}
+		for _, oid := range r.Chain[0].PolicyOIDs {
+			if store.IsTrustedEVPolicy(oid) {
+				evResults = append(evResults, *r)
+				break
+			}
+		}
+	}
+	return IssuerBreakdown(evResults, store)
+}
+
+// EVStats summarizes EV usage across the scan (§5.3: 2,145 hostnames,
+// 4.24% of the analyzed population).
+type EVStats struct {
+	// Hosts is the number of hosts presenting a trusted EV certificate.
+	Hosts int
+	// Analyzed is the number of hosts with issuer-bearing chains.
+	Analyzed int
+	// Valid counts EV hosts whose chains fully validate.
+	Valid int
+}
+
+// ComputeEVStats counts EV hosts.
+func ComputeEVStats(results []scanner.Result, store *truststore.Store) EVStats {
+	var s EVStats
+	for i := range results {
+		r := &results[i]
+		if len(r.Chain) == 0 || r.Chain[0].Issuer.CommonName == "" {
+			continue
+		}
+		s.Analyzed++
+		isEV := false
+		for _, oid := range r.Chain[0].PolicyOIDs {
+			if store.IsTrustedEVPolicy(oid) {
+				isEV = true
+				break
+			}
+		}
+		if !isEV {
+			continue
+		}
+		s.Hosts++
+		if r.Verify.Valid() {
+			s.Valid++
+		}
+	}
+	return s
+}
+
+// WildcardStats reports wildcard certificate usage (§5.3: 39.21% of
+// analyzed hosts, 22.67% of them invalid).
+type WildcardStats struct {
+	Analyzed        int
+	Wildcard        int
+	WildcardInvalid int
+}
+
+// ComputeWildcardStats counts wildcard certificates.
+func ComputeWildcardStats(results []scanner.Result) WildcardStats {
+	var s WildcardStats
+	for i := range results {
+		r := &results[i]
+		if len(r.Chain) == 0 {
+			continue
+		}
+		s.Analyzed++
+		if !r.Chain[0].HasWildcard() {
+			continue
+		}
+		s.Wildcard++
+		if !r.Verify.Valid() {
+			s.WildcardInvalid++
+		}
+	}
+	return s
+}

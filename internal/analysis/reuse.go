@@ -1,0 +1,188 @@
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/scanner"
+)
+
+// ReuseCluster is one certificate served by multiple hostnames (§5.3.3).
+type ReuseCluster struct {
+	// Fingerprint identifies the exact certificate.
+	Fingerprint [32]byte
+	// Hosts lists the hostnames serving it.
+	Hosts []string
+	// Countries lists the distinct countries involved, sorted.
+	Countries []string
+	// SelfSigned marks bare self-signed certificates (the most-reused
+	// kind in the study).
+	SelfSigned bool
+	// Valid marks clusters whose certificate validates on every host
+	// (legitimate same-government wildcard sharing).
+	Valid bool
+}
+
+// KeyReuseStats reproduces the §5.3.3 numbers.
+type KeyReuseStats struct {
+	// Clusters lists certificates served by >= 2 hosts, largest first.
+	Clusters []ReuseCluster
+	// CrossCountry lists clusters spanning >= 2 countries.
+	CrossCountry []ReuseCluster
+	// CrossCountryHosts counts hostnames involved in cross-country reuse
+	// (paper: 1,390).
+	CrossCountryHosts int
+	// ByCountrySpan histograms cross-country clusters by the number of
+	// countries sharing the certificate (paper: 108 by 2, 19 by 3, 11 by
+	// 4, 1 by 24).
+	ByCountrySpan map[int]int
+	// ValidCrossCountry counts cross-country clusters that are valid
+	// everywhere (the paper found none).
+	ValidCrossCountry int
+}
+
+// ComputeKeyReuse clusters scan results by exact certificate.
+func ComputeKeyReuse(results []scanner.Result, countryOf func(string) string) KeyReuseStats {
+	type agg struct {
+		hosts      []string
+		countries  map[string]bool
+		selfSigned bool
+		allValid   bool
+		seen       bool
+	}
+	byFP := map[[32]byte]*agg{}
+	for i := range results {
+		r := &results[i]
+		if len(r.Chain) == 0 {
+			continue
+		}
+		fp := r.Chain[0].Fingerprint()
+		a, ok := byFP[fp]
+		if !ok {
+			a = &agg{countries: map[string]bool{}, allValid: true, selfSigned: r.Chain[0].SelfSigned()}
+			byFP[fp] = a
+		}
+		a.hosts = append(a.hosts, r.Hostname)
+		if cc := countryOf(r.Hostname); cc != "" {
+			a.countries[cc] = true
+		}
+		if !r.Verify.Valid() {
+			a.allValid = false
+		}
+	}
+
+	s := KeyReuseStats{ByCountrySpan: map[int]int{}}
+	for fp, a := range byFP {
+		if len(a.hosts) < 2 {
+			continue
+		}
+		countries := make([]string, 0, len(a.countries))
+		for cc := range a.countries {
+			countries = append(countries, cc)
+		}
+		sort.Strings(countries)
+		sort.Strings(a.hosts)
+		cl := ReuseCluster{
+			Fingerprint: fp,
+			Hosts:       a.hosts,
+			Countries:   countries,
+			SelfSigned:  a.selfSigned,
+			Valid:       a.allValid,
+		}
+		s.Clusters = append(s.Clusters, cl)
+		if len(countries) >= 2 {
+			s.CrossCountry = append(s.CrossCountry, cl)
+			s.CrossCountryHosts += len(a.hosts)
+			s.ByCountrySpan[len(countries)]++
+			if a.allValid {
+				s.ValidCrossCountry++
+			}
+		}
+	}
+	sort.Slice(s.Clusters, func(i, j int) bool {
+		if len(s.Clusters[i].Hosts) != len(s.Clusters[j].Hosts) {
+			return len(s.Clusters[i].Hosts) > len(s.Clusters[j].Hosts)
+		}
+		return s.Clusters[i].Hosts[0] < s.Clusters[j].Hosts[0]
+	})
+	sort.Slice(s.CrossCountry, func(i, j int) bool {
+		if len(s.CrossCountry[i].Countries) != len(s.CrossCountry[j].Countries) {
+			return len(s.CrossCountry[i].Countries) > len(s.CrossCountry[j].Countries)
+		}
+		return s.CrossCountry[i].Hosts[0] < s.CrossCountry[j].Hosts[0]
+	})
+	return s
+}
+
+// MaxCountrySpan returns the widest cross-country cluster (paper: 24
+// countries).
+func (s KeyReuseStats) MaxCountrySpan() int {
+	max := 0
+	for span := range s.ByCountrySpan {
+		if span > max {
+			max = span
+		}
+	}
+	return max
+}
+
+// SharedWildcardViolators reports, per country, certificates shared across
+// multiple hostnames of the same country where every use is invalid — the
+// Bangladesh/Colombia pattern. The result maps country code to the number
+// of such certificates and affected hosts.
+type WildcardViolation struct {
+	Country string
+	Certs   int
+	Hosts   int
+}
+
+// ComputeWildcardViolators finds single-country invalid sharing.
+func ComputeWildcardViolators(results []scanner.Result, countryOf func(string) string) []WildcardViolation {
+	type key struct {
+		fp [32]byte
+		cc string
+	}
+	counts := map[key]int{}
+	allInvalid := map[key]bool{}
+	for i := range results {
+		r := &results[i]
+		if len(r.Chain) == 0 || !r.Chain[0].HasWildcard() {
+			continue
+		}
+		cc := countryOf(r.Hostname)
+		if cc == "" {
+			continue
+		}
+		k := key{r.Chain[0].Fingerprint(), cc}
+		if _, ok := counts[k]; !ok {
+			allInvalid[k] = true
+		}
+		counts[k]++
+		if r.Verify.Valid() {
+			allInvalid[k] = false
+		}
+	}
+	perCountry := map[string]*WildcardViolation{}
+	for k, n := range counts {
+		if n < 2 || !allInvalid[k] {
+			continue
+		}
+		v, ok := perCountry[k.cc]
+		if !ok {
+			v = &WildcardViolation{Country: k.cc}
+			perCountry[k.cc] = v
+		}
+		v.Certs++
+		v.Hosts += n
+	}
+	out := make([]WildcardViolation, 0, len(perCountry))
+	for _, v := range perCountry {
+		out = append(out, *v)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Hosts != out[j].Hosts {
+			return out[i].Hosts > out[j].Hosts
+		}
+		return out[i].Country < out[j].Country
+	})
+	return out
+}

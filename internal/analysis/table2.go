@@ -1,0 +1,105 @@
+// Package analysis computes every result the paper reports from raw scan
+// results: the Table 2 validity/error taxonomy, CA breakdowns (Figures 2, 8,
+// 11 and the EV appendix figures), key/signature validity matrices (Figures
+// 4, 9, 12), certificate-duration statistics (§5.3.1, Figures 3 and 10),
+// key-reuse clusters (§5.3.3), CAA coverage (§5.3.4), hosting breakdowns
+// (Figures 5, 6, A.1), the rank-vs-validity comparison (Figure 7) and the
+// cross-government link graph (Figure A.5).
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/scanner"
+)
+
+// Table2 is the worldwide validity-and-error breakdown.
+type Table2 struct {
+	Total       int
+	Unavailable int
+	HTTPOnly    int
+	HTTPS       int
+	Valid       int
+	Invalid     int
+	// ByCategory counts invalid-https categories.
+	ByCategory map[scanner.Category]int
+	// Exceptions is the total of the exception block.
+	Exceptions int
+	// BothSchemes counts hosts serving full content on http and https
+	// without an upgrade (§5.1's 4,126).
+	BothSchemes int
+	// HSTS counts valid hosts sending Strict-Transport-Security.
+	HSTS int
+}
+
+// ComputeTable2 classifies every result.
+func ComputeTable2(results []scanner.Result) Table2 {
+	t := Table2{ByCategory: make(map[scanner.Category]int)}
+	for i := range results {
+		r := &results[i]
+		cat := r.Category()
+		switch cat {
+		case scanner.CatUnavailable:
+			t.Unavailable++
+			continue
+		}
+		t.Total++
+		switch {
+		case cat == scanner.CatHTTPOnly:
+			t.HTTPOnly++
+			continue
+		case cat == scanner.CatValid:
+			t.HTTPS++
+			t.Valid++
+			if r.HSTS {
+				t.HSTS++
+			}
+		default:
+			t.HTTPS++
+			t.Invalid++
+			t.ByCategory[cat]++
+			if cat.IsException() {
+				t.Exceptions++
+			}
+		}
+		if r.ServesHTTP && r.ServesHTTPS {
+			t.BothSchemes++
+		}
+	}
+	return t
+}
+
+// PctOfTotal returns 100*n/Total.
+func (t Table2) PctOfTotal(n int) float64 { return pct(n, t.Total) }
+
+// PctOfHTTPS returns 100*n/HTTPS.
+func (t Table2) PctOfHTTPS(n int) float64 { return pct(n, t.HTTPS) }
+
+// PctOfInvalid returns 100*n/Invalid.
+func (t Table2) PctOfInvalid(n int) float64 { return pct(n, t.Invalid) }
+
+// PctOfExceptions returns 100*n/Exceptions.
+func (t Table2) PctOfExceptions(n int) float64 { return pct(n, t.Exceptions) }
+
+// InvalidCategoriesSorted returns the invalid categories ordered by count
+// descending, for rendering.
+func (t Table2) InvalidCategoriesSorted() []scanner.Category {
+	cats := make([]scanner.Category, 0, len(t.ByCategory))
+	for c := range t.ByCategory {
+		cats = append(cats, c)
+	}
+	sort.Slice(cats, func(i, j int) bool {
+		if t.ByCategory[cats[i]] != t.ByCategory[cats[j]] {
+			return t.ByCategory[cats[i]] > t.ByCategory[cats[j]]
+		}
+		return cats[i] < cats[j]
+	})
+	return cats
+}
+
+func pct(n, of int) float64 {
+	if of == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(of)
+}

@@ -1,0 +1,263 @@
+package cert
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Wire encoding: a compact TLV-free binary format ("SDER", simplified DER)
+// used to move certificate chains through the simulated TLS handshake and to
+// fingerprint certificates. Fields appear in a fixed order; strings and
+// integers use unsigned varints. The format is versioned by a 4-byte magic.
+
+var encodeMagic = [4]byte{'S', 'C', '0', '1'}
+
+// Encoding size limits, enforced on parse to reject corrupt input early.
+const (
+	maxStringLen = 4096
+	maxListLen   = 4096
+	maxChainLen  = 16
+)
+
+// Encoding and parsing errors.
+var (
+	ErrBadMagic  = errors.New("cert: bad certificate magic")
+	ErrTruncated = errors.New("cert: truncated certificate encoding")
+	ErrOversize  = errors.New("cert: encoded field exceeds size limit")
+)
+
+// Encode serializes the certificate, including its signature.
+func (c *Certificate) Encode() []byte { return encodeBody(c, true) }
+
+func encodeBody(c *Certificate, withSig bool) []byte {
+	var b builder
+	b.bytes(encodeMagic[:])
+	b.uvarint(c.SerialNumber)
+	encodeName(&b, c.Subject)
+	encodeName(&b, c.Issuer)
+	b.uvarint(uint64(len(c.DNSNames)))
+	for _, n := range c.DNSNames {
+		b.str(n)
+	}
+	b.svarint(c.NotBefore.Unix())
+	b.svarint(c.NotAfter.Unix())
+	b.byte(byte(c.PublicKey.Type))
+	b.uvarint(uint64(c.PublicKey.Bits))
+	b.bytes(c.PublicKey.ID[:])
+	b.byte(byte(c.SignatureAlgorithm))
+	if c.IsCA {
+		b.byte(1)
+	} else {
+		b.byte(0)
+	}
+	b.uvarint(uint64(len(c.PolicyOIDs)))
+	for _, oid := range c.PolicyOIDs {
+		b.str(oid)
+	}
+	b.bytes(c.AuthorityKeyID[:])
+	if withSig {
+		b.bytes(c.Signature[:])
+	}
+	return b.buf
+}
+
+func encodeName(b *builder, n Name) {
+	b.str(n.CommonName)
+	b.str(n.Organization)
+	b.str(n.Country)
+}
+
+// Parse decodes a certificate produced by Encode.
+func Parse(data []byte) (*Certificate, error) {
+	c, rest, err := parseOne(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("cert: %d trailing bytes after certificate", len(rest))
+	}
+	return c, nil
+}
+
+func parseOne(data []byte) (*Certificate, []byte, error) {
+	p := parser{buf: data}
+	magic := p.take(4)
+	if p.err != nil {
+		return nil, nil, p.err
+	}
+	if [4]byte(magic) != encodeMagic {
+		return nil, nil, ErrBadMagic
+	}
+	var c Certificate
+	c.SerialNumber = p.uvarint()
+	c.Subject = parseName(&p)
+	c.Issuer = parseName(&p)
+	nNames := p.list()
+	for i := uint64(0); i < nNames && p.err == nil; i++ {
+		c.DNSNames = append(c.DNSNames, p.str())
+	}
+	c.NotBefore = time.Unix(p.svarint(), 0).UTC()
+	c.NotAfter = time.Unix(p.svarint(), 0).UTC()
+	c.PublicKey.Type = KeyType(p.byte())
+	c.PublicKey.Bits = int(p.uvarint())
+	copy(c.PublicKey.ID[:], p.take(len(c.PublicKey.ID)))
+	c.SignatureAlgorithm = SignatureAlgorithm(p.byte())
+	c.IsCA = p.byte() == 1
+	nOIDs := p.list()
+	for i := uint64(0); i < nOIDs && p.err == nil; i++ {
+		c.PolicyOIDs = append(c.PolicyOIDs, p.str())
+	}
+	copy(c.AuthorityKeyID[:], p.take(len(c.AuthorityKeyID)))
+	copy(c.Signature[:], p.take(len(c.Signature)))
+	if p.err != nil {
+		return nil, nil, p.err
+	}
+	return &c, p.buf, nil
+}
+
+// EncodeChain serializes a certificate chain, leaf first.
+func EncodeChain(chain []*Certificate) []byte {
+	var b builder
+	b.uvarint(uint64(len(chain)))
+	for _, c := range chain {
+		enc := c.Encode()
+		b.uvarint(uint64(len(enc)))
+		b.bytes(enc)
+	}
+	return b.buf
+}
+
+// ParseChain decodes a chain produced by EncodeChain.
+func ParseChain(data []byte) ([]*Certificate, error) {
+	p := parser{buf: data}
+	n := p.uvarint()
+	if p.err != nil {
+		return nil, p.err
+	}
+	if n > maxChainLen {
+		return nil, fmt.Errorf("cert: chain of %d certificates exceeds limit %d", n, maxChainLen)
+	}
+	chain := make([]*Certificate, 0, n)
+	for i := uint64(0); i < n; i++ {
+		l := p.uvarint()
+		raw := p.take(int(l))
+		if p.err != nil {
+			return nil, p.err
+		}
+		c, rest, err := parseOne(raw)
+		if err != nil {
+			return nil, fmt.Errorf("cert: chain entry %d: %w", i, err)
+		}
+		if len(rest) != 0 {
+			return nil, fmt.Errorf("cert: chain entry %d has %d trailing bytes", i, len(rest))
+		}
+		chain = append(chain, c)
+	}
+	if len(p.buf) != 0 {
+		return nil, fmt.Errorf("cert: %d trailing bytes after chain", len(p.buf))
+	}
+	return chain, nil
+}
+
+// builder accumulates the wire encoding.
+type builder struct{ buf []byte }
+
+func (b *builder) byte(v byte)    { b.buf = append(b.buf, v) }
+func (b *builder) bytes(v []byte) { b.buf = append(b.buf, v...) }
+func (b *builder) uvarint(v uint64) {
+	b.buf = binary.AppendUvarint(b.buf, v)
+}
+func (b *builder) svarint(v int64) {
+	b.buf = binary.AppendVarint(b.buf, v)
+}
+func (b *builder) str(s string) {
+	b.uvarint(uint64(len(s)))
+	b.buf = append(b.buf, s...)
+}
+
+// parser consumes the wire encoding, latching the first error.
+type parser struct {
+	buf []byte
+	err error
+}
+
+func (p *parser) fail(err error) {
+	if p.err == nil {
+		p.err = err
+	}
+}
+
+func (p *parser) take(n int) []byte {
+	if p.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(p.buf) {
+		p.fail(ErrTruncated)
+		return nil
+	}
+	out := p.buf[:n]
+	p.buf = p.buf[n:]
+	return out
+}
+
+func (p *parser) byte() byte {
+	b := p.take(1)
+	if len(b) != 1 {
+		return 0
+	}
+	return b[0]
+}
+
+func (p *parser) uvarint() uint64 {
+	if p.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(p.buf)
+	if n <= 0 {
+		p.fail(ErrTruncated)
+		return 0
+	}
+	p.buf = p.buf[n:]
+	return v
+}
+
+func (p *parser) svarint() int64 {
+	if p.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(p.buf)
+	if n <= 0 {
+		p.fail(ErrTruncated)
+		return 0
+	}
+	p.buf = p.buf[n:]
+	return v
+}
+
+func (p *parser) list() uint64 {
+	n := p.uvarint()
+	if n > maxListLen {
+		p.fail(ErrOversize)
+		return 0
+	}
+	return n
+}
+
+func (p *parser) str() string {
+	n := p.uvarint()
+	if n > maxStringLen {
+		p.fail(ErrOversize)
+		return ""
+	}
+	return string(p.take(int(n)))
+}
+
+func parseName(p *parser) Name {
+	return Name{
+		CommonName:   p.str(),
+		Organization: p.str(),
+		Country:      p.str(),
+	}
+}

@@ -1,0 +1,24 @@
+package cert
+
+import "math/rand"
+
+// NewKey mints a fresh key pair identity of the given type and size using
+// the provided deterministic source. Distinct draws yield distinct KeyIDs
+// with overwhelming probability, which is all the reuse analysis needs.
+func NewKey(r *rand.Rand, t KeyType, bits int) PublicKey {
+	var id KeyID
+	for i := 0; i < len(id); i += 8 {
+		v := r.Uint64()
+		for j := 0; j < 8; j++ {
+			id[i+j] = byte(v >> (8 * j))
+		}
+	}
+	return PublicKey{Type: t, Bits: bits, ID: id}
+}
+
+// CommonRSASizes are the RSA host key sizes observed in the study
+// (Figure 4), including the misconfiguration-prone 3248 and 8192.
+var CommonRSASizes = []int{1024, 2048, 3248, 4096, 8192}
+
+// CommonECSizes are the EC host key sizes observed in the study.
+var CommonECSizes = []int{256, 384, 521}

@@ -1,0 +1,255 @@
+// Package certwatch implements the §7.3.2 spoofing analysis as a working
+// detector: given the set of legitimate government hostnames, it flags
+// certificate-transparency entries for lookalike domains — ccTLD confusion
+// (etagov.sl posing as eta.gov.lk), gov-keyword squats (abcgov.us), and
+// small-edit-distance twins — the attacks the paper shows can carry
+// perfectly valid free certificates.
+package certwatch
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/ctlog"
+	"repro/internal/geo"
+)
+
+// RuleKind classifies why a domain looks like a government host.
+type RuleKind int
+
+// Detection rules.
+const (
+	// CCTLDConfusion flags hosts whose name collapses a government
+	// hostname's dots and swaps the country code — the etagov.sl vs
+	// eta.gov.lk case.
+	CCTLDConfusion RuleKind = iota
+	// GovKeywordSquat flags "<name>gov.<tld>" registrations shadowing
+	// "<name>.gov..." hosts (the 85 abcgov.us-style hostnames).
+	GovKeywordSquat
+	// EditDistance flags names within distance 1 of a government host's
+	// registrable name.
+	EditDistance
+)
+
+var ruleNames = map[RuleKind]string{
+	CCTLDConfusion:  "cctld-confusion",
+	GovKeywordSquat: "gov-keyword-squat",
+	EditDistance:    "edit-distance",
+}
+
+// String names the rule.
+func (k RuleKind) String() string { return ruleNames[k] }
+
+// Match is one lookalike finding.
+type Match struct {
+	// Candidate is the suspicious hostname.
+	Candidate string
+	// Target is the legitimate government hostname being imitated.
+	Target string
+	// Rule is the detection rule that fired.
+	Rule RuleKind
+}
+
+// Watcher holds the protected hostname set in matchable form.
+type Watcher struct {
+	// exact holds the protected hostnames.
+	exact map[string]bool
+	// collapsed maps dot-stripped-without-cc forms to a protected host,
+	// e.g. "etagov" -> "eta.gov.lk".
+	collapsed map[string]string
+	// govNames maps the label preceding a gov suffix to a protected host,
+	// e.g. "eta" -> "eta.gov.lk".
+	govNames map[string]string
+	// byPrefix buckets protected hostnames by their first two bytes so the
+	// edit-distance sweep stays near-linear over CT-scale inputs. Typos
+	// that alter the first two characters escape this rule (they are still
+	// caught by the other rules when they touch the gov labels).
+	byPrefix map[string][]string
+	// parents holds the immediate parent domains of protected hosts;
+	// wildcard certificates legitimately list them as SANs, so they are
+	// never lookalikes.
+	parents map[string]bool
+}
+
+// NewWatcher indexes the protected government hostnames.
+func NewWatcher(govHosts []string) *Watcher {
+	w := &Watcher{
+		exact:     make(map[string]bool, len(govHosts)),
+		collapsed: make(map[string]string),
+		govNames:  make(map[string]string),
+		byPrefix:  make(map[string][]string),
+		parents:   make(map[string]bool),
+	}
+	for _, h := range govHosts {
+		host := strings.ToLower(h)
+		w.exact[host] = true
+		if len(host) >= 2 {
+			p := host[:2]
+			w.byPrefix[p] = append(w.byPrefix[p], host)
+		}
+		if c := collapseGovHost(host); c != "" {
+			if _, taken := w.collapsed[c]; !taken {
+				w.collapsed[c] = host
+			}
+		}
+		if name := labelBeforeGov(host); name != "" {
+			if _, taken := w.govNames[name]; !taken {
+				w.govNames[name] = host
+			}
+		}
+		if dot := strings.IndexByte(host, '.'); dot >= 0 {
+			w.parents[host[dot+1:]] = true
+		}
+	}
+	return w
+}
+
+// Check tests one candidate hostname against the protected set.
+func (w *Watcher) Check(candidate string) []Match {
+	host := strings.ToLower(strings.TrimSuffix(candidate, "."))
+	if host == "" || w.exact[host] || w.parents[host] {
+		return nil // the genuine article, or a wildcard parent of one
+	}
+	var out []Match
+
+	// Rule 1: ccTLD confusion. "etagov.sl" -> label "etagov", tld "sl":
+	// does some protected host collapse to "etagov" under a different cc?
+	if label, tld, ok := splitLast(host); ok && len(tld) == 2 {
+		if target, hit := w.collapsed[label]; hit && !strings.HasSuffix(target, "."+tld) {
+			out = append(out, Match{Candidate: host, Target: target, Rule: CCTLDConfusion})
+		}
+	}
+
+	// Rule 2: gov-keyword squat. "abcgov.us" -> name "abc" + "gov":
+	// flag when a protected host exists for the same leading name.
+	if label, _, ok := splitLast(host); ok && strings.HasSuffix(label, "gov") && len(label) > 3 {
+		name := strings.TrimSuffix(label, "gov")
+		name = strings.TrimSuffix(name, "-")
+		if target, hit := w.govNames[name]; hit {
+			out = append(out, Match{Candidate: host, Target: target, Rule: GovKeywordSquat})
+		}
+	}
+
+	// Rule 3: typosquats within edit distance 1 of a protected hostname.
+	// Candidates are matched against the prefix bucket so scanning a full
+	// CT log stays near-linear.
+	if len(out) == 0 && len(host) >= 2 {
+		for _, protected := range w.byPrefix[host[:2]] {
+			if abs(len(protected)-len(host)) > 1 {
+				continue
+			}
+			if levenshteinAtMost1(protected, host) {
+				out = append(out, Match{Candidate: host, Target: protected, Rule: EditDistance})
+				break
+			}
+		}
+	}
+	return out
+}
+
+// ScanLog sweeps a CT log for lookalike issuance — the monitoring loop the
+// paper recommends registrars run (§8.2). Matches are sorted by candidate.
+func (w *Watcher) ScanLog(log *ctlog.Log) []Match {
+	var out []Match
+	for _, e := range log.Entries() {
+		seen := map[string]bool{}
+		for _, name := range e.Cert.Names() {
+			name = strings.TrimPrefix(strings.ToLower(name), "*.")
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+			out = append(out, w.Check(name)...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Candidate != out[j].Candidate {
+			return out[i].Candidate < out[j].Candidate
+		}
+		return out[i].Rule < out[j].Rule
+	})
+	return out
+}
+
+// collapseGovHost turns "eta.gov.lk" into "etagov" (labels joined, country
+// code dropped). Only hostnames ending in a known ccTLD collapse.
+func collapseGovHost(host string) string {
+	labels := strings.Split(host, ".")
+	if len(labels) < 2 {
+		return ""
+	}
+	tld := labels[len(labels)-1]
+	if len(tld) != 2 {
+		return ""
+	}
+	if _, ok := geo.ByCode(tld); !ok {
+		return ""
+	}
+	return strings.Join(labels[:len(labels)-1], "")
+}
+
+// labelBeforeGov extracts "eta" from "eta.gov.lk" or "abc" from "abc.gov".
+func labelBeforeGov(host string) string {
+	labels := strings.Split(host, ".")
+	for i := 1; i < len(labels); i++ {
+		if labels[i] == "gov" || labels[i] == "gouv" || labels[i] == "gob" {
+			return labels[i-1]
+		}
+	}
+	return ""
+}
+
+// splitLast splits "etagov.sl" into ("etagov", "sl").
+func splitLast(host string) (label, tld string, ok bool) {
+	i := strings.LastIndexByte(host, '.')
+	if i <= 0 || i == len(host)-1 {
+		return "", "", false
+	}
+	rest := host[:i]
+	if j := strings.LastIndexByte(rest, '.'); j >= 0 {
+		rest = rest[j+1:]
+	}
+	return rest, host[i+1:], true
+}
+
+// levenshteinAtMost1 reports whether a and b differ by at most one edit
+// (insert, delete or substitute) without computing the full matrix.
+func levenshteinAtMost1(a, b string) bool {
+	if a == b {
+		return false // identical strings are handled by the exact check
+	}
+	la, lb := len(a), len(b)
+	if abs(la-lb) > 1 {
+		return false
+	}
+	if la > lb {
+		a, b = b, a
+		la, lb = lb, la
+	}
+	// a is the shorter (or equal) string.
+	i, j, edits := 0, 0, 0
+	for i < la && j < lb {
+		if a[i] == b[j] {
+			i++
+			j++
+			continue
+		}
+		edits++
+		if edits > 1 {
+			return false
+		}
+		if la == lb {
+			i++ // substitution
+		}
+		j++ // insertion into a / skip in b
+	}
+	edits += lb - j
+	return edits == 1
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,192 @@
+package certwatch
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/cert"
+	"repro/internal/ctlog"
+)
+
+func watcher() *Watcher {
+	return NewWatcher([]string{
+		"eta.gov.lk",
+		"abc.gov",
+		"treasury.gov",
+		"portal.gov.bd",
+		"impots.gouv.fr",
+	})
+}
+
+func TestPaperCaseEtagovSL(t *testing.T) {
+	// §7.3.2: etagov.sl posing as eta.gov.lk.
+	w := watcher()
+	matches := w.Check("etagov.sl")
+	if len(matches) == 0 {
+		t.Fatal("etagov.sl not flagged")
+	}
+	if matches[0].Rule != CCTLDConfusion || matches[0].Target != "eta.gov.lk" {
+		t.Errorf("match = %+v", matches[0])
+	}
+}
+
+func TestPaperCaseAbcgovUS(t *testing.T) {
+	// §7.3.2: 85 unique hostnames of the form abcgov.us.
+	w := watcher()
+	matches := w.Check("abcgov.us")
+	found := false
+	for _, m := range matches {
+		if m.Rule == GovKeywordSquat && m.Target == "abc.gov" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("abcgov.us not flagged as keyword squat: %v", matches)
+	}
+}
+
+func TestGenuineHostNotFlagged(t *testing.T) {
+	w := watcher()
+	for _, genuine := range []string{"eta.gov.lk", "treasury.gov", "impots.gouv.fr"} {
+		if got := w.Check(genuine); len(got) != 0 {
+			t.Errorf("genuine host %q flagged: %v", genuine, got)
+		}
+	}
+}
+
+func TestUnrelatedHostNotFlagged(t *testing.T) {
+	w := watcher()
+	for _, benign := range []string{
+		"example.com", "news.bbc.co.uk", "completely-different.sl", "gov.uk",
+	} {
+		if got := w.Check(benign); len(got) != 0 {
+			t.Errorf("benign host %q flagged: %v", benign, got)
+		}
+	}
+}
+
+func TestEditDistanceTyposquat(t *testing.T) {
+	w := watcher()
+	matches := w.Check("treasurry.gov") // one inserted letter
+	found := false
+	for _, m := range matches {
+		if m.Rule == EditDistance && m.Target == "treasury.gov" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("typosquat not flagged: %v", matches)
+	}
+}
+
+func TestGouvKeyword(t *testing.T) {
+	w := watcher()
+	matches := w.Check("impotsgov.fr")
+	// The collapsed form "impotsgouv" differs, but edit-distance or squat
+	// heuristics may fire; what must not happen is a panic or a miss of
+	// the exact collapse:
+	m2 := w.Check("impotsgouv.sn") // collapsed name under another ccTLD
+	if len(m2) == 0 {
+		t.Errorf("impotsgouv.sn (cc confusion of impots.gouv.fr) not flagged")
+	}
+	_ = matches
+}
+
+func TestScanLog(t *testing.T) {
+	w := watcher()
+	r := rand.New(rand.NewSource(1))
+	log := ctlog.New("monitor")
+	at := time.Date(2020, 4, 1, 0, 0, 0, 0, time.UTC)
+
+	add := func(host string) {
+		key := cert.NewKey(r, cert.KeyRSA, 2048)
+		c := &cert.Certificate{
+			Subject:   cert.Name{CommonName: host},
+			Issuer:    cert.Name{CommonName: "Free CA"},
+			DNSNames:  []string{host},
+			NotBefore: at, NotAfter: at.AddDate(0, 3, 0),
+			PublicKey: key,
+		}
+		c.Sign(key.ID)
+		log.Append(c, at)
+	}
+	add("etagov.sl")      // phishing
+	add("legit.site.com") // benign
+	add("eta.gov.lk")     // the genuine host renewing
+	add("treasurygov.us") // keyword squat
+
+	matches := w.ScanLog(log)
+	if len(matches) < 2 {
+		t.Fatalf("matches = %v", matches)
+	}
+	seen := map[string]bool{}
+	for _, m := range matches {
+		seen[m.Candidate] = true
+	}
+	if !seen["etagov.sl"] || !seen["treasurygov.us"] {
+		t.Errorf("expected candidates missing: %v", matches)
+	}
+	if seen["eta.gov.lk"] || seen["legit.site.com"] {
+		t.Errorf("benign entries flagged: %v", matches)
+	}
+}
+
+func TestLevenshteinAtMost1(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"abc", "abc", false}, // identical: handled elsewhere
+		{"abc", "abd", true},  // substitution
+		{"abc", "abcd", true}, // insertion
+		{"abcd", "abc", true}, // deletion
+		{"abc", "abde", false},
+		{"abc", "xyz", false},
+		{"", "a", true},
+		{"", "ab", false},
+	}
+	for _, tc := range cases {
+		if got := levenshteinAtMost1(tc.a, tc.b); got != tc.want {
+			t.Errorf("lev1(%q,%q) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestPropertyLev1Symmetric(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 40 || len(b) > 40 {
+			return true
+		}
+		return levenshteinAtMost1(a, b) == levenshteinAtMost1(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertySingleEditAlwaysDetected(t *testing.T) {
+	f := func(s string, pos uint8, c byte) bool {
+		if len(s) == 0 || len(s) > 30 {
+			return true
+		}
+		p := int(pos) % len(s)
+		if s[p] == c {
+			return true
+		}
+		b := []byte(s)
+		b[p] = c // single-byte substitution
+		return levenshteinAtMost1(s, string(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckDegenerateInputs(t *testing.T) {
+	w := watcher()
+	for _, s := range []string{"", ".", "..", "x", "gov", "sl"} {
+		w.Check(s) // must not panic
+	}
+}

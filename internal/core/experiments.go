@@ -1,0 +1,484 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/acme"
+	"repro/internal/analysis"
+	"repro/internal/certwatch"
+	"repro/internal/crawler"
+	"repro/internal/ctlog"
+	"repro/internal/hstspreload"
+	"repro/internal/longitudinal"
+	"repro/internal/notify"
+	"repro/internal/recommend"
+	"repro/internal/report"
+	"repro/internal/scanner"
+	"repro/internal/world"
+)
+
+// Experiment regenerates one table or figure of the paper.
+type Experiment struct {
+	// ID is the index key, e.g. "T2" (Table 2) or "F7" (Figure 7).
+	ID string
+	// Title describes the artifact.
+	Title string
+	// Run computes and renders the artifact.
+	Run func(ctx context.Context, s *Study) (string, error)
+}
+
+// Experiments returns the full registry, ordered as in DESIGN.md.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"T1", "Table 1: Overlap with public top millions", runT1},
+		{"T2", "Table 2: Worldwide validity and error taxonomy", runT2},
+		{"F1", "Figure 1: Worldwide per-country view", runF1},
+		{"F2", "Figure 2: Top 40 cert issuers worldwide", runF2},
+		{"F3", "Figure 3: Certificates by issue and expiry date", runF3},
+		{"F4", "Figure 4: Validity by key type and signing algorithm", runF4},
+		{"F5", "Figure 5: Validity by hosting type (USA/ROK/world)", runF5},
+		{"F6", "Figure 6: Validity and hosting, gov vs non-gov top million", runF6},
+		{"F7", "Figure 7: Valid https rate by top-million rank", runF7},
+		{"F8", "Figure 8: USA cert issuers", runF8},
+		{"F9", "Figure 9: USA key/signing validity", runF9},
+		{"F10", "Figure 10: USA & ROK validity by issue date", runF10},
+		{"F11", "Figure 11: ROK cert issuers", runF11},
+		{"F12", "Figure 12: ROK key/signing validity", runF12},
+		{"F13", "Figure 13: Disclosure response by population rank", runF13},
+		{"TA1", "Table A.1: US GSA dataset breakdown", runTA1},
+		{"TA2", "Table A.2: US per-dataset vulnerability breakdown", runTA2},
+		{"TA3", "Table A.3: South Korea dataset breakdown", runTA3},
+		{"TA4", "Table A.4: South Korea vulnerability breakdown", runTA4},
+		{"FA1", "Figure A.1: USA validity by hosting per dataset", runFA1},
+		{"FA2", "Figure A.2: Top EV CAs (USA)", runFA2},
+		{"FA3", "Figure A.3: Top EV CAs (ROK)", runFA3},
+		{"FA4", "Figure A.4: Crawler effectiveness", runFA4},
+		{"FA5", "Figure A.5: Cross-government links", runFA5},
+		{"FA6", "Figure A.6: Top EV CAs (worldwide)", runFA6},
+		{"S533", "Section 5.3.3: Key pair reuse", runS533},
+		{"S534", "Section 5.3.4: CAA record adoption", runS534},
+		{"S722", "Section 7.2.2: Notification effectiveness", runS722},
+		{"E1", "Extension: CT coverage of government certificates (§2.2)", runE1},
+		{"E2", "Extension: CT lookalike monitoring (§7.3.2)", runE2},
+		{"E3", "Extension: Recommendations checklist (§8)", runE3},
+		{"E4", "Extension: Longitudinal monitoring (future work)", runE4},
+		{"E5", "Extension: HSTS preload impact (§8.2)", runE5},
+		{"E6", "Extension: §8.1 key-reuse issuance policy replay", runE6},
+	}
+}
+
+// RunExperiment executes the experiment with the given ID.
+func RunExperiment(ctx context.Context, s *Study, id string) (string, error) {
+	for _, e := range Experiments() {
+		if strings.EqualFold(e.ID, id) {
+			return e.Run(ctx, s)
+		}
+	}
+	return "", fmt.Errorf("core: unknown experiment %q", id)
+}
+
+func runT1(_ context.Context, s *Study) (string, error) {
+	return report.Table1(analysis.ComputeOverlap(s.World.TopLists)), nil
+}
+
+func runT2(ctx context.Context, s *Study) (string, error) {
+	return report.Table2(analysis.ComputeTable2(s.Worldwide(ctx))), nil
+}
+
+func runF1(ctx context.Context, s *Study) (string, error) {
+	rows := analysis.CountryBreakdown(s.Worldwide(ctx), s.CountryOf)
+	return report.Figure1(rows, 40), nil
+}
+
+func runF2(ctx context.Context, s *Study) (string, error) {
+	issuers := analysis.IssuerBreakdown(s.Worldwide(ctx), s.Store())
+	return report.Issuers("Figure 2: Top 40 Cert Issuers for Government Websites", issuers, 40), nil
+}
+
+func runF3(ctx context.Context, s *Study) (string, error) {
+	d := analysis.ComputeDurationStats(s.Worldwide(ctx))
+	return report.Durations("Figure 3 / Section 5.3.1: Certificates by issue and expiry", d), nil
+}
+
+func runF4(ctx context.Context, s *Study) (string, error) {
+	m := analysis.ComputeKeyAlgoMatrix(s.Worldwide(ctx))
+	out := report.KeyAlgo("Figure 4: Worldwide validity by key type and CA signing algorithm", m)
+	out += "\nNegotiated protocol versions (§5.3's unsupported-protocol population):\n"
+	for _, c := range analysis.ComputeVersionBreakdown(s.Worldwide(ctx)) {
+		out += fmt.Sprintf("  %-16s %6d hosts, %d valid\n", c.Version, c.Total, c.Valid)
+	}
+	return out, nil
+}
+
+func runF5(ctx context.Context, s *Study) (string, error) {
+	var b strings.Builder
+	usa := s.USAAll(ctx)
+	rok := s.ROK(ctx)
+	ww := s.Worldwide(ctx)
+	b.WriteString(report.Hosting("Figure 5 (left): USA validity by hosting", analysis.HostingBreakdown(usa)))
+	b.WriteByte('\n')
+	b.WriteString(report.Hosting("Figure 5 (center): ROK validity by hosting", analysis.HostingBreakdown(rok)))
+	b.WriteByte('\n')
+	b.WriteString(report.Hosting("Figure 5 (right): Worldwide validity by hosting", analysis.HostingBreakdown(ww)))
+	b.WriteByte('\n')
+	b.WriteString(report.Hosting("Providers (worldwide)", analysis.ProviderBreakdown(ww)))
+	b.WriteString(fmt.Sprintf("\nUSA cloud+CDN share: %.2f%%   ROK cloud+CDN share: %.2f%%\n",
+		100*analysis.CloudCDNShare(usa), 100*analysis.CloudCDNShare(rok)))
+	return b.String(), nil
+}
+
+func runF6(ctx context.Context, s *Study) (string, error) {
+	rc := analysis.ComputeRankComparison(s.World.TopLists, s.Worldwide(ctx), s.World.Cfg.Seed, 50)
+	return report.RankComparison(rc), nil
+}
+
+func runF7(ctx context.Context, s *Study) (string, error) {
+	rc := analysis.ComputeRankComparison(s.World.TopLists, s.Worldwide(ctx), s.World.Cfg.Seed, 50)
+	return report.RankComparison(rc) + "\n" + report.RankBins(rc), nil
+}
+
+func runF8(ctx context.Context, s *Study) (string, error) {
+	issuers := analysis.IssuerBreakdown(s.USAAll(ctx), s.Store())
+	return report.Issuers("Figure 8: USA certificate validity by issuing authority", issuers, 40), nil
+}
+
+func runF9(ctx context.Context, s *Study) (string, error) {
+	m := analysis.ComputeKeyAlgoMatrix(s.USAAll(ctx))
+	return report.KeyAlgo("Figure 9: USA validity by key type and CA signing algorithm", m), nil
+}
+
+func runF10(ctx context.Context, s *Study) (string, error) {
+	var b strings.Builder
+	b.WriteString(report.Durations("Figure 10 (USA): validity by issue date", analysis.ComputeDurationStats(s.USAAll(ctx))))
+	b.WriteByte('\n')
+	b.WriteString(report.Durations("Figure 10 (ROK): validity by issue date", analysis.ComputeDurationStats(s.ROK(ctx))))
+	return b.String(), nil
+}
+
+func runF11(ctx context.Context, s *Study) (string, error) {
+	issuers := analysis.IssuerBreakdown(s.ROK(ctx), s.Store())
+	return report.Issuers("Figure 11: ROK certificate validity by issuing authority", issuers, 40), nil
+}
+
+func runF12(ctx context.Context, s *Study) (string, error) {
+	m := analysis.ComputeKeyAlgoMatrix(s.ROK(ctx))
+	return report.KeyAlgo("Figure 12: ROK validity by key type and CA signing algorithm", m), nil
+}
+
+func runF13(ctx context.Context, s *Study) (string, error) {
+	reports := notify.BuildReports(s.Worldwide(ctx), s.CountryOf, s.deadLinked())
+	campaign := notify.Campaign(reports, s.Rand("disclosure"))
+	return report.Campaign(campaign), nil
+}
+
+func runTA1(ctx context.Context, s *Study) (string, error) {
+	rows, err := s.gsaBreakdowns(ctx)
+	if err != nil {
+		return "", err
+	}
+	return report.Datasets("Table A.1: Breakdown of US GSA Datasets", rows), nil
+}
+
+func runTA2(ctx context.Context, s *Study) (string, error) {
+	var b strings.Builder
+	b.WriteString("Table A.2: Breakdown of Govt. Websites in United States by Vulnerability\n\n")
+	for _, ds := range s.World.USA.Datasets {
+		results, err := s.USADataset(ctx, ds.Key)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(report.Table2WithTitle(ds.Name, analysis.ComputeTable2(results)))
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+func runTA3(ctx context.Context, s *Study) (string, error) {
+	rows := []report.DatasetBreakdown{{Name: "South Korea Domains Set", Tab: analysis.ComputeTable2(s.ROK(ctx))}}
+	return report.Datasets("Table A.3: Breakdown of South Korea Datasets", rows), nil
+}
+
+func runTA4(ctx context.Context, s *Study) (string, error) {
+	return report.Table2WithTitle("Table A.4: Breakdown of the South Korean Govt. websites by vulnerability",
+		analysis.ComputeTable2(s.ROK(ctx))), nil
+}
+
+func runFA1(ctx context.Context, s *Study) (string, error) {
+	var b strings.Builder
+	b.WriteString("Figure A.1: Certificate validity by hosting per GSA dataset\n\n")
+	for _, ds := range s.World.USA.Datasets {
+		results, err := s.USADataset(ctx, ds.Key)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(report.Hosting(ds.Name, analysis.HostingBreakdown(results)))
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+func runFA2(ctx context.Context, s *Study) (string, error) {
+	ev := analysis.EVIssuerBreakdown(s.USAAll(ctx), s.Store())
+	return report.EV(analysis.ComputeEVStats(s.USAAll(ctx), s.Store())) + "\n" +
+		report.Issuers("Figure A.2: Top EV CAs for USA government websites", ev, 20), nil
+}
+
+func runFA3(ctx context.Context, s *Study) (string, error) {
+	ev := analysis.EVIssuerBreakdown(s.ROK(ctx), s.Store())
+	return report.EV(analysis.ComputeEVStats(s.ROK(ctx), s.Store())) + "\n" +
+		report.Issuers("Figure A.3: Top EV CAs for ROK government websites", ev, 20), nil
+}
+
+func runFA4(ctx context.Context, s *Study) (string, error) {
+	c := crawler.New(&crawler.WebFetcher{Dialer: s.World.Net, Resolver: s.World.DNS, Vantage: "lab"})
+	_, stats := c.Crawl(ctx, s.World.SeedHosts)
+	return report.Crawl(stats), nil
+}
+
+func runFA5(_ context.Context, s *Study) (string, error) {
+	return report.CrossGov(analysis.ComputeCrossGov(s.LinkGraph(), s.CountryOf)), nil
+}
+
+func runFA6(ctx context.Context, s *Study) (string, error) {
+	ev := analysis.EVIssuerBreakdown(s.Worldwide(ctx), s.Store())
+	return report.EV(analysis.ComputeEVStats(s.Worldwide(ctx), s.Store())) + "\n" +
+		report.Issuers("Figure A.6: Top EV CAs worldwide", ev, 20), nil
+}
+
+func runS533(ctx context.Context, s *Study) (string, error) {
+	reuse := analysis.ComputeKeyReuse(s.Worldwide(ctx), s.CountryOf)
+	var b strings.Builder
+	b.WriteString(report.KeyReuse(reuse))
+	violators := analysis.ComputeWildcardViolators(s.Worldwide(ctx), s.CountryOf)
+	if len(violators) > 0 {
+		b.WriteString("\nTop single-country wildcard violators:\n")
+		max := 5
+		if len(violators) < max {
+			max = len(violators)
+		}
+		for _, v := range violators[:max] {
+			b.WriteString(fmt.Sprintf("  %s: %d certificates across %d hostnames\n", v.Country, v.Certs, v.Hosts))
+		}
+	}
+	return b.String(), nil
+}
+
+func runS534(_ context.Context, s *Study) (string, error) {
+	with, valid := s.World.DNS.CAACount()
+	return report.CAA(with, valid, len(s.World.GovHosts)), nil
+}
+
+func runS722(ctx context.Context, s *Study) (string, error) {
+	before := s.Worldwide(ctx)
+	invalid := s.InvalidWorldwideHosts(ctx)
+	s.World.Remediate(invalid, world.DefaultRemediationRates(), s.Rand("remediation"))
+	follow := scanner.New(s.World.Net, s.World.DNS, s.World.Class,
+		scanner.DefaultConfig(s.Store(), world.FollowUpScanTime))
+	after := follow.ScanAll(ctx, s.World.GovHosts)
+	eff, err := notify.MeasureEffectiveness(before, after)
+	if err != nil {
+		return "", err
+	}
+	// The remediation mutated the world; invalidate cached scans.
+	s.mu.Lock()
+	s.worldwide = nil
+	s.mu.Unlock()
+	return report.Effectiveness(eff), nil
+}
+
+// gsaBreakdowns computes Table 2 per GSA dataset.
+func (s *Study) gsaBreakdowns(ctx context.Context) ([]report.DatasetBreakdown, error) {
+	var rows []report.DatasetBreakdown
+	for _, ds := range s.World.USA.Datasets {
+		results, err := s.USADataset(ctx, ds.Key)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, report.DatasetBreakdown{Name: ds.Name, Tab: analysis.ComputeTable2(results)})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+	return rows, nil
+}
+
+// deadLinked maps countries to unreachable hostnames still linked from live
+// pages (part of the disclosure reports).
+func (s *Study) deadLinked() map[string][]string {
+	dead := map[string]bool{}
+	for _, h := range s.World.UnreachableHosts {
+		dead[h] = true
+	}
+	out := map[string][]string{}
+	seen := map[string]bool{}
+	for _, h := range s.World.GovHosts {
+		site := s.World.Sites[h]
+		for _, l := range site.Links {
+			if dead[l] && !seen[l] {
+				seen[l] = true
+				out[site.Country] = append(out[site.Country], l)
+			}
+		}
+	}
+	return out
+}
+
+// --- Extension experiments (paper discussion sections made executable) ---
+
+func runE1(_ context.Context, s *Study) (string, error) {
+	log := s.World.CT
+	cov := log.MeasureCoverage(s.World.GovLeafCerts())
+	var b strings.Builder
+	b.WriteString("Extension E1: Certificate Transparency coverage of government certificates\n")
+	b.WriteString("===========================================================================\n")
+	fmt.Fprintf(&b, "log size:                   %d entries\n", log.Size())
+	fmt.Fprintf(&b, "distinct government leaves: %d\n", cov.Total)
+	fmt.Fprintf(&b, "present in the log:         %d (%.1f%%)\n", cov.Logged, cov.Pct())
+	b.WriteString("(§2.2: CT misses ~10% of com/net/org; the government gap was unmeasured.\n")
+	b.WriteString(" Here the gap also includes self-signed and internal-CA chains, which\n")
+	b.WriteString(" never reach a log at all.)\n")
+
+	// Prove the log is behaving like a log: verify an inclusion proof and
+	// a consistency proof against the current head.
+	size := log.Size()
+	if size >= 2 {
+		root := log.Root()
+		proof, err := log.InclusionProof(size/2, size)
+		if err != nil {
+			return "", err
+		}
+		entry := log.Entries()[size/2]
+		ok := ctlog.VerifyInclusion(root, ctlog.LeafHash(entry.Cert.Encode()), size/2, size, proof)
+		fmt.Fprintf(&b, "inclusion proof for entry %d: verified=%v (path length %d)\n", size/2, ok, len(proof))
+		oldRoot, _ := log.RootAt(size / 2)
+		cproof, err := log.ConsistencyProof(size/2, size)
+		if err != nil {
+			return "", err
+		}
+		okC := ctlog.VerifyConsistency(oldRoot, root, size/2, size, cproof)
+		fmt.Fprintf(&b, "consistency proof %d -> %d: verified=%v (path length %d)\n", size/2, size, okC, len(cproof))
+	}
+	return b.String(), nil
+}
+
+func runE2(_ context.Context, s *Study) (string, error) {
+	w := certwatch.NewWatcher(s.World.GovHosts)
+	matches := w.ScanLog(s.World.CT)
+	var b strings.Builder
+	b.WriteString("Extension E2: CT-based lookalike monitoring (§7.3.2, §8.2)\n")
+	b.WriteString("===========================================================\n")
+	fmt.Fprintf(&b, "log entries scanned: %d\n", s.World.CT.Size())
+	fmt.Fprintf(&b, "lookalike certificates flagged: %d\n", len(matches))
+	byRule := map[string]int{}
+	for _, m := range matches {
+		byRule[m.Rule.String()]++
+	}
+	for rule, n := range byRule {
+		fmt.Fprintf(&b, "  %-20s %d\n", rule, n)
+	}
+	max := 8
+	if len(matches) < max {
+		max = len(matches)
+	}
+	b.WriteString("sample findings:\n")
+	for _, m := range matches[:max] {
+		fmt.Fprintf(&b, "  %-28s imitates %-28s (%s)\n", m.Candidate, m.Target, m.Rule)
+	}
+	return b.String(), nil
+}
+
+func runE3(ctx context.Context, s *Study) (string, error) {
+	results := s.Worldwide(ctx)
+	hasCAA := func(h string) bool { return len(s.World.DNS.LookupCAA(h)) > 0 }
+	findings := recommend.Evaluate(results, hasCAA, recommend.SharedKeyIDs(results))
+	out := recommend.Render(recommend.Summarize(findings))
+	grouped := recommend.ByCountry(findings, s.CountryOf)
+	out += fmt.Sprintf("\ncountries with findings: %d, total findings: %d\n", len(grouped), len(findings))
+	return out, nil
+}
+
+func runE4(ctx context.Context, s *Study) (string, error) {
+	before := longitudinal.Capture(s.World.ScanTime, s.Worldwide(ctx))
+	invalid := s.InvalidWorldwideHosts(ctx)
+	s.World.Remediate(invalid, world.DefaultRemediationRates(), s.Rand("longitudinal"))
+	follow := scanner.New(s.World.Net, s.World.DNS, s.World.Class,
+		scanner.DefaultConfig(s.Store(), world.FollowUpScanTime))
+	afterResults := follow.ScanAll(ctx, s.World.GovHosts)
+	after := longitudinal.Capture(world.FollowUpScanTime, afterResults)
+	s.mu.Lock()
+	s.worldwide = nil // the world changed under the cache
+	s.mu.Unlock()
+
+	c := longitudinal.Diff(before, after)
+	var b strings.Builder
+	b.WriteString("Extension E4: Longitudinal monitoring (§4.2.3 future work)\n")
+	b.WriteString("===========================================================\n")
+	fmt.Fprintf(&b, "snapshots: %s -> %s\n", before.Taken.Format("2006-01-02"), after.Taken.Format("2006-01-02"))
+	fmt.Fprintf(&b, "diff: %s\n", c.Summary())
+	gaps := longitudinal.GapReport(after, longitudinal.ValidHTTPS)
+	fmt.Fprintf(&b, "hosts still below valid https: %d\n", len(gaps))
+	b.WriteString("(regressions are dominated by 90-day certificates lapsing without\n")
+	b.WriteString(" renewal between the scans — deterioration the paper could not\n")
+	b.WriteString(" measure because it only re-scanned previously invalid hosts.)\n")
+	return b.String(), nil
+}
+
+func runE5(ctx context.Context, s *Study) (string, error) {
+	results := s.Worldwide(ctx)
+	var b strings.Builder
+	b.WriteString("Extension E5: HSTS preload impact (§8.2, the 2020 DotGov mandate)\n")
+	b.WriteString("==================================================================\n")
+	eligible := hstspreload.EligibleHosts(results)
+	fmt.Fprintf(&b, "hosts meeting the preload submission bar today: %d of %d\n\n", len(eligible), len(results))
+	for _, suffix := range []string{"gov", "go.kr", "gov.cn", "gov.uk"} {
+		imp := hstspreload.SimulateImpact(suffix, results)
+		if imp.Covered == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "preload .%-8s covered=%6d  ready=%6d (%.1f%%)  would break=%d\n",
+			suffix, imp.Covered, imp.Ready, imp.ReadyPct(), imp.WouldBreak)
+	}
+	b.WriteString("\n(preloading forces browsers to refuse plain http and invalid https;\n")
+	b.WriteString(" the breakage column is the long tail the mandate cuts off until the\n")
+	b.WriteString(" certificate fixes of §8 land.)\n")
+	return b.String(), nil
+}
+
+func runE6(ctx context.Context, s *Study) (string, error) {
+	// Replay the worldwide issuance history through the §8.1 key-reuse
+	// policy: how many of the §5.3.3 shared-key certifications would a CA
+	// enforcing the rule have refused?
+	results := s.Worldwide(ctx)
+	policy := acme.NewReusePolicy()
+	issuances, blocked := 0, 0
+	blockedCountries := map[string]bool{}
+	for i := range results {
+		r := &results[i]
+		if len(r.Chain) == 0 {
+			continue
+		}
+		leaf := r.Chain[0]
+		issuances++
+		// The §8.1 check happens at issuance: each host requests a
+		// certificate for *itself* with the key it actually serves.
+		if err := policy.Check(leaf.PublicKey.ID, []string{r.Hostname}); err != nil {
+			blocked++
+			if cc := s.CountryOf(r.Hostname); cc != "" {
+				blockedCountries[cc] = true
+			}
+			continue
+		}
+		policy.Record(leaf.PublicKey.ID, []string{r.Hostname})
+	}
+	var b strings.Builder
+	b.WriteString("Extension E6: the §8.1 key-reuse issuance policy, replayed\n")
+	b.WriteString("===========================================================\n")
+	fmt.Fprintf(&b, "issuance events replayed:        %d\n", issuances)
+	fmt.Fprintf(&b, "refused by the policy:           %d\n", blocked)
+	fmt.Fprintf(&b, "governments with refused events: %d\n", len(blockedCountries))
+	b.WriteString("(each refusal is a certification of a public key already bound to an\n")
+	b.WriteString(" unrelated hostname — the cross-government private-key sharing §5.3.3\n")
+	b.WriteString(" warns about. Same-zone wildcard reuse passes the subdomain carve-out.)\n")
+	return b.String(), nil
+}

@@ -1,0 +1,163 @@
+// Package core orchestrates the full reproduction: it builds the synthetic
+// world, runs the scans (worldwide, USA GSA, ROK Government24), and exposes
+// an experiment registry with one entry per table and figure of the paper.
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/scanner"
+	"repro/internal/truststore"
+	"repro/internal/world"
+)
+
+// Study is a fully built world plus cached scan results.
+type Study struct {
+	World *world.World
+
+	mu         sync.Mutex
+	worldwide  []scanner.Result
+	usa        map[string][]scanner.Result
+	usaAll     []scanner.Result
+	rok        []scanner.Result
+	storeInUse string
+}
+
+// NewStudy builds the world for the configuration.
+func NewStudy(cfg world.Config) (*Study, error) {
+	w, err := world.Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Study{World: w, usa: make(map[string][]scanner.Result), storeInUse: "apple"}, nil
+}
+
+// MustNewStudy is NewStudy for known-valid configurations.
+func MustNewStudy(cfg world.Config) *Study {
+	s, err := NewStudy(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// UseStore selects the trust store for subsequent scans ("apple",
+// "microsoft", "nss") and clears cached results. The paper's default is the
+// most restrictive store, Apple's (§4.3).
+func (s *Study) UseStore(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.World.Stores[name]; !ok {
+		return fmt.Errorf("core: unknown trust store %q", name)
+	}
+	if s.storeInUse != name {
+		s.storeInUse = name
+		s.worldwide = nil
+		s.usa = make(map[string][]scanner.Result)
+		s.usaAll = nil
+		s.rok = nil
+	}
+	return nil
+}
+
+// Store returns the active trust store.
+func (s *Study) Store() *truststore.Store {
+	return s.World.Stores[s.storeInUse]
+}
+
+// Scanner builds a scanner bound to the study's world and active store.
+func (s *Study) Scanner() *scanner.Scanner {
+	return scanner.New(s.World.Net, s.World.DNS, s.World.Class,
+		scanner.DefaultConfig(s.Store(), s.World.ScanTime))
+}
+
+// CountryOf attributes a hostname to a country.
+func (s *Study) CountryOf(hostname string) string { return s.World.CountryOf(hostname) }
+
+// Worldwide scans (once) the worldwide government host list.
+func (s *Study) Worldwide(ctx context.Context) []scanner.Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.worldwide == nil {
+		s.worldwide = s.Scanner().ScanAll(ctx, s.World.GovHosts)
+	}
+	return s.worldwide
+}
+
+// USADataset scans (once) one GSA dataset by key.
+func (s *Study) USADataset(ctx context.Context, key string) ([]scanner.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cached, ok := s.usa[key]; ok {
+		return cached, nil
+	}
+	ds, ok := s.World.USA.Dataset(key)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown GSA dataset %q", key)
+	}
+	res := s.Scanner().ScanAll(ctx, ds.Hosts)
+	s.usa[key] = res
+	return res, nil
+}
+
+// USAAll scans (once) the union of the GSA datasets.
+func (s *Study) USAAll(ctx context.Context) []scanner.Result {
+	s.mu.Lock()
+	if s.usaAll != nil {
+		defer s.mu.Unlock()
+		return s.usaAll
+	}
+	s.mu.Unlock()
+	res := s.Scanner().ScanAll(ctx, s.World.USA.AllHosts())
+	s.mu.Lock()
+	s.usaAll = res
+	s.mu.Unlock()
+	return res
+}
+
+// ROK scans (once) the Government24 dataset.
+func (s *Study) ROK(ctx context.Context) []scanner.Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.rok == nil {
+		s.rok = s.Scanner().ScanAll(ctx, s.World.ROK.Hosts)
+	}
+	return s.rok
+}
+
+// InvalidWorldwideHosts lists worldwide hostnames measured invalid.
+func (s *Study) InvalidWorldwideHosts(ctx context.Context) []string {
+	var out []string
+	results := s.Worldwide(ctx)
+	for i := range results {
+		if results[i].Category().IsInvalidHTTPS() {
+			out = append(out, results[i].Hostname)
+		}
+	}
+	return out
+}
+
+// Rand derives a deterministic source from the study seed and a label.
+func (s *Study) Rand(label string) *rand.Rand {
+	h := int64(-3750763034362895579)
+	for _, b := range []byte(label) {
+		h ^= int64(b)
+		h *= 1099511628211
+	}
+	return rand.New(rand.NewSource(s.World.Cfg.Seed ^ h))
+}
+
+// LinkGraph extracts the world's hyperlink graph for the cross-government
+// analysis.
+func (s *Study) LinkGraph() map[string][]string {
+	links := map[string][]string{}
+	for _, h := range s.World.GovHosts {
+		if l := s.World.Sites[h].Links; len(l) > 0 {
+			links[h] = l
+		}
+	}
+	return links
+}

@@ -1,0 +1,99 @@
+package httpsim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderPage produces the HTML body of a simulated government page: a
+// title and an anchor per outbound link. The crawler extracts the anchors
+// with ExtractLinks.
+func RenderPage(title string, links []string) []byte {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html>\n<head><title>")
+	b.WriteString(escapeHTML(title))
+	b.WriteString("</title></head>\n<body>\n<h1>")
+	b.WriteString(escapeHTML(title))
+	b.WriteString("</h1>\n<ul>\n")
+	for _, l := range links {
+		fmt.Fprintf(&b, "  <li><a href=\"%s\">%s</a></li>\n", l, escapeHTML(l))
+	}
+	b.WriteString("</ul>\n</body>\n</html>\n")
+	return []byte(b.String())
+}
+
+// ExtractLinks pulls every href target out of an HTML document. It accepts
+// double- and single-quoted attribute values and tolerates surrounding
+// attribute noise — enough robustness for the pages the simulated
+// governments serve and for mildly malformed markup.
+func ExtractLinks(body []byte) []string {
+	var out []string
+	s := string(body)
+	for {
+		i := indexCaseInsensitive(s, "href=")
+		if i < 0 {
+			break
+		}
+		s = s[i+len("href="):]
+		if s == "" {
+			break
+		}
+		var value string
+		switch s[0] {
+		case '"', '\'':
+			quote := s[0]
+			end := strings.IndexByte(s[1:], quote)
+			if end < 0 {
+				return out
+			}
+			value = s[1 : 1+end]
+			s = s[2+end:]
+		default:
+			end := strings.IndexAny(s, " >\t\r\n")
+			if end < 0 {
+				end = len(s)
+			}
+			value = s[:end]
+			s = s[end:]
+		}
+		if value != "" {
+			out = append(out, value)
+		}
+	}
+	return out
+}
+
+// HostOf extracts the hostname from a link target such as
+// "https://a.gov.br/page" or "//b.gov.br" or "a.gov.br/page". Relative
+// links return "".
+func HostOf(link string) string {
+	l := link
+	switch {
+	case strings.HasPrefix(l, "https://"):
+		l = l[len("https://"):]
+	case strings.HasPrefix(l, "http://"):
+		l = l[len("http://"):]
+	case strings.HasPrefix(l, "//"):
+		l = l[2:]
+	case strings.HasPrefix(l, "/"), strings.HasPrefix(l, "#"), strings.HasPrefix(l, "?"):
+		return ""
+	case !strings.Contains(l, "."):
+		return ""
+	}
+	if i := strings.IndexAny(l, "/?#"); i >= 0 {
+		l = l[:i]
+	}
+	if i := strings.IndexByte(l, ':'); i >= 0 {
+		l = l[:i]
+	}
+	return strings.ToLower(l)
+}
+
+func indexCaseInsensitive(s, sub string) int {
+	return strings.Index(strings.ToLower(s), sub)
+}
+
+func escapeHTML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

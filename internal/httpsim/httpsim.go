@@ -1,0 +1,244 @@
+// Package httpsim implements the minimal HTTP/1.1 dialect spoken between
+// the study's scanner/crawler and the simulated web servers: request and
+// response serialization, status codes, redirects (including the http→https
+// upgrade the paper measures), HSTS headers, and HTML pages carrying the
+// hyperlinks the crawler follows.
+package httpsim
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+)
+
+// Protocol limits.
+const (
+	maxHeaderLines = 100
+	maxLineLen     = 8192
+	maxBodyLen     = 4 << 20
+)
+
+// Parsing errors.
+var (
+	ErrMalformedRequest  = errors.New("httpsim: malformed request")
+	ErrMalformedResponse = errors.New("httpsim: malformed response")
+	ErrBodyTooLarge      = errors.New("httpsim: body exceeds limit")
+)
+
+// Request is a parsed HTTP request.
+type Request struct {
+	Method string
+	Path   string
+	Host   string
+	Header map[string]string
+	Body   []byte
+}
+
+// Response is a parsed HTTP response.
+type Response struct {
+	StatusCode int
+	Header     map[string]string
+	Body       []byte
+}
+
+// HSTS reports whether the response carries a Strict-Transport-Security
+// header (§8.2's HSTS preload recommendation).
+func (r *Response) HSTS() bool {
+	_, ok := r.Header["strict-transport-security"]
+	return ok
+}
+
+// Location returns the redirect target, if any.
+func (r *Response) Location() string { return r.Header["location"] }
+
+// IsRedirect reports whether the status code denotes a redirect.
+func (r *Response) IsRedirect() bool {
+	return r.StatusCode == 301 || r.StatusCode == 302 || r.StatusCode == 307 || r.StatusCode == 308
+}
+
+// WriteRequest sends a body-less request over the connection.
+func WriteRequest(w io.Writer, method, host, path string) error {
+	return WriteRequestBody(w, method, host, path, "", nil)
+}
+
+// WriteRequestBody sends a request carrying a body (POST-style).
+func WriteRequestBody(w io.Writer, method, host, path, contentType string, body []byte) error {
+	if path == "" {
+		path = "/"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s HTTP/1.1\r\nHost: %s\r\nUser-Agent: govhttps-scanner/1.0\r\nConnection: close\r\n", method, path, host)
+	if contentType != "" {
+		fmt.Fprintf(&b, "Content-Type: %s\r\n", contentType)
+	}
+	if len(body) > 0 {
+		fmt.Fprintf(&b, "Content-Length: %d\r\n", len(body))
+	}
+	b.WriteString("\r\n")
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return err
+	}
+	if len(body) > 0 {
+		if _, err := w.Write(body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadRequest parses a request from the connection.
+func ReadRequest(br *bufio.Reader) (*Request, error) {
+	line, err := readLine(br)
+	if err != nil {
+		return nil, err
+	}
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) != 3 || !strings.HasPrefix(parts[2], "HTTP/1.") {
+		return nil, fmt.Errorf("%w: bad request line %q", ErrMalformedRequest, line)
+	}
+	req := &Request{Method: parts[0], Path: parts[1], Header: map[string]string{}}
+	if err := readHeaders(br, req.Header); err != nil {
+		return nil, err
+	}
+	req.Host = req.Header["host"]
+	if cl, ok := req.Header["content-length"]; ok {
+		n, err := strconv.Atoi(cl)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("%w: bad content-length %q", ErrMalformedRequest, cl)
+		}
+		if n > maxBodyLen {
+			return nil, ErrBodyTooLarge
+		}
+		req.Body = make([]byte, n)
+		if _, err := io.ReadFull(br, req.Body); err != nil {
+			return nil, err
+		}
+	}
+	return req, nil
+}
+
+// Post performs one POST over an established connection and parses the
+// response.
+func Post(conn net.Conn, host, path, contentType string, body []byte) (*Response, error) {
+	if err := WriteRequestBody(conn, "POST", host, path, contentType, body); err != nil {
+		return nil, err
+	}
+	return ReadResponse(bufio.NewReader(conn))
+}
+
+// WriteResponse sends a response with the given status, headers and body.
+// Content-Length and Connection are managed automatically.
+func WriteResponse(w io.Writer, status int, header map[string]string, body []byte) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "HTTP/1.1 %d %s\r\n", status, StatusText(status))
+	for k, v := range header {
+		fmt.Fprintf(&b, "%s: %s\r\n", k, v)
+	}
+	fmt.Fprintf(&b, "Content-Length: %d\r\nConnection: close\r\n\r\n", len(body))
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// ReadResponse parses a response from the connection.
+func ReadResponse(br *bufio.Reader) (*Response, error) {
+	line, err := readLine(br)
+	if err != nil {
+		return nil, err
+	}
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/1.") {
+		return nil, fmt.Errorf("%w: bad status line %q", ErrMalformedResponse, line)
+	}
+	status, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad status code %q", ErrMalformedResponse, parts[1])
+	}
+	resp := &Response{StatusCode: status, Header: map[string]string{}}
+	if err := readHeaders(br, resp.Header); err != nil {
+		return nil, err
+	}
+	n := 0
+	if cl, ok := resp.Header["content-length"]; ok {
+		n, err = strconv.Atoi(cl)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("%w: bad content-length %q", ErrMalformedResponse, cl)
+		}
+		if n > maxBodyLen {
+			return nil, ErrBodyTooLarge
+		}
+	}
+	resp.Body = make([]byte, n)
+	if _, err := io.ReadFull(br, resp.Body); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+func readLine(br *bufio.Reader) (string, error) {
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	if len(line) > maxLineLen {
+		return "", ErrMalformedRequest
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+func readHeaders(br *bufio.Reader, into map[string]string) error {
+	for i := 0; i < maxHeaderLines; i++ {
+		line, err := readLine(br)
+		if err != nil {
+			return err
+		}
+		if line == "" {
+			return nil
+		}
+		k, v, ok := strings.Cut(line, ":")
+		if !ok {
+			return fmt.Errorf("%w: bad header line %q", ErrMalformedRequest, line)
+		}
+		into[strings.ToLower(strings.TrimSpace(k))] = strings.TrimSpace(v)
+	}
+	return fmt.Errorf("%w: too many header lines", ErrMalformedRequest)
+}
+
+// StatusText returns the reason phrase for the status codes the study uses.
+func StatusText(code int) string {
+	switch code {
+	case 200:
+		return "OK"
+	case 301:
+		return "Moved Permanently"
+	case 302:
+		return "Found"
+	case 307:
+		return "Temporary Redirect"
+	case 308:
+		return "Permanent Redirect"
+	case 404:
+		return "Not Found"
+	case 500:
+		return "Internal Server Error"
+	case 503:
+		return "Service Unavailable"
+	default:
+		return "Status"
+	}
+}
+
+// Get performs one GET over an established connection (plain or TLS) and
+// parses the response.
+func Get(conn net.Conn, host, path string) (*Response, error) {
+	if err := WriteRequest(conn, "GET", host, path); err != nil {
+		return nil, err
+	}
+	return ReadResponse(bufio.NewReader(conn))
+}

@@ -1,0 +1,167 @@
+package notify
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/scanner"
+	"repro/internal/world"
+)
+
+var testWorld = world.MustBuild(world.TestConfig())
+
+func scanWorld(t *testing.T, hosts []string) []scanner.Result {
+	t.Helper()
+	s := scanner.New(testWorld.Net, testWorld.DNS, testWorld.Class,
+		scanner.DefaultConfig(testWorld.Stores["apple"], testWorld.ScanTime))
+	return s.ScanAll(context.Background(), hosts)
+}
+
+func TestBuildReports(t *testing.T) {
+	results := scanWorld(t, testWorld.GovHosts)
+	reports := BuildReports(results, testWorld.CountryOf, nil)
+	if len(reports) < 50 {
+		t.Fatalf("reports for %d countries", len(reports))
+	}
+	totalInvalid := 0
+	for _, rep := range reports {
+		totalInvalid += len(rep.InvalidHTTPS)
+		for i := 1; i < len(rep.InvalidHTTPS); i++ {
+			if rep.InvalidHTTPS[i-1] >= rep.InvalidHTTPS[i] {
+				t.Fatal("report hosts unsorted or duplicated")
+			}
+		}
+	}
+	if totalInvalid == 0 {
+		t.Fatal("no invalid hosts in any report")
+	}
+}
+
+func TestCampaignAccounting(t *testing.T) {
+	results := scanWorld(t, testWorld.GovHosts)
+	reports := BuildReports(results, testWorld.CountryOf, nil)
+	c := Campaign(reports, rand.New(rand.NewSource(1)))
+	if c.EmailsSent == 0 {
+		t.Fatal("no emails sent")
+	}
+	if c.Delivered+c.Bounced-c.RetriedOK != c.EmailsSent {
+		t.Errorf("delivery accounting: sent=%d delivered=%d bounced=%d retried=%d",
+			c.EmailsSent, c.Delivered, c.Bounced, c.RetriedOK)
+	}
+	if c.Delivered == 0 || c.Delivered < c.EmailsSent*9/10 {
+		t.Errorf("delivered = %d of %d, want ~96%%", c.Delivered, c.EmailsSent)
+	}
+	// Paper: ~22% of registrars proactively replied.
+	rate := c.ResponseRate()
+	if rate < 0.10 || rate > 0.40 {
+		t.Errorf("response rate = %.2f, want ~0.22", rate)
+	}
+	if len(c.SkippedTerritories) < 20 {
+		t.Errorf("territories skipped = %d", len(c.SkippedTerritories))
+	}
+}
+
+func TestCampaignSkipsTerritories(t *testing.T) {
+	reports := []Report{
+		{Country: "pr", InvalidHTTPS: []string{"x.gov.pr"}}, // territory
+		{Country: "br", InvalidHTTPS: []string{"x.gov.br"}},
+	}
+	c := Campaign(reports, rand.New(rand.NewSource(2)))
+	if _, ok := c.Deliveries["pr"]; ok {
+		t.Error("campaign emailed a territory registrar")
+	}
+	if _, ok := c.Deliveries["br"]; !ok {
+		t.Error("campaign skipped a sovereign country")
+	}
+}
+
+func TestCampaignSkipsCleanCountries(t *testing.T) {
+	reports := []Report{{Country: "no"}} // empty report: nothing to disclose
+	c := Campaign(reports, rand.New(rand.NewSource(3)))
+	if c.EmailsSent != 0 {
+		t.Error("emailed a country with no findings")
+	}
+	if len(c.SkippedAllValid) != 1 || c.SkippedAllValid[0] != "no" {
+		t.Errorf("SkippedAllValid = %v", c.SkippedAllValid)
+	}
+}
+
+func TestResponsePatternByPopulation(t *testing.T) {
+	// Aggregate response rates over many trials: medium/small countries
+	// must respond more than the giants (Figure 13).
+	r := rand.New(rand.NewSource(4))
+	big := geo.MustByCode("cn")
+	medium := geo.MustByCode("se")
+	replies := func(c geo.Country) int {
+		n := 0
+		for i := 0; i < 400; i++ {
+			k := respond(c, r)
+			if k != NoResponse && k != AutoAck {
+				n++
+			}
+		}
+		return n
+	}
+	if rb, rm := replies(big), replies(medium); rb >= rm {
+		t.Errorf("China replies (%d) >= Sweden replies (%d); Figure 13 inverted", rb, rm)
+	}
+}
+
+func TestEffectivenessEndToEnd(t *testing.T) {
+	// Build an isolated world so remediation does not disturb the shared
+	// fixture.
+	w := world.MustBuild(world.Config{Seed: 11, Scale: 0.01})
+	s := scanner.New(w.Net, w.DNS, w.Class, scanner.DefaultConfig(w.Stores["apple"], w.ScanTime))
+	before := s.ScanAll(context.Background(), w.GovHosts)
+
+	var invalid []string
+	for i := range before {
+		if before[i].Category().IsInvalidHTTPS() {
+			invalid = append(invalid, before[i].Hostname)
+		}
+	}
+	if len(invalid) < 20 {
+		t.Skip("too few invalid hosts at this scale")
+	}
+	w.Remediate(invalid, world.DefaultRemediationRates(), rand.New(rand.NewSource(5)))
+
+	s2 := scanner.New(w.Net, w.DNS, w.Class, scanner.DefaultConfig(w.Stores["apple"], world.FollowUpScanTime))
+	after := s2.ScanAll(context.Background(), w.GovHosts)
+	eff, err := MeasureEffectiveness(before, after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff.PreviouslyInvalid != len(invalid) {
+		t.Errorf("previously invalid = %d, want %d", eff.PreviouslyInvalid, len(invalid))
+	}
+	cons := eff.ImprovementConservative()
+	opt := eff.ImprovementOptimistic()
+	if cons <= 0 || opt <= cons {
+		t.Errorf("improvement conservative=%.3f optimistic=%.3f", cons, opt)
+	}
+	// Paper: 8.3% conservative, 18.7% optimistic. Small worlds are noisy;
+	// check the band generously.
+	if cons < 0.02 || cons > 0.30 {
+		t.Errorf("conservative improvement = %.3f, want ~0.083", cons)
+	}
+	if eff.StillInvalid == 0 {
+		t.Error("remediation fixed everything; most hosts should stay broken")
+	}
+}
+
+func TestMeasureEffectivenessLengthMismatch(t *testing.T) {
+	if _, err := MeasureEffectiveness(make([]scanner.Result, 2), make([]scanner.Result, 3)); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestResponseKindStrings(t *testing.T) {
+	if Negative.String() != "negative" || !Redirected.Supportive() {
+		t.Error("response kind metadata wrong")
+	}
+	if Negative.Supportive() || NoResponse.Supportive() {
+		t.Error("non-supportive kinds misclassified")
+	}
+}

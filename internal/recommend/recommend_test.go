@@ -1,0 +1,140 @@
+package recommend_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/recommend"
+	"repro/internal/scanner"
+	"repro/internal/world"
+)
+
+var (
+	testWorld = world.MustBuild(world.TestConfig())
+	cached    []scanner.Result
+)
+
+func results(t *testing.T) []scanner.Result {
+	t.Helper()
+	if cached == nil {
+		s := scanner.New(testWorld.Net, testWorld.DNS, testWorld.Class,
+			scanner.DefaultConfig(testWorld.Stores["apple"], testWorld.ScanTime))
+		cached = s.ScanAll(context.Background(), testWorld.GovHosts)
+	}
+	return cached
+}
+
+func findings(t *testing.T) []recommend.Finding {
+	t.Helper()
+	hasCAA := func(h string) bool { return len(testWorld.DNS.LookupCAA(h)) > 0 }
+	shared := recommend.SharedKeyIDs(results(t))
+	return recommend.Evaluate(results(t), hasCAA, shared)
+}
+
+func countRule(fs []recommend.Finding, rule recommend.Rule) int {
+	hosts := map[string]bool{}
+	for _, f := range fs {
+		if f.Rule == rule {
+			hosts[f.Hostname] = true
+		}
+	}
+	return len(hosts)
+}
+
+func TestChecklistCoversWorld(t *testing.T) {
+	fs := findings(t)
+	if len(fs) == 0 {
+		t.Fatal("no findings")
+	}
+	// Every rule the world injects must fire somewhere.
+	for _, rule := range []recommend.Rule{
+		recommend.AdoptHTTPS, recommend.FixCertificate, recommend.EnforceUpgrade,
+		recommend.RetireWeakKey, recommend.RetireWeakSignature,
+		recommend.StopKeySharing, recommend.PublishCAA, recommend.EnableHSTS,
+		recommend.ShortenLifetime,
+	} {
+		if countRule(fs, rule) == 0 {
+			t.Errorf("rule %v never fired", rule)
+		}
+	}
+}
+
+func TestAdoptHTTPSDominates(t *testing.T) {
+	// ~60% of sites are http-only, so AdoptHTTPS is the biggest bucket.
+	sums := recommend.Summarize(findings(t))
+	if len(sums) == 0 {
+		t.Fatal("no summary")
+	}
+	if sums[0].Rule != recommend.AdoptHTTPS {
+		t.Errorf("top rule = %v, want adopt-https", sums[0].Rule)
+	}
+}
+
+func TestFindingsConsistentWithScan(t *testing.T) {
+	fs := findings(t)
+	res := results(t)
+	byHost := map[string]*scanner.Result{}
+	for i := range res {
+		byHost[res[i].Hostname] = &res[i]
+	}
+	for _, f := range fs {
+		r := byHost[f.Hostname]
+		if r == nil {
+			t.Fatalf("finding for unscanned host %q", f.Hostname)
+		}
+		switch f.Rule {
+		case recommend.AdoptHTTPS:
+			if r.HasHTTPS() {
+				t.Errorf("%s: adopt-https on an https host", f.Hostname)
+			}
+		case recommend.FixCertificate:
+			if r.ValidHTTPS() {
+				t.Errorf("%s: fix-certificate on a valid host", f.Hostname)
+			}
+		case recommend.EnableHSTS:
+			if r.HSTS || !r.ValidHTTPS() {
+				t.Errorf("%s: enable-hsts misfire", f.Hostname)
+			}
+		}
+	}
+}
+
+func TestSharedKeyIDs(t *testing.T) {
+	shared := recommend.SharedKeyIDs(results(t))
+	if len(shared) == 0 {
+		t.Fatal("no shared keys found; the world injects §5.3.3 reuse")
+	}
+}
+
+func TestByCountry(t *testing.T) {
+	grouped := recommend.ByCountry(findings(t), testWorld.CountryOf)
+	if len(grouped) < 100 {
+		t.Errorf("countries with findings = %d", len(grouped))
+	}
+	for cc, fs := range grouped {
+		for _, f := range fs {
+			if testWorld.CountryOf(f.Hostname) != cc {
+				t.Fatalf("finding for %s grouped under %s", f.Hostname, cc)
+			}
+		}
+	}
+}
+
+func TestRender(t *testing.T) {
+	out := recommend.Render(recommend.Summarize(findings(t)))
+	for _, want := range []string{"Recommendations", "adopt-https", "critical"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestSeverities(t *testing.T) {
+	if recommend.AdoptHTTPS.Severity() != 3 || recommend.EnableHSTS.Severity() != 1 {
+		t.Error("severity mapping wrong")
+	}
+	if recommend.RetireWeakKey.String() != "retire-weak-key" {
+		t.Error("rule naming wrong")
+	}
+}

@@ -1,0 +1,325 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/crawler"
+	"repro/internal/geo"
+	"repro/internal/notify"
+	"repro/internal/scanner"
+)
+
+// Table1 renders the top-million overlap table.
+func Table1(rows []analysis.OverlapRow) string {
+	t := newTable("Top K", "Majestic", "Cisco", "Tranco")
+	for _, r := range rows {
+		t.row(n(r.TopK), n(r.Majestic), n(r.Cisco), n(r.Tranco))
+	}
+	return section("Table 1: Overlap of Government Website Dataset With Public Top Millions") + t.String()
+}
+
+// Table2 renders the worldwide validity-and-error breakdown.
+func Table2(tab analysis.Table2) string {
+	t := newTable("Category", "Count", "%")
+	t.row("Total websites considered", n(tab.Total), "100")
+	t.row("> Content served on HTTP only", n(tab.HTTPOnly), pctStr(tab.PctOfTotal(tab.HTTPOnly)))
+	t.row("> Content served on HTTPS", n(tab.HTTPS), pctStr(tab.PctOfTotal(tab.HTTPS)))
+	t.row(">   Valid HTTPS Certificates", n(tab.Valid), pctStr(tab.PctOfHTTPS(tab.Valid)))
+	t.row(">   Invalid HTTPS Certificates", n(tab.Invalid), pctStr(tab.PctOfHTTPS(tab.Invalid)))
+	for _, cat := range tab.InvalidCategoriesSorted() {
+		count := tab.ByCategory[cat]
+		var share float64
+		if cat.IsException() {
+			share = tab.PctOfExceptions(count)
+		} else {
+			share = tab.PctOfInvalid(count)
+		}
+		t.row(">     "+cat.String(), n(count), pctStr(share))
+	}
+	t.row("> Serving both schemes, no upgrade", n(tab.BothSchemes), pctStr(tab.PctOfTotal(tab.BothSchemes)))
+	t.row("> Valid with HSTS", n(tab.HSTS), pctStr(tab.PctOfHTTPS(tab.HSTS)))
+	return section("Table 2: Worldwide govt. sites by https validity and error") + t.String()
+}
+
+// Figure1 renders the per-country choropleth data (top rows by host count).
+func Figure1(rows []analysis.CountryRow, topN int) string {
+	sorted := append([]analysis.CountryRow(nil), rows...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Hosts > sorted[j].Hosts })
+	if topN > 0 && topN < len(sorted) {
+		sorted = sorted[:topN]
+	}
+	t := newTable("Country", "Hosts", "Avail%", "HTTPS%", "Valid%")
+	for _, r := range sorted {
+		name := r.Country
+		if c, ok := geo.ByCode(r.Country); ok {
+			name = c.Name
+		}
+		t.row(name, n(r.Hosts), f1(r.AvailablePct()), f1(r.HTTPSPct()), f1(r.ValidPct()))
+	}
+	return section("Figure 1: Worldwide view of Government Websites (per-country)") + t.String()
+}
+
+// Issuers renders a CA validity figure (Figures 2, 8, 11).
+func Issuers(title string, stats []analysis.IssuerStats, topN int) string {
+	t := newTable("Issuer", "Total", "Valid", "Invalid", "Invalid%")
+	for _, s := range analysis.TopIssuers(stats, topN) {
+		t.row(s.Issuer, n(s.Total), n(s.Valid), n(s.Invalid), f1(s.InvalidPct()))
+	}
+	return section(title) + t.String()
+}
+
+// KeyAlgo renders the three panels of Figures 4/9/12.
+func KeyAlgo(title string, m analysis.KeyAlgoMatrix) string {
+	var b strings.Builder
+	b.WriteString(section(title))
+	panel := func(name string, cells []analysis.KeyCell) {
+		t := newTable(name, "Total", "Valid", "Valid%")
+		for _, c := range cells {
+			t.row(c.Label, n(c.Total), n(c.Valid), f1(c.ValidPct()))
+		}
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	panel("Host public key", m.ByHostKey)
+	panel("CA signing algorithm", m.BySigAlgo)
+	panel("Key / signing algorithm", m.Combined)
+	return b.String()
+}
+
+// Durations renders the §5.3.1 lifetime analysis (Figures 3/10).
+func Durations(title string, d analysis.DurationStats) string {
+	var b strings.Builder
+	b.WriteString(section(title))
+	t := newTable("Metric", "Value")
+	t.row("Valid certificates", n(len(d.ValidLifetimes)))
+	t.row("Invalid certificates", n(len(d.InvalidLifetimes)))
+	t.row("Max valid lifetime (days)", n(int(analysis.MaxLifetime(d.ValidLifetimes).Hours()/24)))
+	t.row("Max invalid lifetime (days)", n(int(analysis.MaxLifetime(d.InvalidLifetimes).Hours()/24)))
+	if len(d.InvalidLifetimes) > 0 {
+		t.row("Invalid under 2y", pctStr(100*float64(d.InvalidUnder2y)/float64(len(d.InvalidLifetimes))))
+		t.row("Invalid over 3y", pctStr(100*float64(d.InvalidOver3y)/float64(len(d.InvalidLifetimes))))
+		t.row("Invalid multiple of 365d", pctStr(100*float64(d.Mult365)/float64(len(d.InvalidLifetimes))))
+	}
+	for _, years := range []int{10, 20, 30, 50, 100} {
+		t.row(fmt.Sprintf("Issued for exactly %dy", years), n(d.Decades[years]))
+	}
+	t.row("Unix-epoch issue dates", n(d.EpochCerts))
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// Hosting renders a hosting-validity figure (Figures 5/A.1).
+func Hosting(title string, buckets []analysis.HostingBucket) string {
+	t := newTable("Hosting", "Total", "HTTPS", "Valid", "Valid% of total")
+	for _, b := range buckets {
+		t.row(b.Label, n(b.Total), n(b.HTTPS), n(b.Valid), f1(b.ValidPctOfTotal()))
+	}
+	return section(title) + t.String()
+}
+
+// RankComparison renders Figures 6 and 7.
+func RankComparison(rc analysis.RankComparison) string {
+	var b strings.Builder
+	b.WriteString(section("Figure 7: Valid https rate by top-million rank (50 bins)"))
+	summary := newTable("Series", "N", "Mean rank", "Std rank", "Valid%", "Slope/100k")
+	for _, s := range []analysis.RankSeries{rc.Gov, rc.Random, rc.Matched, rc.TopNonGov} {
+		slope := "n/a"
+		if s.FitErr == nil {
+			slope = fmt.Sprintf("%+.3f", s.Fit.Slope*100000)
+		}
+		summary.row(s.Name, n(s.N), f1(s.MeanRank), f1(s.StdRank), f1(100*s.ValidRate), slope)
+	}
+	b.WriteString(summary.String())
+	b.WriteByte('\n')
+
+	b.WriteString(section("Figure 6: Validity by hosting, gov vs non-gov top million"))
+	t := newTable("Series / hosting", "Total", "Valid", "Valid%")
+	for _, s := range []analysis.RankSeries{rc.Gov, rc.Random, rc.Matched, rc.TopNonGov} {
+		for _, h := range s.Hosting {
+			t.row(s.Name+" / "+h.Label, n(h.Total), n(h.Valid), f1(h.ValidPctOfTotal()))
+		}
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// RankBins renders the binned series of Figure 7 for plotting.
+func RankBins(rc analysis.RankComparison) string {
+	var b strings.Builder
+	b.WriteString(section("Figure 7 series: per-bin valid-https rates"))
+	t := newTable("Bin center", "Gov%", "Uniform%", "Matched%")
+	for i := range rc.Gov.Bins {
+		row := []string{f1(rc.Gov.Bins[i].Center)}
+		for _, s := range []analysis.RankSeries{rc.Gov, rc.Random, rc.Matched} {
+			if i < len(s.Bins) && s.Bins[i].Count > 0 {
+				row = append(row, f1(100*s.Bins[i].Rate))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.row(row...)
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// KeyReuse renders §5.3.3.
+func KeyReuse(s analysis.KeyReuseStats) string {
+	var b strings.Builder
+	b.WriteString(section("Section 5.3.3: Host public key pair reuse"))
+	t := newTable("Metric", "Value")
+	t.row("Certificates reused across >=2 hosts", n(len(s.Clusters)))
+	t.row("Cross-country reused certificates", n(len(s.CrossCountry)))
+	t.row("Hostnames in cross-country reuse", n(s.CrossCountryHosts))
+	t.row("Widest certificate (countries)", n(s.MaxCountrySpan()))
+	t.row("Valid cross-country reuse", n(s.ValidCrossCountry))
+	spans := make([]int, 0, len(s.ByCountrySpan))
+	for span := range s.ByCountrySpan {
+		spans = append(spans, span)
+	}
+	sort.Ints(spans)
+	for _, span := range spans {
+		t.row(fmt.Sprintf("Certificates shared by %d countries", span), n(s.ByCountrySpan[span]))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// Crawl renders Figure A.4.
+func Crawl(stats crawler.Stats) string {
+	t := newTable("Level", "Visited", "Discovered", "New unique", "New gov", "Cumulative", "Growth%")
+	for _, l := range stats.Levels {
+		t.row(n(l.Level), n(l.Visited), n(l.Discovered), n(l.NewUnique), n(l.NewGov), n(l.CumulativeUnique), f1(l.GrowthPct))
+	}
+	return section("Figure A.4: Crawler effectiveness per level") + t.String()
+}
+
+// CrossGov renders Figure A.5.
+func CrossGov(s analysis.CrossGovStats) string {
+	var b strings.Builder
+	b.WriteString(section("Figure A.5: Cross-government links"))
+	t := newTable("Metric", "Value")
+	t.row("Countries linking to other governments", n(len(s.OutDegree)))
+	t.row("Share linking to >=7 governments", pctStr(100*s.ShareLinkingAtLeast7))
+	t.row("Top linker", s.TopLinker)
+	t.row("Top linker out-degree", n(s.TopLinkerDegree))
+	t.row("Countries linked by >=50 governments", n(s.HeavilyLinked))
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// Campaign renders the §7.2 disclosure accounting and Figure 13's bands.
+func Campaign(c *notify.CampaignResult) string {
+	var b strings.Builder
+	b.WriteString(section("Section 7.2: Notification & disclosure"))
+	t := newTable("Metric", "Value")
+	t.row("Reports built", n(len(c.Reports)))
+	t.row("Emails sent", n(c.EmailsSent))
+	t.row("Delivered", n(c.Delivered))
+	t.row("Bounced (first attempt)", n(c.Bounced))
+	t.row("Recovered via admin contact", n(c.RetriedOK))
+	t.row("Automated acknowledgements", n(c.AutoAcks))
+	t.row("Supportive responses", n(c.Supportive))
+	t.row("Negative responses", n(c.Negative))
+	t.row("Response rate", pctStr(100*c.ResponseRate()))
+	t.row("Countries skipped (all https)", n(len(c.SkippedAllValid)))
+	t.row("Territories excluded", n(len(c.SkippedTerritories)))
+	b.WriteString(t.String())
+	b.WriteByte('\n')
+
+	b.WriteString(section("Figure 13: Response by country population rank"))
+	bands := newTable("Population rank band", "Contacted", "Replied", "Reply%")
+	type band struct {
+		lo, hi int
+	}
+	for _, bd := range []band{{1, 50}, {51, 100}, {101, 200}, {201, 400}} {
+		contacted, replied := 0, 0
+		for cc, d := range c.Deliveries {
+			rank, ok := geo.PopulationRank(cc)
+			if !ok || rank < bd.lo || rank > bd.hi || !d.Delivered {
+				continue
+			}
+			contacted++
+			if d.Response != notify.NoResponse && d.Response != notify.AutoAck {
+				replied++
+			}
+		}
+		rate := 0.0
+		if contacted > 0 {
+			rate = 100 * float64(replied) / float64(contacted)
+		}
+		bands.row(fmt.Sprintf("%d-%d", bd.lo, bd.hi), n(contacted), n(replied), f1(rate))
+	}
+	b.WriteString(bands.String())
+	return b.String()
+}
+
+// Effectiveness renders §7.2.2.
+func Effectiveness(e notify.Effectiveness) string {
+	t := newTable("Metric", "Value")
+	t.row("Previously invalid hosts re-scanned", n(e.PreviouslyInvalid))
+	t.row("Fixed", n(e.Fixed))
+	t.row("Now unreachable (removed)", n(e.Unreachable))
+	t.row("Still invalid", n(e.StillInvalid))
+	t.row("Improvement (conservative)", pctStr(100*e.ImprovementConservative()))
+	t.row("Improvement (optimistic)", pctStr(100*e.ImprovementOptimistic()))
+	return section("Section 7.2.2: Notification effectiveness") + t.String()
+}
+
+// CAA renders §5.3.4.
+func CAA(withCAA, valid, totalHosts int) string {
+	t := newTable("Metric", "Value")
+	t.row("Domains with CAA records", n(withCAA))
+	t.row("CAA record sets fully valid", n(valid))
+	if totalHosts > 0 {
+		t.row("Coverage", pctStr(100*float64(withCAA)/float64(totalHosts)))
+	}
+	return section("Section 5.3.4: CAA record adoption") + t.String()
+}
+
+// EV renders the EV statistics (§5.3 and Figures A.2/A.3/A.6 headers).
+func EV(s analysis.EVStats) string {
+	t := newTable("Metric", "Value")
+	t.row("Hosts analyzed (with issuer info)", n(s.Analyzed))
+	t.row("EV certificate hostnames", n(s.Hosts))
+	if s.Analyzed > 0 {
+		t.row("EV share", pctStr(100*float64(s.Hosts)/float64(s.Analyzed)))
+	}
+	t.row("Valid EV hosts", n(s.Valid))
+	return section("EV certificate usage") + t.String()
+}
+
+// CaseStudyDatasets renders the Table A.1-style per-dataset breakdown.
+type DatasetBreakdown struct {
+	Name string
+	Tab  analysis.Table2
+}
+
+// Datasets renders per-dataset Table 2 breakdowns (Tables A.1-A.4).
+func Datasets(title string, rows []DatasetBreakdown) string {
+	t := newTable("Dataset", "Total", "HTTP only", "HTTPS", "Valid", "Invalid", "Unavail")
+	for _, d := range rows {
+		t.row(d.Name, n(d.Tab.Total), n(d.Tab.HTTPOnly), n(d.Tab.HTTPS), n(d.Tab.Valid), n(d.Tab.Invalid), n(d.Tab.Unavailable))
+	}
+	return section(title) + t.String()
+}
+
+// Scan renders a one-line summary of a scan run (operational output).
+func Scan(results []scanner.Result, took time.Duration) string {
+	tab := analysis.ComputeTable2(results)
+	return fmt.Sprintf("scanned %d hosts in %v: %d available, %d http-only, %d https (%d valid, %d invalid)\n",
+		len(results), took.Round(time.Millisecond), tab.Total, tab.HTTPOnly, tab.HTTPS, tab.Valid, tab.Invalid)
+}
+
+// Table2WithTitle renders a Table 2-style breakdown under a custom title,
+// used for the per-dataset appendix tables.
+func Table2WithTitle(title string, tab analysis.Table2) string {
+	out := Table2(tab)
+	// Swap the canonical heading for the custom title.
+	i := strings.Index(out, "\n")
+	return section(title) + out[i+1:]
+}

@@ -1,0 +1,92 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/crawler"
+	"repro/internal/notify"
+	"repro/internal/scanner"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tab := newTable("A", "Count")
+	tab.row("first", "1")
+	tab.row("second-longer", "22")
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if len(lines[2]) != len(lines[3]) {
+		t.Errorf("rows unaligned:\n%s", out)
+	}
+	if !strings.HasPrefix(lines[0], "A") {
+		t.Errorf("header missing: %q", lines[0])
+	}
+}
+
+func TestTable2Rendering(t *testing.T) {
+	tab := analysis.Table2{
+		Total: 100, HTTPOnly: 60, HTTPS: 40, Valid: 28, Invalid: 12,
+		ByCategory: map[scanner.Category]int{
+			scanner.CatHostnameMismatch: 5,
+			scanner.CatExcSSLProto:      3,
+			scanner.CatSelfSigned:       4,
+		},
+		Exceptions: 3,
+	}
+	out := Table2(tab)
+	for _, want := range []string{"Total websites considered", "Hostname Mismatch", "Unsupported SSL Protocol", "100"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table2 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable1Rendering(t *testing.T) {
+	out := Table1([]analysis.OverlapRow{{TopK: 1000, Majestic: 56, Cisco: 0, Tranco: 30}})
+	if !strings.Contains(out, "Majestic") || !strings.Contains(out, "56") {
+		t.Errorf("Table1 output:\n%s", out)
+	}
+}
+
+func TestIssuersRendering(t *testing.T) {
+	stats := []analysis.IssuerStats{
+		{Issuer: "Let's Encrypt Authority X3", Total: 100, Valid: 80, Invalid: 20},
+		{Issuer: "Other CA", Total: 10, Valid: 5, Invalid: 5},
+	}
+	out := Issuers("Figure 2: Top Cert Issuers", stats, 1)
+	if !strings.Contains(out, "Let's Encrypt") {
+		t.Error("issuer missing")
+	}
+	if strings.Contains(out, "Other CA") {
+		t.Error("topN truncation ignored")
+	}
+}
+
+func TestCrawlRendering(t *testing.T) {
+	s := crawler.Stats{Levels: []crawler.LevelStats{
+		{Level: 0, NewUnique: 10, CumulativeUnique: 10},
+		{Level: 1, Visited: 10, Discovered: 25, NewUnique: 12, NewGov: 9, CumulativeUnique: 22, GrowthPct: 120},
+	}}
+	out := Crawl(s)
+	if !strings.Contains(out, "Figure A.4") || !strings.Contains(out, "120.0") {
+		t.Errorf("crawl render:\n%s", out)
+	}
+}
+
+func TestEffectivenessRendering(t *testing.T) {
+	out := Effectiveness(notify.Effectiveness{PreviouslyInvalid: 100, Fixed: 8, Unreachable: 10, StillInvalid: 82})
+	if !strings.Contains(out, "8.00%") || !strings.Contains(out, "18.00%") {
+		t.Errorf("effectiveness render:\n%s", out)
+	}
+}
+
+func TestCAARendering(t *testing.T) {
+	out := CAA(18, 18, 1300)
+	if !strings.Contains(out, "1.38%") {
+		t.Errorf("CAA render:\n%s", out)
+	}
+}

@@ -1,0 +1,122 @@
+package scanner
+
+import "repro/internal/verify"
+
+// Category buckets a scan result the way Table 2 does.
+type Category int
+
+// Table 2 categories.
+const (
+	CatUnavailable Category = iota
+	CatHTTPOnly
+	CatValid
+	CatHostnameMismatch
+	CatLocalIssuer
+	CatSelfSigned
+	CatSelfSignedChain
+	CatExpired
+	CatExcSSLProto
+	CatExcTimeout
+	CatExcRefused
+	CatExcReset
+	CatExcWrongVersion
+	CatExcAlertInternal
+	CatExcAlertHandshake
+	CatExcAlertProtoVersion
+	CatOther
+)
+
+var categoryNames = map[Category]string{
+	CatUnavailable:          "Unavailable",
+	CatHTTPOnly:             "Content served on HTTP only",
+	CatValid:                "Valid HTTPS Certificates",
+	CatHostnameMismatch:     "Hostname Mismatch",
+	CatLocalIssuer:          "Unable to get local issuer cert",
+	CatSelfSigned:           "Self-signed certificate",
+	CatSelfSignedChain:      "Self-signed certificate in chain",
+	CatExpired:              "Certificate Expired",
+	CatExcSSLProto:          "Unsupported SSL Protocol",
+	CatExcTimeout:           "Timed out",
+	CatExcRefused:           "Connection refused",
+	CatExcReset:             "Connection Reset by peer",
+	CatExcWrongVersion:      "Wrong SSL Version Number",
+	CatExcAlertInternal:     "TLSv1 Alert Internal Error",
+	CatExcAlertHandshake:    "SSLv3 Alert Handshake Failure",
+	CatExcAlertProtoVersion: "TLSv1 Alert Internal Proto. V.",
+	CatOther:                "Others",
+}
+
+// String names the category as in Table 2.
+func (c Category) String() string { return categoryNames[c] }
+
+// IsInvalidHTTPS reports whether the category counts toward "Invalid HTTPS
+// Certificates".
+func (c Category) IsInvalidHTTPS() bool {
+	switch c {
+	case CatUnavailable, CatHTTPOnly, CatValid:
+		return false
+	}
+	return true
+}
+
+// IsException reports whether the category belongs to the Exceptions block.
+func (c Category) IsException() bool {
+	switch c {
+	case CatExcSSLProto, CatExcTimeout, CatExcRefused, CatExcReset,
+		CatExcWrongVersion, CatExcAlertInternal, CatExcAlertHandshake,
+		CatExcAlertProtoVersion:
+		return true
+	}
+	return false
+}
+
+// Category classifies the result.
+func (r *Result) Category() Category {
+	if !r.Available {
+		return CatUnavailable
+	}
+	if !r.AttemptsHTTPS {
+		return CatHTTPOnly
+	}
+	if r.Exception != ExcNone {
+		switch r.Exception {
+		case ExcUnsupportedProtocol:
+			return CatExcSSLProto
+		case ExcTimeout:
+			return CatExcTimeout
+		case ExcRefused:
+			return CatExcRefused
+		case ExcReset:
+			return CatExcReset
+		case ExcWrongVersion:
+			return CatExcWrongVersion
+		case ExcAlertInternal:
+			return CatExcAlertInternal
+		case ExcAlertHandshake:
+			return CatExcAlertHandshake
+		case ExcAlertProtoVersion:
+			return CatExcAlertProtoVersion
+		default:
+			return CatOther
+		}
+	}
+	if len(r.Chain) == 0 {
+		return CatOther
+	}
+	switch r.Verify.Code {
+	case verify.OK:
+		return CatValid
+	case verify.HostnameMismatch:
+		return CatHostnameMismatch
+	case verify.UnableToGetLocalIssuer:
+		return CatLocalIssuer
+	case verify.SelfSignedLeaf:
+		return CatSelfSigned
+	case verify.SelfSignedInChain:
+		return CatSelfSignedChain
+	case verify.CertificateExpired, verify.CertificateNotYetValid:
+		return CatExpired
+	default:
+		return CatOther
+	}
+}

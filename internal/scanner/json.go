@@ -1,0 +1,84 @@
+package scanner
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Record is the flat, zgrab-style JSON export of a scan result, one object
+// per host, suitable for JSON-lines pipelines.
+type Record struct {
+	Hostname         string `json:"hostname"`
+	IP               string `json:"ip,omitempty"`
+	Available        bool   `json:"available"`
+	Category         string `json:"category"`
+	ServesHTTP       bool   `json:"serves_http"`
+	ServesHTTPS      bool   `json:"serves_https"`
+	RedirectsToHTTPS bool   `json:"redirects_to_https"`
+	HSTS             bool   `json:"hsts,omitempty"`
+	TLSVersion       string `json:"tls_version,omitempty"`
+	Issuer           string `json:"issuer,omitempty"`
+	Subject          string `json:"subject,omitempty"`
+	KeyType          string `json:"key_type,omitempty"`
+	KeyBits          int    `json:"key_bits,omitempty"`
+	SigAlgorithm     string `json:"sig_algorithm,omitempty"`
+	NotBefore        string `json:"not_before,omitempty"`
+	NotAfter         string `json:"not_after,omitempty"`
+	ValidationError  string `json:"validation_error,omitempty"`
+	Exception        string `json:"exception,omitempty"`
+	Provider         string `json:"provider,omitempty"`
+	HostKind         string `json:"hosting,omitempty"`
+	Attempts         int    `json:"attempts,omitempty"`
+}
+
+// ToRecord flattens a result.
+func (r *Result) ToRecord() Record {
+	rec := Record{
+		Hostname:         r.Hostname,
+		Available:        r.Available,
+		Category:         r.Category().String(),
+		ServesHTTP:       r.ServesHTTP,
+		ServesHTTPS:      r.ServesHTTPS,
+		RedirectsToHTTPS: r.RedirectsToHTTPS,
+		HSTS:             r.HSTS,
+		Provider:         r.Provider,
+		HostKind:         r.HostKind.String(),
+		Attempts:         r.Attempts,
+	}
+	if r.IP.IsValid() {
+		rec.IP = r.IP.String()
+	}
+	if r.TLSVersion != 0 {
+		rec.TLSVersion = r.TLSVersion.String()
+	}
+	if r.Exception != ExcNone {
+		rec.Exception = r.Exception.String()
+	}
+	if len(r.Chain) > 0 {
+		leaf := r.Chain[0]
+		rec.Issuer = leaf.Issuer.CommonName
+		rec.Subject = leaf.Subject.CommonName
+		rec.KeyType = leaf.PublicKey.Type.String()
+		rec.KeyBits = leaf.PublicKey.Bits
+		rec.SigAlgorithm = leaf.SignatureAlgorithm.String()
+		rec.NotBefore = leaf.NotBefore.Format(time.RFC3339)
+		rec.NotAfter = leaf.NotAfter.Format(time.RFC3339)
+		if !r.Verify.Valid() {
+			rec.ValidationError = r.Verify.Code.String()
+		}
+	}
+	return rec
+}
+
+// WriteJSONL streams results as JSON lines.
+func WriteJSONL(w io.Writer, results []Result) error {
+	enc := json.NewEncoder(w)
+	for i := range results {
+		if err := enc.Encode(results[i].ToRecord()); err != nil {
+			return fmt.Errorf("scanner: encoding %s: %w", results[i].Hostname, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,360 @@
+// Package scanner implements the measurement pipeline of §4.2.3: for every
+// hostname it resolves DNS, probes port 80 and port 443, performs the full
+// TLS handshake, retrieves the certificate chain together with the peer
+// certificate, validates the chain against the configured trust store, and
+// classifies failures into the paper's Table 2 taxonomy. Hosts failing to
+// connect are retried up to three times before being declared unavailable.
+package scanner
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"repro/internal/cert"
+	"repro/internal/dnssim"
+	"repro/internal/hosting"
+	"repro/internal/httpsim"
+	"repro/internal/simnet"
+	"repro/internal/tlssim"
+	"repro/internal/truststore"
+	"repro/internal/verify"
+)
+
+// Dialer abstracts the network (satisfied by *simnet.Network).
+type Dialer interface {
+	Dial(ctx context.Context, fromVantage string, ep netip.AddrPort) (net.Conn, error)
+}
+
+// Resolver abstracts DNS (satisfied by *dnssim.Zone).
+type Resolver interface {
+	LookupA(hostname string) ([]netip.Addr, error)
+}
+
+// Config tunes a scan.
+type Config struct {
+	// Vantage labels the scanning location (relevant to censorship).
+	Vantage string
+	// Concurrency bounds parallel host probes.
+	Concurrency int
+	// Retries is the number of re-attempts after connection failures; the
+	// paper used 3.
+	Retries int
+	// Timeout bounds each connection attempt.
+	Timeout time.Duration
+	// Store is the trust store chains are validated against; the paper's
+	// default is the conservative Apple-shaped store.
+	Store *truststore.Store
+	// Now is the scan time for certificate validity.
+	Now time.Time
+}
+
+// DefaultConfig mirrors the paper's scanning posture.
+func DefaultConfig(store *truststore.Store, now time.Time) Config {
+	return Config{
+		Vantage:     "lab",
+		Concurrency: 64,
+		Retries:     3,
+		Timeout:     5 * time.Second,
+		Store:       store,
+		Now:         now,
+	}
+}
+
+// Scanner probes hostnames over the (simulated) Internet.
+type Scanner struct {
+	Dialer   Dialer
+	Resolver Resolver
+	Class    *hosting.Classifier
+	Cfg      Config
+}
+
+// New assembles a scanner.
+func New(d Dialer, r Resolver, class *hosting.Classifier, cfg Config) *Scanner {
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 1
+	}
+	if class == nil {
+		class = hosting.DefaultClassifier()
+	}
+	return &Scanner{Dialer: d, Resolver: r, Class: class, Cfg: cfg}
+}
+
+// Exception classifies TLS/connection-level failures (the "Exceptions"
+// block of Table 2).
+type Exception int
+
+// Exception kinds.
+const (
+	ExcNone Exception = iota
+	ExcUnsupportedProtocol
+	ExcTimeout
+	ExcRefused
+	ExcReset
+	ExcWrongVersion
+	ExcAlertInternal
+	ExcAlertHandshake
+	ExcAlertProtoVersion
+	ExcOther
+)
+
+var excNames = map[Exception]string{
+	ExcNone:                "none",
+	ExcUnsupportedProtocol: "unsupported SSL protocol",
+	ExcTimeout:             "timed out",
+	ExcRefused:             "connection refused",
+	ExcReset:               "connection reset by peer",
+	ExcWrongVersion:        "wrong SSL version number",
+	ExcAlertInternal:       "TLSv1 alert internal error",
+	ExcAlertHandshake:      "SSLv3 alert handshake failure",
+	ExcAlertProtoVersion:   "TLSv1 alert internal protocol version",
+	ExcOther:               "other exception",
+}
+
+// String names the exception the way Table 2 does.
+func (e Exception) String() string { return excNames[e] }
+
+// Result is the outcome of scanning one hostname.
+type Result struct {
+	Hostname string
+	// IP is the first resolved A record (§5.4 uses the first address).
+	IP netip.Addr
+	// DNSError marks resolution failures.
+	DNSError bool
+	// Available means the host produced a 200 on http or https, or
+	// advertised an https upgrade.
+	Available bool
+	// ServesHTTP means a 200 over plain http.
+	ServesHTTP bool
+	// RedirectsToHTTPS means port 80 upgraded the client.
+	RedirectsToHTTPS bool
+	// AttemptsHTTPS means port 443 engaged at the TLS level or an upgrade
+	// pointed there.
+	AttemptsHTTPS bool
+	// ServesHTTPS means a 200 was retrieved over a completed handshake.
+	ServesHTTPS bool
+	// HSTS reports a Strict-Transport-Security header on the https reply.
+	HSTS bool
+	// TLSVersion is the negotiated protocol version, when the handshake
+	// completed.
+	TLSVersion tlssim.Version
+	// Chain is the retrieved certificate chain, leaf first.
+	Chain []*cert.Certificate
+	// Verify is the chain-validation outcome (valid when Chain non-nil).
+	Verify verify.Result
+	// Exception records TLS/connection-level failures on 443.
+	Exception Exception
+	// ExceptionDetail carries the underlying error text.
+	ExceptionDetail string
+	// Provider and HostKind classify the hosting of the resolved IP.
+	Provider string
+	HostKind hosting.Kind
+	// Attempts counts connection attempts made on port 443.
+	Attempts int
+}
+
+// HasHTTPS reports whether the host attempts https at all — the paper's
+// "content served on HTTPS" population includes hosts whose handshakes
+// fail.
+func (r *Result) HasHTTPS() bool { return r.AttemptsHTTPS }
+
+// ValidHTTPS reports a completed handshake with a fully valid chain.
+func (r *Result) ValidHTTPS() bool {
+	return len(r.Chain) > 0 && r.Verify.Valid()
+}
+
+// Scan probes a single hostname.
+func (s *Scanner) Scan(ctx context.Context, hostname string) Result {
+	res := Result{Hostname: hostname}
+	addrs, err := s.Resolver.LookupA(hostname)
+	if err != nil || len(addrs) == 0 {
+		res.DNSError = true
+		if errors.Is(err, dnssim.ErrServFail) {
+			res.ExceptionDetail = err.Error()
+		}
+		return res
+	}
+	res.IP = addrs[0]
+	res.Provider, res.HostKind = s.Class.Classify(res.IP)
+
+	s.probeHTTP(ctx, &res)
+	s.probeHTTPS(ctx, &res)
+
+	res.Available = res.ServesHTTP || res.ServesHTTPS || res.RedirectsToHTTPS ||
+		len(res.Chain) > 0 || res.Exception.ServerResponded()
+	return res
+}
+
+// ServerResponded reports whether the exception implies the server engaged
+// at the TLS layer (as opposed to connection-level silence), which makes
+// the host count as reachable in the paper's accounting.
+func (e Exception) ServerResponded() bool {
+	switch e {
+	case ExcUnsupportedProtocol, ExcWrongVersion, ExcAlertInternal,
+		ExcAlertHandshake, ExcAlertProtoVersion:
+		return true
+	}
+	return false
+}
+
+func (s *Scanner) probeHTTP(ctx context.Context, res *Result) {
+	conn, err := s.dialRetry(ctx, netip.AddrPortFrom(res.IP, 80), nil)
+	if err != nil {
+		return
+	}
+	defer conn.Close()
+	s.applyDeadline(conn)
+	resp, err := httpsim.Get(conn, res.Hostname, "/")
+	if err != nil {
+		return
+	}
+	switch {
+	case resp.StatusCode == 200:
+		res.ServesHTTP = true
+	case resp.IsRedirect():
+		loc := resp.Location()
+		if len(loc) >= 8 && loc[:8] == "https://" {
+			res.RedirectsToHTTPS = true
+			res.AttemptsHTTPS = true
+		}
+	}
+}
+
+func (s *Scanner) probeHTTPS(ctx context.Context, res *Result) {
+	conn, err := s.dialRetry(ctx, netip.AddrPortFrom(res.IP, 443), res)
+	if err != nil {
+		// Connection-level failure. A plain refusal with no upgrade hint
+		// means the host simply does not do https.
+		exc := classifyConnErr(err)
+		if exc == ExcRefused && !res.RedirectsToHTTPS {
+			return
+		}
+		res.AttemptsHTTPS = true
+		res.Exception = exc
+		res.ExceptionDetail = err.Error()
+		return
+	}
+	defer conn.Close()
+	s.applyDeadline(conn)
+
+	ccfg := tlssim.DefaultClientConfig(res.Hostname)
+	ccfg.HandshakeTimeout = s.Cfg.Timeout
+	tc, err := tlssim.ClientHandshake(conn, ccfg)
+	if err != nil {
+		res.AttemptsHTTPS = true
+		res.Exception, res.ExceptionDetail = classifyTLSErr(err)
+		return
+	}
+	res.AttemptsHTTPS = true
+	state := tc.ConnectionState()
+	res.TLSVersion = state.Version
+	res.Chain = state.Chain
+	res.Verify = (&verify.Verifier{Store: s.Cfg.Store, Now: s.Cfg.Now}).Verify(state.Chain, res.Hostname)
+
+	resp, err := httpsim.Get(tc, res.Hostname, "/")
+	if err == nil && resp.StatusCode == 200 {
+		res.ServesHTTPS = true
+		res.HSTS = resp.HSTS()
+	}
+}
+
+// dialRetry dials with the configured retry budget, mirroring the paper's
+// three re-queues on connection failure.
+func (s *Scanner) dialRetry(ctx context.Context, ep netip.AddrPort, res *Result) (net.Conn, error) {
+	var lastErr error
+	attempts := 1 + s.Cfg.Retries
+	for i := 0; i < attempts; i++ {
+		if res != nil {
+			res.Attempts++
+		}
+		dctx := ctx
+		var cancel context.CancelFunc
+		if s.Cfg.Timeout > 0 {
+			dctx, cancel = context.WithTimeout(ctx, s.Cfg.Timeout)
+		}
+		conn, err := s.Dialer.Dial(dctx, s.Cfg.Vantage, ep)
+		if cancel != nil {
+			cancel()
+		}
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+	}
+	return nil, lastErr
+}
+
+func (s *Scanner) applyDeadline(conn net.Conn) {
+	if s.Cfg.Timeout > 0 {
+		conn.SetDeadline(time.Now().Add(s.Cfg.Timeout))
+	}
+}
+
+func classifyConnErr(err error) Exception {
+	switch {
+	case simnet.IsTimeout(err):
+		return ExcTimeout
+	case simnet.IsRefused(err):
+		return ExcRefused
+	case simnet.IsReset(err):
+		return ExcReset
+	default:
+		return ExcOther
+	}
+}
+
+func classifyTLSErr(err error) (Exception, string) {
+	var alert tlssim.AlertError
+	switch {
+	case errors.Is(err, tlssim.ErrUnsupportedProtocol):
+		return ExcUnsupportedProtocol, err.Error()
+	case errors.Is(err, tlssim.ErrWrongVersionNumber):
+		return ExcWrongVersion, err.Error()
+	case errors.As(err, &alert):
+		switch {
+		case alert.Description == tlssim.AlertInternalError:
+			return ExcAlertInternal, alert.Error()
+		case alert.Description == tlssim.AlertHandshakeFailure:
+			return ExcAlertHandshake, alert.Error()
+		case alert.Description == tlssim.AlertProtocolVersion:
+			return ExcAlertProtoVersion, alert.Error()
+		}
+		return ExcOther, alert.Error()
+	case simnet.IsTimeout(err):
+		return ExcTimeout, err.Error()
+	case simnet.IsReset(err):
+		return ExcReset, err.Error()
+	case simnet.IsRefused(err):
+		return ExcRefused, err.Error()
+	default:
+		return ExcOther, err.Error()
+	}
+}
+
+// ScanAll probes every hostname with bounded concurrency, preserving input
+// order in the result slice.
+func (s *Scanner) ScanAll(ctx context.Context, hostnames []string) []Result {
+	results := make([]Result, len(hostnames))
+	sem := make(chan struct{}, s.Cfg.Concurrency)
+	var wg sync.WaitGroup
+	for i, h := range hostnames {
+		if ctx.Err() != nil {
+			break
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, h string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i] = s.Scan(ctx, h)
+		}(i, h)
+	}
+	wg.Wait()
+	return results
+}

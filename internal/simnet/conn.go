@@ -1,0 +1,164 @@
+package simnet
+
+import (
+	"io"
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+// pipeBuffer is one direction of an in-memory connection: a byte queue with
+// blocking reads, close semantics and deadline support.
+type pipeBuffer struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	buf      []byte
+	closed   bool  // no more writes will arrive
+	readErr  error // error overriding normal reads (e.g. reset)
+	deadline time.Time
+	timer    *time.Timer
+}
+
+func newPipeBuffer() *pipeBuffer {
+	b := &pipeBuffer{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *pipeBuffer) write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return 0, ErrConnClosed
+	}
+	b.buf = append(b.buf, p...)
+	b.cond.Broadcast()
+	return len(p), nil
+}
+
+func (b *pipeBuffer) read(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		if b.readErr != nil {
+			return 0, b.readErr
+		}
+		if len(b.buf) > 0 {
+			n := copy(p, b.buf)
+			b.buf = b.buf[n:]
+			return n, nil
+		}
+		if b.closed {
+			return 0, io.EOF
+		}
+		if !b.deadline.IsZero() && !time.Now().Before(b.deadline) {
+			return 0, os.ErrDeadlineExceeded
+		}
+		b.cond.Wait()
+	}
+}
+
+func (b *pipeBuffer) close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.closed = true
+	b.cond.Broadcast()
+}
+
+// fail makes all pending and future reads return err (connection reset).
+func (b *pipeBuffer) fail(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.readErr = err
+	b.cond.Broadcast()
+}
+
+func (b *pipeBuffer) setDeadline(t time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.deadline = t
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	if !t.IsZero() {
+		d := time.Until(t)
+		if d < 0 {
+			d = 0
+		}
+		b.timer = time.AfterFunc(d, func() {
+			b.mu.Lock()
+			b.cond.Broadcast()
+			b.mu.Unlock()
+		})
+	}
+	b.cond.Broadcast()
+}
+
+// Conn is an in-memory full-duplex connection implementing net.Conn.
+type Conn struct {
+	readBuf  *pipeBuffer // data written by the peer
+	writeBuf *pipeBuffer // data we write for the peer
+	local    net.Addr
+	remote   net.Addr
+
+	closeOnce sync.Once
+	peer      *Conn
+}
+
+// Pipe creates a connected pair of in-memory connections with the given
+// endpoint addresses.
+func Pipe(clientAddr, serverAddr net.Addr) (client, server *Conn) {
+	c2s := newPipeBuffer()
+	s2c := newPipeBuffer()
+	client = &Conn{readBuf: s2c, writeBuf: c2s, local: clientAddr, remote: serverAddr}
+	server = &Conn{readBuf: c2s, writeBuf: s2c, local: serverAddr, remote: clientAddr}
+	client.peer = server
+	server.peer = client
+	return client, server
+}
+
+// Read implements net.Conn.
+func (c *Conn) Read(p []byte) (int, error) { return c.readBuf.read(p) }
+
+// Write implements net.Conn.
+func (c *Conn) Write(p []byte) (int, error) { return c.writeBuf.write(p) }
+
+// Close implements net.Conn; it signals EOF to the peer.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() {
+		c.writeBuf.close()
+		c.readBuf.close()
+	})
+	return nil
+}
+
+// Reset aborts the connection: the peer's reads (and ours) fail with
+// ErrConnReset, modeling a TCP RST mid-handshake.
+func (c *Conn) Reset() {
+	c.writeBuf.fail(ErrConnReset)
+	c.readBuf.fail(ErrConnReset)
+}
+
+// LocalAddr implements net.Conn.
+func (c *Conn) LocalAddr() net.Addr { return c.local }
+
+// RemoteAddr implements net.Conn.
+func (c *Conn) RemoteAddr() net.Addr { return c.remote }
+
+// SetDeadline implements net.Conn.
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.readBuf.setDeadline(t)
+	return nil
+}
+
+// SetReadDeadline implements net.Conn.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.readBuf.setDeadline(t)
+	return nil
+}
+
+// SetWriteDeadline implements net.Conn. Writes to the in-memory buffer
+// never block, so the deadline is accepted and ignored.
+func (c *Conn) SetWriteDeadline(time.Time) error { return nil }

@@ -1,0 +1,259 @@
+// Package tlsprobe validates the study's scanning methodology against
+// genuine TLS: it mints real X.509 certificates (crypto/x509), serves them
+// over real crypto/tls listeners, performs full handshakes, retrieves peer
+// certificate chains, and classifies validation failures into the same
+// taxonomy the simulated pipeline uses. It is the bridge proving that the
+// measurement code paths exercised by the simulation correspond to real
+// TLS behaviour.
+package tlsprobe
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"errors"
+	"fmt"
+	"math/big"
+	"net"
+	"time"
+)
+
+// Code mirrors the verify package's primary outcomes for real chains.
+type Code int
+
+// Probe outcomes.
+const (
+	OK Code = iota
+	HostnameMismatch
+	UnknownAuthority
+	Expired
+	NotYetValid
+	HandshakeFailed
+	ConnectFailed
+)
+
+var codeNames = map[Code]string{
+	OK:               "ok",
+	HostnameMismatch: "hostname mismatch",
+	UnknownAuthority: "unable to get local issuer certificate",
+	Expired:          "certificate has expired",
+	NotYetValid:      "certificate is not yet valid",
+	HandshakeFailed:  "handshake failed",
+	ConnectFailed:    "connect failed",
+}
+
+// String names the outcome.
+func (c Code) String() string { return codeNames[c] }
+
+// Result is one probe outcome.
+type Result struct {
+	Code Code
+	// Chain is the peer chain retrieved during the handshake (leaf first),
+	// also populated when validation fails.
+	Chain []*x509.Certificate
+	// Version is the negotiated TLS version.
+	Version uint16
+	// Err is the underlying error for non-OK results.
+	Err error
+}
+
+// Valid reports a fully validated connection.
+func (r Result) Valid() bool { return r.Code == OK }
+
+// Probe connects to addr, handshakes with SNI serverName, retrieves the
+// chain without trusting it, then validates against roots — the same
+// retrieve-then-validate split the paper's pipeline uses (§4.3).
+func Probe(addr, serverName string, roots *x509.CertPool, at time.Time) Result {
+	conn, err := tls.Dial("tcp", addr, &tls.Config{
+		ServerName: serverName,
+		// Retrieval must succeed even for broken chains; validation
+		// happens explicitly below, like running openssl verify on a
+		// downloaded chain.
+		InsecureSkipVerify: true,
+		MinVersion:         tls.VersionTLS12,
+	})
+	if err != nil {
+		var nerr net.Error
+		if errors.As(err, &nerr) || errors.Is(err, errors.ErrUnsupported) {
+			return Result{Code: ConnectFailed, Err: err}
+		}
+		return Result{Code: HandshakeFailed, Err: err}
+	}
+	defer conn.Close()
+	state := conn.ConnectionState()
+	chain := state.PeerCertificates
+	res := Result{Chain: chain, Version: state.Version}
+	if len(chain) == 0 {
+		res.Code = HandshakeFailed
+		res.Err = errors.New("tlsprobe: no peer certificates")
+		return res
+	}
+	res.Code, res.Err = Validate(chain, serverName, roots, at)
+	return res
+}
+
+// Validate runs chain validation with OpenSSL-style error mapping.
+func Validate(chain []*x509.Certificate, serverName string, roots *x509.CertPool, at time.Time) (Code, error) {
+	leaf := chain[0]
+	inter := x509.NewCertPool()
+	for _, c := range chain[1:] {
+		inter.AddCert(c)
+	}
+	_, err := leaf.Verify(x509.VerifyOptions{
+		DNSName:       serverName,
+		Roots:         roots,
+		Intermediates: inter,
+		CurrentTime:   at,
+	})
+	if err == nil {
+		return OK, nil
+	}
+	var hostErr x509.HostnameError
+	var invErr x509.CertificateInvalidError
+	var authErr x509.UnknownAuthorityError
+	switch {
+	case errors.As(err, &hostErr):
+		return HostnameMismatch, err
+	case errors.As(err, &invErr):
+		switch invErr.Reason {
+		case x509.Expired:
+			if at.Before(leaf.NotBefore) {
+				return NotYetValid, err
+			}
+			return Expired, err
+		}
+		return HandshakeFailed, err
+	case errors.As(err, &authErr):
+		return UnknownAuthority, err
+	default:
+		return HandshakeFailed, err
+	}
+}
+
+// CA is a real certificate authority for tests and examples.
+type CA struct {
+	Cert *x509.Certificate
+	Key  *ecdsa.PrivateKey
+	// Pool contains just this CA, for Probe's roots argument.
+	Pool *x509.CertPool
+}
+
+// NewCA mints a self-signed ECDSA root.
+func NewCA(name string) (*CA, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber:          big.NewInt(1),
+		Subject:               pkix.Name{CommonName: name, Organization: []string{"govhttps test trust"}},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().AddDate(10, 0, 0),
+		IsCA:                  true,
+		KeyUsage:              x509.KeyUsageCertSign | x509.KeyUsageDigitalSignature,
+		BasicConstraintsValid: true,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, &key.PublicKey, key)
+	if err != nil {
+		return nil, err
+	}
+	certParsed, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, err
+	}
+	pool := x509.NewCertPool()
+	pool.AddCert(certParsed)
+	return &CA{Cert: certParsed, Key: key, Pool: pool}, nil
+}
+
+// Issue mints a leaf certificate for the hostnames with the given window.
+func (ca *CA) Issue(hostnames []string, notBefore, notAfter time.Time) (tls.Certificate, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return tls.Certificate{}, err
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber: big.NewInt(time.Now().UnixNano()),
+		Subject:      pkix.Name{CommonName: first(hostnames)},
+		DNSNames:     hostnames,
+		NotBefore:    notBefore,
+		NotAfter:     notAfter,
+		KeyUsage:     x509.KeyUsageDigitalSignature,
+		ExtKeyUsage:  []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, ca.Cert, &key.PublicKey, ca.Key)
+	if err != nil {
+		return tls.Certificate{}, err
+	}
+	return tls.Certificate{
+		Certificate: [][]byte{der, ca.Cert.Raw},
+		PrivateKey:  key,
+	}, nil
+}
+
+// SelfSigned mints a self-signed leaf outside any CA.
+func SelfSigned(hostnames []string, notBefore, notAfter time.Time) (tls.Certificate, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return tls.Certificate{}, err
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber:          big.NewInt(time.Now().UnixNano()),
+		Subject:               pkix.Name{CommonName: first(hostnames)},
+		DNSNames:              hostnames,
+		NotBefore:             notBefore,
+		NotAfter:              notAfter,
+		KeyUsage:              x509.KeyUsageDigitalSignature | x509.KeyUsageCertSign,
+		ExtKeyUsage:           []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+		BasicConstraintsValid: true,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, &key.PublicKey, key)
+	if err != nil {
+		return tls.Certificate{}, err
+	}
+	return tls.Certificate{Certificate: [][]byte{der}, PrivateKey: key}, nil
+}
+
+// Server runs a real TLS server on a loopback listener, serving the given
+// certificate. It returns the address and a stop function.
+func Server(cert tls.Certificate) (addr string, stop func(), err error) {
+	ln, err := tls.Listen("tcp", "127.0.0.1:0", &tls.Config{
+		Certificates: []tls.Certificate{cert},
+		MinVersion:   tls.VersionTLS12,
+	})
+	if err != nil {
+		return "", nil, fmt.Errorf("tlsprobe: listen: %w", err)
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				select {
+				case <-done:
+					return
+				default:
+					return
+				}
+			}
+			go func(c net.Conn) {
+				// Drive the handshake; the probe needs nothing more.
+				if tc, ok := c.(*tls.Conn); ok {
+					tc.Handshake()
+				}
+				c.Close()
+			}(conn)
+		}
+	}()
+	return ln.Addr().String(), func() { close(done); ln.Close() }, nil
+}
+
+func first(hostnames []string) string {
+	if len(hostnames) == 0 {
+		return "localhost"
+	}
+	return hostnames[0]
+}

@@ -1,0 +1,170 @@
+package tlsprobe
+
+import (
+	"crypto/tls"
+	"crypto/x509"
+	"testing"
+	"time"
+)
+
+func now() time.Time { return time.Now() }
+
+func serve(t *testing.T, cert tls.Certificate) string {
+	t.Helper()
+	addr, stop, err := Server(cert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(stop)
+	return addr
+}
+
+func TestProbeValidChain(t *testing.T) {
+	ca, err := NewCA("Probe Root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := ca.Issue([]string{"www.agency.gov"}, now().Add(-time.Hour), now().AddDate(0, 3, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := serve(t, cert)
+	res := Probe(addr, "www.agency.gov", ca.Pool, now())
+	if !res.Valid() {
+		t.Fatalf("probe = %v (%v)", res.Code, res.Err)
+	}
+	if len(res.Chain) != 2 {
+		t.Errorf("chain length = %d", len(res.Chain))
+	}
+	if res.Version < tls.VersionTLS12 {
+		t.Errorf("negotiated old TLS: %x", res.Version)
+	}
+}
+
+func TestProbeHostnameMismatch(t *testing.T) {
+	ca, _ := NewCA("Probe Root")
+	cert, _ := ca.Issue([]string{"other.agency.gov"}, now().Add(-time.Hour), now().AddDate(0, 3, 0))
+	addr := serve(t, cert)
+	res := Probe(addr, "www.agency.gov", ca.Pool, now())
+	if res.Code != HostnameMismatch {
+		t.Fatalf("probe = %v (%v), want hostname mismatch", res.Code, res.Err)
+	}
+	if len(res.Chain) == 0 {
+		t.Error("chain not retrieved despite invalid name")
+	}
+}
+
+func TestProbeWildcardSemantics(t *testing.T) {
+	// Real x509 wildcard matching must agree with the simulated
+	// verifier's: one label only (the §5.3.3 Bangladesh misuse fails).
+	ca, _ := NewCA("Probe Root")
+	cert, _ := ca.Issue([]string{"*.portal.gov.bd"}, now().Add(-time.Hour), now().AddDate(0, 3, 0))
+	addr := serve(t, cert)
+	if res := Probe(addr, "forms.portal.gov.bd", ca.Pool, now()); !res.Valid() {
+		t.Errorf("in-zone wildcard = %v (%v)", res.Code, res.Err)
+	}
+	if res := Probe(addr, "dhaka.gov.bd", ca.Pool, now()); res.Code != HostnameMismatch {
+		t.Errorf("out-of-zone wildcard = %v, want mismatch", res.Code)
+	}
+	if res := Probe(addr, "a.b.portal.gov.bd", ca.Pool, now()); res.Code != HostnameMismatch {
+		t.Errorf("two-label wildcard = %v, want mismatch", res.Code)
+	}
+}
+
+func TestProbeExpired(t *testing.T) {
+	ca, _ := NewCA("Probe Root")
+	cert, _ := ca.Issue([]string{"www.agency.gov"}, now().AddDate(-2, 0, 0), now().AddDate(-1, 0, 0))
+	addr := serve(t, cert)
+	res := Probe(addr, "www.agency.gov", ca.Pool, now())
+	if res.Code != Expired {
+		t.Fatalf("probe = %v (%v), want expired", res.Code, res.Err)
+	}
+}
+
+func TestProbeNotYetValid(t *testing.T) {
+	ca, _ := NewCA("Probe Root")
+	cert, _ := ca.Issue([]string{"www.agency.gov"}, now().AddDate(1, 0, 0), now().AddDate(2, 0, 0))
+	addr := serve(t, cert)
+	res := Probe(addr, "www.agency.gov", ca.Pool, now())
+	if res.Code != NotYetValid && res.Code != Expired {
+		t.Fatalf("probe = %v (%v), want not-yet-valid", res.Code, res.Err)
+	}
+}
+
+func TestProbeUnknownAuthority(t *testing.T) {
+	ca, _ := NewCA("Probe Root")
+	other, _ := NewCA("Unrelated Root")
+	cert, _ := ca.Issue([]string{"www.agency.gov"}, now().Add(-time.Hour), now().AddDate(0, 3, 0))
+	addr := serve(t, cert)
+	res := Probe(addr, "www.agency.gov", other.Pool, now())
+	if res.Code != UnknownAuthority {
+		t.Fatalf("probe = %v (%v), want unknown authority", res.Code, res.Err)
+	}
+}
+
+func TestProbeSelfSigned(t *testing.T) {
+	ca, _ := NewCA("Probe Root")
+	cert, err := SelfSigned([]string{"localhost"}, now().Add(-time.Hour), now().AddDate(1, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := serve(t, cert)
+	res := Probe(addr, "localhost", ca.Pool, now())
+	// Self-signed leaves surface as unknown authority under x509, the
+	// analogue of OpenSSL error 18/20.
+	if res.Code != UnknownAuthority {
+		t.Fatalf("probe = %v (%v), want unknown authority", res.Code, res.Err)
+	}
+	if len(res.Chain) != 1 {
+		t.Errorf("chain = %d certs", len(res.Chain))
+	}
+}
+
+func TestProbeConnectFailure(t *testing.T) {
+	ca, _ := NewCA("Probe Root")
+	res := Probe("127.0.0.1:1", "x.gov", ca.Pool, now())
+	if res.Valid() {
+		t.Fatal("probe of closed port succeeded")
+	}
+}
+
+func TestCodeStrings(t *testing.T) {
+	if OK.String() != "ok" {
+		t.Errorf("OK = %q", OK.String())
+	}
+	if UnknownAuthority.String() != "unable to get local issuer certificate" {
+		t.Errorf("UnknownAuthority = %q", UnknownAuthority.String())
+	}
+}
+
+func TestServerStopIdempotentEnough(t *testing.T) {
+	ca, _ := NewCA("Probe Root")
+	cert, _ := ca.Issue([]string{"x.gov"}, now().Add(-time.Hour), now().AddDate(0, 1, 0))
+	addr, stop, err := Server(cert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	// A probe after stop fails at connect.
+	res := Probe(addr, "x.gov", ca.Pool, now())
+	if res.Valid() {
+		t.Fatal("probe succeeded after server stop")
+	}
+}
+
+func TestValidateDirectly(t *testing.T) {
+	caRoot, _ := NewCA("Probe Root")
+	leafTLS, _ := caRoot.Issue([]string{"y.gov"}, now().Add(-time.Hour), now().AddDate(0, 1, 0))
+	leaf, err := x509.ParseCertificate(leafTLS.Certificate[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, verr := Validate([]*x509.Certificate{leaf, caRoot.Cert}, "y.gov", caRoot.Pool, now())
+	if code != OK || verr != nil {
+		t.Fatalf("Validate = %v, %v", code, verr)
+	}
+	code, _ = Validate([]*x509.Certificate{leaf, caRoot.Cert}, "z.gov", caRoot.Pool, now())
+	if code != HostnameMismatch {
+		t.Fatalf("Validate wrong host = %v", code)
+	}
+}

@@ -1,0 +1,299 @@
+package tlssim
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/cert"
+)
+
+// Quirk selects a server misbehaviour observed in the wild and reflected in
+// Table 2's exception rows.
+type Quirk int
+
+// Server misbehaviours.
+const (
+	// QuirkNone completes the handshake normally.
+	QuirkNone Quirk = iota
+	// QuirkSSLv2Only insists on SSLv2 regardless of the client's offer,
+	// producing the "unsupported SSL protocol" failure.
+	QuirkSSLv2Only
+	// QuirkWrongVersionNumber frames the ServerHello under a garbage
+	// record version ("wrong ssl version number").
+	QuirkWrongVersionNumber
+	// QuirkInternalErrorAlert aborts with a TLSv1 internal_error alert.
+	QuirkInternalErrorAlert
+	// QuirkHandshakeFailureAlert aborts with an SSLv3 handshake_failure
+	// alert.
+	QuirkHandshakeFailureAlert
+	// QuirkProtocolVersionAlert aborts with a TLSv1 protocol_version alert.
+	QuirkProtocolVersionAlert
+)
+
+// ServerConfig configures a simulated TLS server.
+type ServerConfig struct {
+	// Chain is served to clients, leaf first.
+	Chain []*cert.Certificate
+	// MinVersion and MaxVersion bound the versions the server accepts.
+	MinVersion, MaxVersion Version
+	// Quirk selects a misbehaviour; QuirkNone for a healthy server.
+	Quirk Quirk
+}
+
+// ClientConfig configures the scanning client.
+type ClientConfig struct {
+	// MinVersion and MaxVersion bound acceptable protocol versions. The
+	// study's scanner accepts SSLv3 through TLS 1.3, so SSLv2-only servers
+	// fail with ErrUnsupportedProtocol.
+	MinVersion, MaxVersion Version
+	// ServerName is the SNI value, also used for hostname verification by
+	// the caller.
+	ServerName string
+	// HandshakeTimeout bounds the handshake when positive.
+	HandshakeTimeout time.Duration
+}
+
+// ConnectionState describes a completed handshake.
+type ConnectionState struct {
+	// Version is the negotiated protocol version.
+	Version Version
+	// Chain is the certificate chain the server presented, leaf first.
+	Chain []*cert.Certificate
+	// ServerName echoes the SNI sent by the client.
+	ServerName string
+}
+
+// Conn is a handshaken connection carrying application data records.
+// It implements net.Conn.
+type Conn struct {
+	raw      net.Conn
+	br       *bufio.Reader
+	state    ConnectionState
+	readRest []byte
+}
+
+// ConnectionState returns the negotiated parameters.
+func (c *Conn) ConnectionState() ConnectionState { return c.state }
+
+// Read implements net.Conn, delivering application-data payload bytes.
+func (c *Conn) Read(p []byte) (int, error) {
+	for len(c.readRest) == 0 {
+		typ, _, payload, err := readRecord(c.br)
+		if err != nil {
+			return 0, err
+		}
+		switch typ {
+		case recordAppData:
+			c.readRest = payload
+		case recordAlert:
+			if len(payload) >= 2 {
+				return 0, AlertError{ProtocolVersion: c.state.Version, Description: payload[1]}
+			}
+			return 0, ErrHandshakeState
+		default:
+			return 0, ErrHandshakeState
+		}
+	}
+	n := copy(p, c.readRest)
+	c.readRest = c.readRest[n:]
+	return n, nil
+}
+
+// Write implements net.Conn, framing p as application data.
+func (c *Conn) Write(p []byte) (int, error) {
+	const chunk = 16 * 1024
+	written := 0
+	for len(p) > 0 {
+		n := len(p)
+		if n > chunk {
+			n = chunk
+		}
+		if err := writeRecord(c.raw, recordAppData, c.state.Version, p[:n]); err != nil {
+			return written, err
+		}
+		written += n
+		p = p[n:]
+	}
+	return written, nil
+}
+
+// Close implements net.Conn.
+func (c *Conn) Close() error { return c.raw.Close() }
+
+// LocalAddr implements net.Conn.
+func (c *Conn) LocalAddr() net.Addr { return c.raw.LocalAddr() }
+
+// RemoteAddr implements net.Conn.
+func (c *Conn) RemoteAddr() net.Addr { return c.raw.RemoteAddr() }
+
+// SetDeadline implements net.Conn.
+func (c *Conn) SetDeadline(t time.Time) error { return c.raw.SetDeadline(t) }
+
+// SetReadDeadline implements net.Conn.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.raw.SetReadDeadline(t) }
+
+// SetWriteDeadline implements net.Conn.
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.raw.SetWriteDeadline(t) }
+
+// ClientHandshake performs the client side of the handshake over raw.
+// On success it returns a connection ready for application data.
+func ClientHandshake(raw net.Conn, cfg *ClientConfig) (*Conn, error) {
+	if cfg.HandshakeTimeout > 0 {
+		raw.SetDeadline(time.Now().Add(cfg.HandshakeTimeout))
+		defer raw.SetDeadline(time.Time{})
+	}
+	hello := clientHello{MinVersion: cfg.MinVersion, MaxVersion: cfg.MaxVersion, ServerName: cfg.ServerName}
+	if err := writeRecord(raw, recordHandshake, cfg.MaxVersion, hello.marshal()); err != nil {
+		return nil, fmt.Errorf("tlssim: sending ClientHello: %w", err)
+	}
+	br := bufio.NewReader(raw)
+
+	// ServerHello.
+	typ, recVer, payload, err := readRecord(br)
+	if err != nil {
+		return nil, fmt.Errorf("tlssim: reading ServerHello: %w", err)
+	}
+	if !knownVersion(recVer) {
+		return nil, ErrWrongVersionNumber
+	}
+	if typ == recordAlert {
+		if len(payload) >= 2 {
+			return nil, AlertError{ProtocolVersion: recVer, Description: payload[1]}
+		}
+		return nil, ErrHandshakeState
+	}
+	if typ != recordHandshake {
+		return nil, ErrHandshakeState
+	}
+	sh, err := parseServerHello(payload)
+	if err != nil {
+		return nil, err
+	}
+	if sh.Version < cfg.MinVersion || sh.Version > cfg.MaxVersion {
+		return nil, ErrUnsupportedProtocol
+	}
+
+	// Certificate.
+	typ, _, payload, err = readRecord(br)
+	if err != nil {
+		return nil, fmt.Errorf("tlssim: reading Certificate: %w", err)
+	}
+	if typ != recordHandshake || len(payload) < 1 || payload[0] != msgCertificate {
+		return nil, ErrHandshakeState
+	}
+	chain, err := cert.ParseChain(payload[1:])
+	if err != nil {
+		return nil, fmt.Errorf("tlssim: parsing certificate chain: %w", err)
+	}
+
+	// Finished.
+	typ, _, payload, err = readRecord(br)
+	if err != nil {
+		return nil, fmt.Errorf("tlssim: reading Finished: %w", err)
+	}
+	if typ != recordHandshake || len(payload) < 1 || payload[0] != msgFinished {
+		return nil, ErrHandshakeState
+	}
+
+	return &Conn{
+		raw: raw,
+		br:  br,
+		state: ConnectionState{
+			Version:    sh.Version,
+			Chain:      chain,
+			ServerName: cfg.ServerName,
+		},
+	}, nil
+}
+
+// ServerHandshake performs the server side of the handshake over raw,
+// applying the configured quirk.
+func ServerHandshake(raw net.Conn, cfg *ServerConfig) (*Conn, error) {
+	br := bufio.NewReader(raw)
+	typ, _, payload, err := readRecord(br)
+	if err != nil {
+		return nil, fmt.Errorf("tlssim: reading ClientHello: %w", err)
+	}
+	if typ != recordHandshake {
+		return nil, ErrHandshakeState
+	}
+	ch, err := parseClientHello(payload)
+	if err != nil {
+		return nil, err
+	}
+
+	switch cfg.Quirk {
+	case QuirkInternalErrorAlert:
+		writeRecord(raw, recordAlert, TLS1_0, []byte{2, AlertInternalError})
+		return nil, AlertError{ProtocolVersion: TLS1_0, Description: AlertInternalError}
+	case QuirkHandshakeFailureAlert:
+		writeRecord(raw, recordAlert, SSLv3, []byte{2, AlertHandshakeFailure})
+		return nil, AlertError{ProtocolVersion: SSLv3, Description: AlertHandshakeFailure}
+	case QuirkProtocolVersionAlert:
+		writeRecord(raw, recordAlert, TLS1_0, []byte{2, AlertProtocolVersion})
+		return nil, AlertError{ProtocolVersion: TLS1_0, Description: AlertProtocolVersion}
+	}
+
+	version := negotiate(ch, cfg)
+	recVersion := version
+	if cfg.Quirk == QuirkWrongVersionNumber {
+		recVersion = Version(0x4a4a) // garbage record version
+	}
+	if err := writeRecord(raw, recordHandshake, recVersion, serverHello{Version: version}.marshal()); err != nil {
+		return nil, err
+	}
+	if cfg.Quirk == QuirkWrongVersionNumber {
+		// The client will abort after the malformed record.
+		return nil, ErrWrongVersionNumber
+	}
+	if cfg.Quirk == QuirkSSLv2Only {
+		// The client rejects the SSLv2 selection; nothing more to send.
+		return nil, ErrUnsupportedProtocol
+	}
+
+	certMsg := append([]byte{msgCertificate}, cert.EncodeChain(cfg.Chain)...)
+	if err := writeRecord(raw, recordHandshake, version, certMsg); err != nil {
+		return nil, err
+	}
+	if err := writeRecord(raw, recordHandshake, version, []byte{msgFinished}); err != nil {
+		return nil, err
+	}
+	return &Conn{
+		raw: raw,
+		br:  br,
+		state: ConnectionState{
+			Version:    version,
+			Chain:      cfg.Chain,
+			ServerName: ch.ServerName,
+		},
+	}, nil
+}
+
+// negotiate picks the protocol version the server answers with.
+func negotiate(ch clientHello, cfg *ServerConfig) Version {
+	if cfg.Quirk == QuirkSSLv2Only {
+		return SSLv2
+	}
+	v := cfg.MaxVersion
+	if ch.MaxVersion < v {
+		v = ch.MaxVersion
+	}
+	if v < cfg.MinVersion {
+		// No overlap: the server still answers with its minimum, which the
+		// client will reject as unsupported.
+		v = cfg.MinVersion
+	}
+	return v
+}
+
+// DefaultClientConfig returns the scanner's client settings: SSLv3 through
+// TLS 1.3, mirroring the permissive probing posture of the study's scans.
+func DefaultClientConfig(serverName string) *ClientConfig {
+	return &ClientConfig{
+		MinVersion: SSLv3,
+		MaxVersion: TLS1_3,
+		ServerName: serverName,
+	}
+}

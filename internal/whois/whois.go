@@ -1,0 +1,160 @@
+// Package whois implements the RFC 3912-style whois service the disclosure
+// campaign relied on (§7.2): the authors performed whois queries on the
+// country registrars to find listed technical contacts. The server speaks
+// the classic protocol — one query line, a free-form text response, close —
+// over the simulated network on port 43.
+package whois
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Dialer abstracts the network (satisfied by *simnet.Network); declared
+// locally so whois stays independent of the scanner.
+type Dialer interface {
+	Dial(ctx context.Context, fromVantage string, ep netip.AddrPort) (net.Conn, error)
+}
+
+// Record is one registrar's public registration data.
+type Record struct {
+	// Domain is the registry suffix the record answers for, e.g. "gov.br".
+	Domain string
+	// Registrar names the operating organization.
+	Registrar string
+	// TechEmail is the listed technical contact.
+	TechEmail string
+	// AdminEmail is the listed administrative contact.
+	AdminEmail string
+	// Country is the ISO code.
+	Country string
+}
+
+// Render formats the record the way classic whois servers do.
+func (r Record) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Domain Name: %s\n", strings.ToUpper(r.Domain))
+	fmt.Fprintf(&b, "Registrar: %s\n", r.Registrar)
+	fmt.Fprintf(&b, "Registrar Country: %s\n", strings.ToUpper(r.Country))
+	fmt.Fprintf(&b, "Tech Email: %s\n", r.TechEmail)
+	fmt.Fprintf(&b, "Admin Email: %s\n", r.AdminEmail)
+	return b.String()
+}
+
+// ErrNoMatch is returned when no record covers the queried domain.
+var ErrNoMatch = errors.New("whois: no match")
+
+// Server answers whois queries from a record database.
+type Server struct {
+	mu      sync.RWMutex
+	records map[string]Record // keyed by suffix
+}
+
+// NewServer creates an empty server.
+func NewServer() *Server {
+	return &Server{records: make(map[string]Record)}
+}
+
+// Add registers a record for a registry suffix.
+func (s *Server) Add(r Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.records[strings.ToLower(r.Domain)] = r
+}
+
+// Lookup finds the record for the longest suffix of the queried domain.
+func (s *Server) Lookup(domain string) (Record, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d := strings.ToLower(strings.TrimSuffix(domain, "."))
+	labels := strings.Split(d, ".")
+	for i := 0; i < len(labels); i++ {
+		suffix := strings.Join(labels[i:], ".")
+		if rec, ok := s.records[suffix]; ok {
+			return rec, nil
+		}
+	}
+	return Record{}, fmt.Errorf("%w for %q", ErrNoMatch, domain)
+}
+
+// Records lists every record sorted by suffix.
+func (s *Server) Records() []Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Record, 0, len(s.records))
+	for _, r := range s.records {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Domain < out[j].Domain })
+	return out
+}
+
+// Handle serves one whois connection: read the query line, write the
+// response, close — RFC 3912's entire state machine.
+func (s *Server) Handle(conn net.Conn) {
+	defer conn.Close()
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		return
+	}
+	query := strings.TrimSpace(line)
+	rec, err := s.Lookup(query)
+	if err != nil {
+		fmt.Fprintf(conn, "No match for %q.\n", query)
+		return
+	}
+	fmt.Fprint(conn, rec.Render())
+}
+
+// Query performs a whois lookup over the network and parses the response.
+func Query(ctx context.Context, d Dialer, vantage string, server netip.AddrPort, domain string) (Record, error) {
+	conn, err := d.Dial(ctx, vantage, server)
+	if err != nil {
+		return Record{}, err
+	}
+	defer conn.Close()
+	if _, err := fmt.Fprintf(conn, "%s\r\n", domain); err != nil {
+		return Record{}, err
+	}
+	sc := bufio.NewScanner(conn)
+	rec := Record{}
+	matched := false
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "No match") {
+			return Record{}, fmt.Errorf("%w for %q", ErrNoMatch, domain)
+		}
+		k, v, ok := strings.Cut(line, ":")
+		if !ok {
+			continue
+		}
+		v = strings.TrimSpace(v)
+		switch strings.ToLower(strings.TrimSpace(k)) {
+		case "domain name":
+			rec.Domain = strings.ToLower(v)
+			matched = true
+		case "registrar":
+			rec.Registrar = v
+		case "registrar country":
+			rec.Country = strings.ToLower(v)
+		case "tech email":
+			rec.TechEmail = v
+		case "admin email":
+			rec.AdminEmail = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Record{}, err
+	}
+	if !matched {
+		return Record{}, fmt.Errorf("%w for %q", ErrNoMatch, domain)
+	}
+	return rec, nil
+}

@@ -1,0 +1,82 @@
+package whois_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/whois"
+	"repro/internal/world"
+)
+
+func testServer() *whois.Server {
+	s := whois.NewServer()
+	s.Add(whois.Record{Domain: "gov.br", Registrar: "Registro.br", TechEmail: "tech@registro.br", AdminEmail: "admin@registro.br", Country: "br"})
+	s.Add(whois.Record{Domain: "gouv.fr", Registrar: "AFNIC", TechEmail: "tech@afnic.fr", AdminEmail: "admin@afnic.fr", Country: "fr"})
+	return s
+}
+
+func TestLookupLongestSuffix(t *testing.T) {
+	s := testServer()
+	rec, err := s.Lookup("deep.sub.agency.gov.br")
+	if err != nil || rec.Country != "br" {
+		t.Fatalf("rec=%+v err=%v", rec, err)
+	}
+	if _, err := s.Lookup("example.com"); !errors.Is(err, whois.ErrNoMatch) {
+		t.Fatalf("err = %v, want no match", err)
+	}
+}
+
+func TestRecordsSorted(t *testing.T) {
+	recs := testServer().Records()
+	if len(recs) != 2 || recs[0].Domain != "gouv.fr" {
+		t.Fatalf("records = %v", recs)
+	}
+}
+
+func TestQueryOverWorld(t *testing.T) {
+	w := world.MustBuild(world.TestConfig())
+	ctx := context.Background()
+	rec, err := whois.Query(ctx, w.Net, "lab", world.WhoisAddr, "health.gov.br")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Country != "br" || rec.TechEmail == "" {
+		t.Errorf("rec = %+v", rec)
+	}
+	// The US special TLDs resolve too.
+	rec, err = whois.Query(ctx, w.Net, "lab", world.WhoisAddr, "nih.gov")
+	if err != nil || rec.Country != "us" {
+		t.Errorf("nih.gov rec = %+v err=%v", rec, err)
+	}
+	// Unknown registries return no match.
+	if _, err := whois.Query(ctx, w.Net, "lab", world.WhoisAddr, "example.zz"); !errors.Is(err, whois.ErrNoMatch) {
+		t.Errorf("err = %v, want no match", err)
+	}
+}
+
+func TestRenderParsesBack(t *testing.T) {
+	s := testServer()
+	rec, _ := s.Lookup("x.gouv.fr")
+	rendered := rec.Render()
+	if rendered == "" {
+		t.Fatal("empty render")
+	}
+	// A minimal parse of our own rendering (what Query does over the wire).
+	if want := "Registrar: AFNIC\n"; !contains(rendered, want) {
+		t.Errorf("render missing %q:\n%s", want, rendered)
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(s) > 0 && indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

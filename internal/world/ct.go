@@ -1,0 +1,77 @@
+package world
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/cert"
+	"repro/internal/ctlog"
+)
+
+// buildCT populates the world's certificate-transparency log. CA-issued
+// certificates are submitted with high probability — but not certainty:
+// §2.2 notes that even the largest CT view misses about 10% of certificates
+// in the com/net/org zones, and that the government-zone gap was unmeasured.
+// Self-signed and internal-CA chains never reach the log, exactly as in the
+// real ecosystem. The phishing lookalikes registered in DNS are logged too,
+// which is what makes the §7.3.2 certwatch monitoring possible.
+func (w *World) buildCT(r *rand.Rand) {
+	log := ctlog.New("govhttps-observatory")
+	hosts := make([]string, 0, len(w.Sites))
+	for h := range w.Sites {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+	seen := map[[32]byte]bool{}
+	for _, h := range hosts {
+		s := w.Sites[h]
+		if len(s.Chain) == 0 {
+			continue
+		}
+		leaf := s.Chain[0]
+		if leaf.SelfSigned() || s.Issuer == "" {
+			continue // never submitted to CT
+		}
+		if _, distrusted := w.CAs.Lookup(s.Issuer); !distrusted {
+			// Internal/unknown issuers do not log either. (Distrusted real
+			// CAs such as the NPKI sub-CAs did log historically.)
+			if _, known := w.CAs.Lookup(leaf.Issuer.CommonName); !known {
+				continue
+			}
+		}
+		fp := leaf.Fingerprint()
+		if seen[fp] {
+			continue
+		}
+		seen[fp] = true
+		// The ~10% blind spot covers the legacy government estate; the
+		// spoof sites (Country == "") are fresh Let's Encrypt issuances,
+		// which always reach the logs — that is what makes §7.3.2's
+		// monitoring possible.
+		if s.Country != "" && r.Float64() < 0.10 {
+			continue
+		}
+		log.Append(leaf, leaf.NotBefore.Add(time.Minute))
+	}
+	w.CT = log
+}
+
+// GovLeafCerts returns the distinct leaf certificates served by worldwide
+// government hosts, for CT-coverage measurement.
+func (w *World) GovLeafCerts() []*cert.Certificate {
+	seen := map[[32]byte]bool{}
+	var out []*cert.Certificate
+	for _, h := range w.GovHosts {
+		s := w.Sites[h]
+		if len(s.Chain) == 0 {
+			continue
+		}
+		fp := s.Chain[0].Fingerprint()
+		if !seen[fp] {
+			seen[fp] = true
+			out = append(out, s.Chain[0])
+		}
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package world
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// buildLinks assigns each worldwide government site a crawl depth and wires
+// the hyperlink graph the crawler walks (§4.2.2, Figure A.4): seeds sit at
+// depth 0, discovery grows through depth 5 and tapers at 6-7. Cross-
+// government links (§7.3.3, Figure A.5) and non-government links (filtered
+// by the crawler) are sprinkled on top.
+func (w *World) buildLinks(r *rand.Rand) {
+	// Depth shares of the non-seed population: growth declines after
+	// level 5 (Figure A.4).
+	depthShare := []float64{0.16, 0.20, 0.22, 0.18, 0.14, 0.06, 0.04}
+
+	var allSeeds []string
+	for _, cc := range w.sortedCountries() {
+		hosts := append([]string(nil), w.ByCountry[cc]...)
+		sort.Strings(hosts)
+		r.Shuffle(len(hosts), func(i, j int) { hosts[i], hosts[j] = hosts[j], hosts[i] })
+
+		// ~20.3% of the worldwide list is in the merged seed (27,532 of
+		// 135,408); every country keeps at least one seed so the crawler
+		// can reach it.
+		nSeed := int(float64(len(hosts))*0.203 + 0.5)
+		if nSeed < 1 {
+			nSeed = 1
+		}
+		levels := make([][]string, 8)
+		levels[0] = hosts[:nSeed]
+		rest := hosts[nSeed:]
+		idx := 0
+		for d := 1; d <= 7 && idx < len(rest); d++ {
+			n := int(float64(len(rest))*depthShare[d-1] + 0.5)
+			if d == 7 {
+				n = len(rest) - idx
+			}
+			if idx+n > len(rest) {
+				n = len(rest) - idx
+			}
+			levels[d] = rest[idx : idx+n]
+			idx += n
+		}
+
+		// Record each site's discovery depth.
+		for d, lv := range levels {
+			for _, h := range lv {
+				w.Sites[h].Depth = d
+			}
+		}
+		// Wire each level to the next: every depth-(d+1) site is linked
+		// from at least one site of the closest populated shallower level.
+		for d := 0; d < 7; d++ {
+			parents, children := levels[d], levels[d+1]
+			if len(parents) == 0 {
+				for dd := d - 1; dd >= 0; dd-- {
+					if len(levels[dd]) > 0 {
+						parents = levels[dd]
+						break
+					}
+				}
+			}
+			if len(parents) == 0 {
+				continue
+			}
+			for i, child := range children {
+				parent := w.Sites[parents[i%len(parents)]]
+				parent.Links = append(parent.Links, child)
+			}
+		}
+		allSeeds = append(allSeeds, levels[0]...)
+		// A few intra-country lateral links and links to unreachable
+		// hostnames (the "still linked but gone" population of §7.2).
+		for i := 0; i < len(hosts)/10; i++ {
+			a := w.Sites[hosts[r.Intn(len(hosts))]]
+			a.Links = append(a.Links, hosts[r.Intn(len(hosts))])
+		}
+	}
+	w.SeedHosts = allSeeds
+
+	w.addCrossGovernmentLinks(r)
+	w.addNoise(r)
+}
+
+// addCrossGovernmentLinks reproduces Figure A.5's shape: Austria links to
+// ~70 other governments; 75% of countries link to at least 7.
+func (w *World) addCrossGovernmentLinks(r *rand.Rand) {
+	countries := w.sortedCountries()
+	if len(countries) < 8 {
+		return
+	}
+	targetOf := func(cc string) string {
+		hosts := w.ByCountry[cc]
+		return hosts[r.Intn(len(hosts))]
+	}
+	for _, cc := range countries {
+		hosts := w.ByCountry[cc]
+		if len(hosts) == 0 {
+			continue
+		}
+		// Number of distinct foreign governments this country links to.
+		nTargets := 7 + r.Intn(14)
+		if r.Float64() < 0.25 {
+			nTargets = 2 + r.Intn(5) // the bottom quartile links to <7
+		}
+		if cc == "at" {
+			nTargets = 70 // Austria, the §7.3.3 outlier
+		}
+		if nTargets > len(countries)-1 {
+			nTargets = len(countries) - 1
+		}
+		for _, other := range pickDistinct(r, countries, nTargets+1) {
+			if other == cc {
+				continue
+			}
+			src := w.Sites[hosts[r.Intn(len(hosts))]]
+			src.Links = append(src.Links, targetOf(other))
+		}
+	}
+}
+
+// addNoise links government pages to non-government and unreachable hosts,
+// which the crawler must filter or record.
+func (w *World) addNoise(r *rand.Rand) {
+	nonGov := []string{
+		"www.facebook.com", "twitter.com", "www.youtube.com",
+		"maps.google.com", "www.weather.com", "cdn.jsdelivr.net",
+	}
+	for _, cc := range w.sortedCountries() {
+		hosts := w.ByCountry[cc]
+		for i := 0; i < len(hosts)/6+1; i++ {
+			s := w.Sites[hosts[r.Intn(len(hosts))]]
+			s.Links = append(s.Links, nonGov[r.Intn(len(nonGov))])
+		}
+	}
+	// Dead links to unreachable government hostnames.
+	for i := 0; i < len(w.UnreachableHosts) && i < len(w.GovHosts); i += 3 {
+		s := w.Sites[w.GovHosts[(i*7)%len(w.GovHosts)]]
+		s.Links = append(s.Links, w.UnreachableHosts[i])
+	}
+}
+
+func (w *World) sortedCountries() []string {
+	out := make([]string, 0, len(w.ByCountry))
+	for cc := range w.ByCountry {
+		if len(w.ByCountry[cc]) > 0 {
+			out = append(out, cc)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

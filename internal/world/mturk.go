@@ -1,0 +1,73 @@
+package world
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// MTurkCampaign simulates the §4.2.1 crowdsourcing pass: tasks are issued
+// for countries with fewer than 11 hostnames in the seed list; workers
+// return up to six URLs per task across the prescribed service categories.
+type MTurkCampaign struct {
+	// TasksIssued is the number of tasks published.
+	TasksIssued int
+	// ResponsesAccepted counts responses surviving manual inspection.
+	ResponsesAccepted int
+	// Hostnames are the unique hostnames returned by workers.
+	Hostnames []string
+	// NewHostnames are those not already in the seed list.
+	NewHostnames []string
+	// CountriesCovered lists the countries tasks were issued for.
+	CountriesCovered []string
+}
+
+// RunMTurk simulates the crowdsourcing campaign against the world: for each
+// country whose seed membership is under 11, workers contribute hostnames
+// drawn from the country's real (sometimes not-yet-discovered) sites, plus
+// some noise the "manual inspection" step rejects.
+func (w *World) RunMTurk(r *rand.Rand) *MTurkCampaign {
+	seedSet := make(map[string]bool, len(w.SeedHosts))
+	seedPerCountry := make(map[string]int)
+	for _, h := range w.SeedHosts {
+		seedSet[h] = true
+		seedPerCountry[w.CountryOf(h)]++
+	}
+
+	c := &MTurkCampaign{}
+	seen := map[string]bool{}
+	for _, cc := range w.sortedCountries() {
+		if seedPerCountry[cc] >= 11 {
+			continue
+		}
+		hosts := w.ByCountry[cc]
+		if len(hosts) == 0 {
+			continue
+		}
+		c.CountriesCovered = append(c.CountriesCovered, cc)
+		tasks := 1 + r.Intn(4)
+		c.TasksIssued += tasks
+		for t := 0; t < tasks; t++ {
+			// Manual inspection rejects roughly 30% of responses (§4.2.1
+			// accepted 75 of 108).
+			if r.Float64() < 0.31 {
+				continue
+			}
+			c.ResponsesAccepted++
+			answers := 1 + r.Intn(6)
+			for a := 0; a < answers; a++ {
+				h := hosts[r.Intn(len(hosts))]
+				if seen[h] {
+					continue
+				}
+				seen[h] = true
+				c.Hostnames = append(c.Hostnames, h)
+				if !seedSet[h] {
+					c.NewHostnames = append(c.NewHostnames, h)
+				}
+			}
+		}
+	}
+	sort.Strings(c.Hostnames)
+	sort.Strings(c.NewHostnames)
+	return c
+}

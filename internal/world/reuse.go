@@ -1,0 +1,119 @@
+package world
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/ca"
+	"repro/internal/cert"
+)
+
+// injectKeyReuse plants the §5.3.3 cross-government certificate and key
+// reuse: clusters of hostnames in *different* countries serving the exact
+// same certificate (and therefore sharing a private key). At paper scale:
+// 154 certificates reused across 1,390 hostnames — 108 certificates shared
+// by 2 countries, 19 by 3, 11 by 4 and one infamous self-signed localhost
+// certificate shared by 24 countries across 58 hostnames.
+func (w *World) injectKeyReuse(r *rand.Rand) {
+	countries := make([]string, 0, len(w.ByCountry))
+	for cc, hosts := range w.ByCountry {
+		if len(hosts) >= 4 {
+			countries = append(countries, cc)
+		}
+	}
+	sort.Strings(countries)
+	if len(countries) < 4 {
+		return
+	}
+
+	clusters := []struct {
+		certs, countries int
+	}{
+		{w.scaled(108, 2), 2},
+		{w.scaled(19, 1), 3},
+		{w.scaled(11, 1), 4},
+		{1, 24},
+	}
+	for _, cl := range clusters {
+		for i := 0; i < cl.certs; i++ {
+			nCountries := cl.countries
+			if nCountries > len(countries) {
+				nCountries = len(countries)
+			}
+			w.plantReusedCert(r, countries, nCountries)
+		}
+	}
+}
+
+// plantReusedCert mints one certificate and installs it on hosts drawn from
+// n distinct countries. Most reused certificates are invalid self-signed
+// localhost certificates (§5.3.3: 15.1% bare self-signed, 46.6% hostname
+// mismatches); they replace the chains of already-invalid https sites so
+// the world's validity marginals stay calibrated.
+func (w *World) plantReusedCert(r *rand.Rand, countries []string, n int) {
+	key := cert.NewKey(r, cert.KeyRSA, 2048)
+	var chain []*cert.Certificate
+	if n >= 24 || r.Float64() < 0.3 {
+		// The classic vendor default: a self-signed localhost certificate.
+		leaf := ca.SelfSigned(key, []string{"localhost"},
+			w.ScanTime.AddDate(-2, 0, 0), 10*365*24*time.Hour, cert.SHA256WithRSA)
+		chain = []*cert.Certificate{leaf}
+	} else {
+		// A certificate legitimately issued to one government, copied
+		// verbatim onto servers of others — valid chain, wrong hostnames.
+		a := w.CAs.MustLookup("Sectigo RSA Domain Validation Secure Server CA")
+		zone := "shared.gov." + countries[r.Intn(len(countries))]
+		chain = a.Issue(ca.Request{
+			Hostnames: []string{"*." + zone, zone},
+			Key:       key,
+			NotBefore: w.ScanTime.AddDate(0, -6, 0),
+		})
+	}
+
+	picked := pickDistinct(r, countries, n)
+	for _, cc := range picked {
+		hosts := w.ByCountry[cc]
+		// Install on 1-3 hosts of the country. Prefer already-invalid
+		// https hosts (keeping the validity marginals untouched); fall
+		// back to any https host so every picked country actually joins
+		// the cluster — the cross-country counts are the point of §5.3.3.
+		installs := 2 + r.Intn(4)
+		if w.Cfg.Scale < 0.1 {
+			// Scaled-down worlds keep the cluster *count* floors, so scale
+			// the per-country installs instead to protect the Table 2
+			// error-mix ordering.
+			installs = 1 + r.Intn(2)
+		}
+		install := func(s *Site) {
+			s.Chain = chain
+			if chain[0].SelfSigned() {
+				s.Injected = ClassSelfSigned
+				s.Issuer = ""
+			} else {
+				s.Injected = ClassHostnameMismatch
+				s.Issuer = chain[0].Issuer.CommonName
+			}
+			installs--
+		}
+		for tries := 0; tries < 60 && installs > 0; tries++ {
+			s := w.Sites[hosts[r.Intn(len(hosts))]]
+			if !s.Serving.HasHTTPS() || s.Injected.IsException() {
+				continue
+			}
+			if s.Injected == ClassValid && tries < 30 {
+				continue // prefer already-broken hosts first
+			}
+			install(s)
+		}
+	}
+}
+
+func pickDistinct(r *rand.Rand, items []string, n int) []string {
+	idx := r.Perm(len(items))
+	out := make([]string, 0, n)
+	for _, i := range idx[:n] {
+		out = append(out, items[i])
+	}
+	return out
+}

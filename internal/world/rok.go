@@ -1,0 +1,66 @@
+package world
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// ROKData holds the South Korea case study (§6.2, Appendix A.2): the
+// Government24 ("gov.kr") hostname database.
+type ROKData struct {
+	// Hosts lists every hostname in the database, including unreachable
+	// ones, sorted.
+	Hosts []string
+}
+
+// rokRow transcribes Tables A.3 and A.4: 21,818 hostnames, 16,814 serving
+// http, 13,768 serving https (11,685 both), 5,226 valid, 8,542 invalid
+// with the exact error breakdown.
+var rokRow = struct {
+	total, http, both, https, valid            int
+	mismatch, localIss, exceptions, selfSigned int
+	expired, ssChain, timeout, refused         int
+}{
+	total: 21818, http: 16814, both: 11685, https: 13768, valid: 5226,
+	mismatch: 2529, localIss: 2126, exceptions: 2903, selfSigned: 21,
+	expired: 23, ssChain: 818, timeout: 25, refused: 97,
+}
+
+// buildROK realizes the Government24 dataset.
+func (w *World) buildROK(r *rand.Rand) {
+	f := newCertFactory(w, rand.New(rand.NewSource(r.Int63())))
+	row := rokRow
+	union := row.http + row.https - row.both
+	spec := &datasetSpec{
+		key:         "kr-gov24",
+		suffix:      "go.kr",
+		country:     "kr",
+		httpOnly:    row.http - row.both,
+		both:        row.both,
+		httpsOnly:   row.https - row.both,
+		unavailable: row.total - union,
+		valid:       row.valid,
+		invalid: map[ErrorClass]int{
+			ClassHostnameMismatch: row.mismatch,
+			ClassLocalIssuer:      row.localIss,
+			ClassSelfSigned:       row.selfSigned,
+			ClassExpired:          row.expired,
+			ClassSelfSignedChain:  row.ssChain,
+			ClassExcTimeout:       row.timeout,
+			ClassExcRefused:       row.refused,
+			// The 2,903 "unknown exceptions" of Table A.4, split across
+			// the protocol-level failure modes (§6.3 notes unsupported
+			// SSL protocol, wrong version and alert failures).
+			ClassExcSSLProto:       int(float64(row.exceptions) * 0.80),
+			ClassExcAlertInternal:  int(float64(row.exceptions) * 0.08),
+			ClassExcAlertHandshake: int(float64(row.exceptions) * 0.06),
+			ClassExcWrongVersion:   int(float64(row.exceptions) * 0.06),
+		},
+		caMix:      caMixROK,
+		cloudShare: 0.0015, // §6.2.2: 0.21% of ROK sites on cloud/CDN
+		cdnShare:   0.0006,
+	}
+	hosts := w.buildDataset(rand.New(rand.NewSource(r.Int63())), f, spec)
+	sort.Strings(hosts)
+	w.ROK = &ROKData{Hosts: hosts}
+}

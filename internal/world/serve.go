@@ -1,0 +1,150 @@
+package world
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"net/netip"
+
+	"repro/internal/httpsim"
+	"repro/internal/simnet"
+	"repro/internal/tlssim"
+)
+
+// serveAll registers every site's endpoints on the simulated network.
+// Handlers are registered lazily (no goroutine per site), so a full-scale
+// world of hundreds of thousands of endpoints stays cheap.
+func (w *World) serveAll() {
+	for _, s := range w.Sites {
+		w.serveSite(s)
+	}
+}
+
+func (w *World) serveSite(s *Site) {
+	if !s.IP.IsValid() {
+		return
+	}
+	ep80 := netip.AddrPortFrom(s.IP, 80)
+	ep443 := netip.AddrPortFrom(s.IP, 443)
+
+	switch s.Serving {
+	case Unavailable:
+		// Resolves, answers http, but never with a 200.
+		w.Net.Handle(ep80, func(conn net.Conn) {
+			defer conn.Close()
+			if _, err := httpsim.ReadRequest(bufio.NewReader(conn)); err != nil {
+				return
+			}
+			httpsim.WriteResponse(conn, 503, nil, []byte("service unavailable"))
+		})
+		return
+	case HTTPOnly:
+		w.Net.Handle(ep80, w.httpHandler(s, false))
+	case HTTPSOnly:
+		w.serveTLS(s, ep443)
+	case BothRedirect:
+		w.Net.Handle(ep80, w.httpHandler(s, true))
+		w.serveTLS(s, ep443)
+	case BothNoRedirect:
+		w.Net.Handle(ep80, w.httpHandler(s, false))
+		w.serveTLS(s, ep443)
+	}
+}
+
+// serveTLS wires the https endpoint, installing network faults where the
+// site's class calls for them.
+func (w *World) serveTLS(s *Site, ep netip.AddrPort) {
+	if s.Fault != simnet.FaultNone {
+		// The endpoint must exist for the fault to be meaningful.
+		w.Net.Handle(ep, func(conn net.Conn) { conn.Close() })
+		w.Net.SetFault(ep, s.Fault)
+		return
+	}
+	cfg := &tlssim.ServerConfig{
+		Chain:      s.Chain,
+		MinVersion: s.TLSMin,
+		MaxVersion: s.TLSMax,
+		Quirk:      s.Quirk,
+	}
+	site := s
+	w.Net.Handle(ep, func(conn net.Conn) {
+		defer conn.Close()
+		tc, err := tlssim.ServerHandshake(conn, cfg)
+		if err != nil {
+			return
+		}
+		w.answer(tc, site, false)
+	})
+}
+
+// httpHandler serves the plain-http side.
+func (w *World) httpHandler(s *Site, redirect bool) simnet.Handler {
+	site := s
+	return func(conn net.Conn) {
+		defer conn.Close()
+		if _, err := httpsim.ReadRequest(bufio.NewReader(conn)); err != nil {
+			return
+		}
+		if redirect {
+			httpsim.WriteResponse(conn, 301, map[string]string{
+				"Location": "https://" + site.Hostname + "/",
+			}, nil)
+			return
+		}
+		w.writePage(conn, site, false)
+	}
+}
+
+// answer handles one request arriving over an established TLS connection.
+func (w *World) answer(conn net.Conn, s *Site, _ bool) {
+	if _, err := httpsim.ReadRequest(bufio.NewReader(conn)); err != nil {
+		return
+	}
+	w.writePage(conn, s, true)
+}
+
+func (w *World) writePage(conn net.Conn, s *Site, https bool) {
+	links := make([]string, 0, len(s.Links))
+	for _, l := range s.Links {
+		links = append(links, "http://"+l+"/")
+	}
+	hdr := map[string]string{"Content-Type": "text/html"}
+	if https && s.HSTS {
+		hdr["Strict-Transport-Security"] = "max-age=31536000; includeSubDomains; preload"
+	}
+	title := fmt.Sprintf("Official website — %s", s.Hostname)
+	httpsim.WriteResponse(conn, 200, hdr, httpsim.RenderPage(title, links))
+}
+
+// buildFirewall installs the national-firewall model (§7.1.2): dials from
+// the default external vantage to blocked Chinese endpoints time out. The
+// blocked set is the unreachable-but-resolving Chinese population, so the
+// worldwide calibration of reachable sites is untouched.
+func (w *World) buildFirewall() {
+	blocked := make(map[netip.Addr]bool)
+	for _, host := range w.UnreachableHosts {
+		if w.CountryOf(host) != "" {
+			continue // reachable sites are never firewalled
+		}
+		addrs, err := w.DNS.LookupA(host)
+		if err != nil || len(addrs) == 0 {
+			continue
+		}
+		// Only .cn hostnames participate in the firewall model.
+		if len(host) > 3 && host[len(host)-3:] == ".cn" {
+			blocked[addrs[0]] = true
+		}
+	}
+	if len(blocked) == 0 {
+		return
+	}
+	w.Net.SetFirewall(func(fromVantage string, to netip.AddrPort) error {
+		if fromVantage == "cn-domestic" {
+			return nil // §7.1.2: VPN vantages closer to China did not help us either
+		}
+		if blocked[to.Addr()] {
+			return simnet.ErrTimedOut
+		}
+		return nil
+	})
+}

@@ -1,0 +1,33 @@
+package world
+
+import (
+	"fmt"
+	"net/netip"
+
+	"repro/internal/geo"
+	"repro/internal/whois"
+)
+
+// WhoisAddr is where the world's whois service listens (§7.2: the authors
+// queried the registrars' whois servers for technical contacts).
+var WhoisAddr = netip.AddrPortFrom(netip.MustParseAddr("198.41.0.4"), 43)
+
+// buildWhois installs the registrar directory: one record per government
+// registry suffix, with technical and administrative contacts derived from
+// the country code.
+func (w *World) buildWhois() {
+	srv := whois.NewServer()
+	for _, c := range geo.All() {
+		for _, suffix := range c.GovSuffixes() {
+			srv.Add(whois.Record{
+				Domain:     suffix,
+				Registrar:  fmt.Sprintf("%s NIC", c.Name),
+				TechEmail:  fmt.Sprintf("hostmaster@nic.%s", c.Code),
+				AdminEmail: fmt.Sprintf("admin@nic.%s", c.Code),
+				Country:    c.Code,
+			})
+		}
+	}
+	w.Whois = srv
+	w.Net.Handle(WhoisAddr, srv.Handle)
+}
