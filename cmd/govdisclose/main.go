@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	govdisclose [-seed 42] [-scale 1.0]
+//	govdisclose [-seed 42] [-scale 1.0] [-journal path [-resume]]
+//
+// With -journal, the initial worldwide scan checkpoints to <path> and the
+// two-months-later follow-up scan to <path>.followup; re-running with
+// -resume continues either scan from the last completed host.
 package main
 
 import (
@@ -24,6 +28,8 @@ import (
 func main() {
 	seed := flag.Int64("seed", 42, "world seed")
 	scale := flag.Float64("scale", 1.0, "population scale")
+	journal := flag.String("journal", "", "JSON-lines checkpoint journal path")
+	resume := flag.Bool("resume", false, "resume from an existing -journal instead of starting fresh")
 	flag.Parse()
 
 	study, err := core.NewStudy(world.Config{Seed: *seed, Scale: *scale})
@@ -31,9 +37,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "govdisclose:", err)
 		os.Exit(1)
 	}
+	if *journal != "" {
+		if err := study.SetCheckpoint(*journal, *resume); err != nil {
+			fmt.Fprintln(os.Stderr, "govdisclose:", err)
+			os.Exit(1)
+		}
+	}
 	ctx := context.Background()
 
 	before := study.Worldwide(ctx)
+	study.CloseCheckpoint()
 	reports := notify.BuildReports(before, study.CountryOf, nil)
 	campaign := notify.Campaign(reports, study.Rand("disclosure"))
 	fmt.Print(report.Campaign(campaign))
@@ -42,8 +55,21 @@ func main() {
 	invalid := study.InvalidWorldwideHosts(ctx)
 	study.World.Remediate(invalid, world.DefaultRemediationRates(), study.Rand("remediation"))
 
-	follow := scanner.New(study.World.Net, study.World.DNS, study.World.Class,
-		scanner.DefaultConfig(study.Store(), world.FollowUpScanTime))
+	followCfg := scanner.DefaultConfig(study.Store(), world.FollowUpScanTime)
+	followCfg.Seed = *seed
+	if *journal != "" {
+		if !*resume {
+			os.Remove(*journal + ".followup")
+		}
+		j, err := scanner.OpenJournal(*journal + ".followup")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "govdisclose:", err)
+			os.Exit(1)
+		}
+		defer j.Close()
+		followCfg.Journal = j
+	}
+	follow := scanner.New(study.World.Net, study.World.DNS, study.World.Class, followCfg)
 	after := follow.ScanAll(ctx, study.World.GovHosts)
 	eff, err := notify.MeasureEffectiveness(before, after)
 	if err != nil {

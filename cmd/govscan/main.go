@@ -4,6 +4,13 @@
 // Usage:
 //
 //	govscan [-seed 42] [-scale 1.0] [-dataset worldwide|usa|rok] [-store apple]
+//	        [-flaky 0.05] [-journal scan.jsonl [-resume]] [-breaker 5]
+//
+// With -journal, every completed host is checkpointed to a JSON-lines
+// journal; re-running with -resume picks up from the last completed host
+// instead of restarting the scan from zero. -flaky injects transient
+// faults (flaky dials, latency) into the world; -breaker enables the
+// per-provider circuit breaker.
 package main
 
 import (
@@ -26,14 +33,33 @@ func main() {
 	dataset := flag.String("dataset", "worldwide", "worldwide, usa, or rok")
 	store := flag.String("store", "apple", "trust store: apple, microsoft, nss")
 	jsonOut := flag.Bool("json", false, "emit zgrab-style JSON lines instead of Table 2")
+	flaky := flag.Float64("flaky", 0, "fraction of https sites given transient faults")
+	journal := flag.String("journal", "", "JSON-lines checkpoint journal path")
+	resume := flag.Bool("resume", false, "resume from an existing -journal instead of starting fresh")
+	breaker := flag.Int("breaker", 0, "open a provider circuit after N consecutive dial timeouts (0 = off)")
+	cooldown := flag.Duration("breaker-cooldown", 30*time.Second, "how long an open circuit stays open")
 	flag.Parse()
 
-	study, err := core.NewStudy(world.Config{Seed: *seed, Scale: *scale})
+	study, err := core.NewStudy(world.Config{Seed: *seed, Scale: *scale, Flakiness: *flaky})
 	if err != nil {
 		fatal(err)
 	}
 	if err := study.UseStore(*store); err != nil {
 		fatal(err)
+	}
+	if *resume && *journal == "" {
+		fatal(fmt.Errorf("-resume requires -journal"))
+	}
+	if *journal != "" {
+		if err := study.SetCheckpoint(*journal, *resume); err != nil {
+			fatal(err)
+		}
+		defer study.CloseCheckpoint()
+	}
+	var brk *scanner.Breaker
+	if *breaker > 0 {
+		brk = scanner.NewBreaker(*breaker, *cooldown, study.World.Clock)
+		study.SetBreaker(brk)
 	}
 
 	ctx := context.Background()
@@ -51,6 +77,9 @@ func main() {
 	}
 	took := time.Since(start)
 
+	if brk != nil && brk.Trips() > 0 {
+		fmt.Fprintf(os.Stderr, "circuit breaker: %d trips, %d dials suppressed\n", brk.Trips(), brk.Skips())
+	}
 	if *jsonOut {
 		if err := scanner.WriteJSONL(os.Stdout, results); err != nil {
 			fatal(err)

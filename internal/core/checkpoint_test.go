@@ -1,0 +1,67 @@
+package core
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/world"
+)
+
+// TestStudyCheckpointResume: a second study resuming from the first
+// study's journal restores every host without a single network dial and
+// reproduces the scan exactly.
+func TestStudyCheckpointResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "worldwide.jsonl")
+
+	s1 := MustNewStudy(world.TestConfig())
+	if err := s1.SetCheckpoint(path, false); err != nil {
+		t.Fatal(err)
+	}
+	full := s1.Worldwide(context.Background())
+	if err := s1.CloseCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := MustNewStudy(world.TestConfig())
+	if err := s2.SetCheckpoint(path, true); err != nil {
+		t.Fatal(err)
+	}
+	before := s2.World.Net.DialCount()
+	resumed := s2.Worldwide(context.Background())
+	if err := s2.CloseCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if d := s2.World.Net.DialCount() - before; d != 0 {
+		t.Errorf("resume made %d dials, want 0 (everything journaled)", d)
+	}
+	if len(resumed) != len(full) {
+		t.Fatalf("resumed %d results, want %d", len(resumed), len(full))
+	}
+	for i := range resumed {
+		if resumed[i].Hostname != full[i].Hostname || resumed[i].Category() != full[i].Category() {
+			t.Errorf("host %d: resumed %q/%v, original %q/%v", i,
+				resumed[i].Hostname, resumed[i].Category(),
+				full[i].Hostname, full[i].Category())
+		}
+	}
+}
+
+// TestStudyCheckpointFresh: resume=false discards a stale journal instead
+// of silently reusing results from another run.
+func TestStudyCheckpointFresh(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "stale.jsonl")
+	if err := os.WriteFile(path, []byte(`{"hostname":"stale.gov.zz","available":true}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := MustNewStudy(world.TestConfig())
+	if err := s.SetCheckpoint(path, false); err != nil {
+		t.Fatal(err)
+	}
+	defer s.CloseCheckpoint()
+	rs := s.Scanner().ScanAll(context.Background(), []string{"stale.gov.zz"})
+	if rs[0].Available || !rs[0].DNSError {
+		t.Errorf("stale journal entry influenced a fresh scan: %+v", rs[0])
+	}
+}

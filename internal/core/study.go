@@ -7,6 +7,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"os"
 	"sync"
 
 	"repro/internal/scanner"
@@ -24,6 +25,8 @@ type Study struct {
 	usaAll     []scanner.Result
 	rok        []scanner.Result
 	storeInUse string
+	journal    *scanner.Journal
+	breaker    *scanner.Breaker
 }
 
 // NewStudy builds the world for the configuration.
@@ -68,10 +71,65 @@ func (s *Study) Store() *truststore.Store {
 	return s.World.Stores[s.storeInUse]
 }
 
+// SetCheckpoint attaches a JSON-lines scan journal at path: every host a
+// subsequent scan completes is checkpointed, and — when resume is true —
+// hosts already present in the journal are restored without re-scanning,
+// so a study run killed mid-scan picks up from the last completed host.
+// With resume false any existing journal is discarded and the scan starts
+// fresh. One journal covers one dataset run; don't share a path between
+// datasets.
+func (s *Study) SetCheckpoint(path string, resume bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.journal != nil {
+		s.journal.Close()
+		s.journal = nil
+	}
+	if path == "" {
+		return nil
+	}
+	if !resume {
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("core: clearing checkpoint: %w", err)
+		}
+	}
+	j, err := scanner.OpenJournal(path)
+	if err != nil {
+		return err
+	}
+	s.journal = j
+	return nil
+}
+
+// CloseCheckpoint flushes and detaches the checkpoint journal, if any.
+func (s *Study) CloseCheckpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.journal == nil {
+		return nil
+	}
+	err := s.journal.Close()
+	s.journal = nil
+	return err
+}
+
+// SetBreaker installs a per-provider circuit breaker on subsequent scans
+// (nil disables). Breaker decisions depend on the interleaving of
+// concurrent failures, so deterministic study runs leave it off.
+func (s *Study) SetBreaker(b *scanner.Breaker) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.breaker = b
+}
+
 // Scanner builds a scanner bound to the study's world and active store.
 func (s *Study) Scanner() *scanner.Scanner {
-	return scanner.New(s.World.Net, s.World.DNS, s.World.Class,
-		scanner.DefaultConfig(s.Store(), s.World.ScanTime))
+	cfg := scanner.DefaultConfig(s.Store(), s.World.ScanTime)
+	cfg.Seed = s.World.Cfg.Seed
+	cfg.Clock = s.World.Clock
+	cfg.Journal = s.journal
+	cfg.Breaker = s.breaker
+	return scanner.New(s.World.Net, s.World.DNS, s.World.Class, cfg)
 }
 
 // CountryOf attributes a hostname to a country.

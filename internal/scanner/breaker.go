@@ -1,0 +1,136 @@
+package scanner
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+// Breaker is a per-provider circuit breaker: after Threshold consecutive
+// dial timeouts against one hosting provider (or /24 prefix, see
+// breakerKey) it opens for Cooldown, during which dials to that provider
+// are skipped and recorded as ExcCircuitOpen instead of hammering an
+// endpoint block that is clearly down. Only silence counts toward an
+// outage: the scanner reports refusals and resets as Success, because an
+// answering endpoint proves the provider's network is up (an http-only
+// host's closed port 443 must not open the circuit for its provider).
+// After the cooldown one probe dial is let through (half-open); its
+// outcome closes or re-opens the circuit.
+//
+// Whether and when a breaker trips depends on the interleaving of
+// concurrent failures, so study runs that must be bitwise deterministic
+// leave the breaker off (the default) or scan with Concurrency 1.
+type Breaker struct {
+	mu        sync.Mutex
+	clock     simclock.Clock
+	threshold int
+	cooldown  time.Duration
+	states    map[string]*breakerState
+	trips     int64
+	skips     int64
+}
+
+type breakerState struct {
+	fails     int
+	openUntil time.Time
+	open      bool
+	halfOpen  bool // a probe dial is in flight after cooldown expiry
+}
+
+// NewBreaker builds a breaker tripping after threshold consecutive
+// failures, holding open for cooldown on the given clock. A nil clock
+// defaults to a collapsing virtual clock.
+func NewBreaker(threshold int, cooldown time.Duration, clock simclock.Clock) *Breaker {
+	if clock == nil {
+		clock = simclock.NewVirtual(time.Unix(0, 0))
+	}
+	return &Breaker{
+		clock:     clock,
+		threshold: threshold,
+		cooldown:  cooldown,
+		states:    make(map[string]*breakerState),
+	}
+}
+
+// Allow reports whether a dial to the keyed provider may proceed. An empty
+// key (unclassifiable host) is always allowed.
+func (b *Breaker) Allow(key string) bool {
+	if b == nil || key == "" || b.threshold <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.states[key]
+	if st == nil || !st.open {
+		return true
+	}
+	if b.clock.Now().Before(st.openUntil) {
+		b.skips++
+		return false
+	}
+	if st.halfOpen {
+		// Another goroutine already holds the probe slot.
+		b.skips++
+		return false
+	}
+	st.halfOpen = true
+	return true
+}
+
+// Success records a successful dial, closing the circuit.
+func (b *Breaker) Success(key string) {
+	if b == nil || key == "" {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if st := b.states[key]; st != nil {
+		st.fails = 0
+		st.open = false
+		st.halfOpen = false
+	}
+}
+
+// Failure records a failed dial; Threshold consecutive failures (or one
+// failed half-open probe) open the circuit for Cooldown.
+func (b *Breaker) Failure(key string) {
+	if b == nil || key == "" || b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.states[key]
+	if st == nil {
+		st = &breakerState{}
+		b.states[key] = st
+	}
+	if st.open && st.halfOpen {
+		st.halfOpen = false
+		st.openUntil = b.clock.Now().Add(b.cooldown)
+		b.trips++
+		return
+	}
+	st.fails++
+	if st.fails >= b.threshold {
+		st.fails = 0
+		st.open = true
+		st.halfOpen = false
+		st.openUntil = b.clock.Now().Add(b.cooldown)
+		b.trips++
+	}
+}
+
+// Trips reports how many times any circuit opened.
+func (b *Breaker) Trips() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
+
+// Skips reports how many dials were suppressed by open circuits.
+func (b *Breaker) Skips() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.skips
+}

@@ -97,6 +97,8 @@ func (r *Result) Category() Category {
 		case ExcAlertProtoVersion:
 			return CatExcAlertProtoVersion
 		default:
+			// ExcCircuitOpen and genuinely unclassifiable failures both
+			// land in Others: the host engaged but was not measured.
 			return CatOther
 		}
 	}

@@ -1,0 +1,351 @@
+package scanner
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dnssim"
+	"repro/internal/simclock"
+	"repro/internal/simnet"
+	"repro/internal/tlssim"
+	"repro/internal/world"
+)
+
+// findHealthySite returns a worldwide site that is a clean, valid https
+// host (redirecting port 80), so any failure a test observes comes from
+// the fault it injected.
+func findHealthySite(t *testing.T) *world.Site {
+	t.Helper()
+	for _, h := range testWorld.GovHosts {
+		s := testWorld.Sites[h]
+		if s.Injected == world.ClassValid && s.Serving == world.BothRedirect &&
+			s.Fault == simnet.FaultNone && s.Quirk == tlssim.QuirkNone && s.IP.IsValid() {
+			return s
+		}
+	}
+	t.Skip("no clean valid site at this scale")
+	return nil
+}
+
+// TestFaultClassificationMatrix drives every simnet fault mode through the
+// scanner and checks the Table 2 exception it lands in, the retry budget
+// it consumes, and the availability bits.
+func TestFaultClassificationMatrix(t *testing.T) {
+	site := findHealthySite(t)
+	ep := netip.AddrPortFrom(site.IP, 443)
+	s := testScanner()
+	budget := 1 + s.Cfg.Retries
+
+	rows := []struct {
+		name      string
+		spec      simnet.FaultSpec
+		wantExc   Exception
+		wantTries int
+		wantValid bool
+	}{
+		{"refused", simnet.FaultSpec{Mode: simnet.FaultRefuse}, ExcRefused, budget, false},
+		{"timeout", simnet.FaultSpec{Mode: simnet.FaultTimeout}, ExcTimeout, budget, false},
+		{"reset-on-use", simnet.FaultSpec{Mode: simnet.FaultReset}, ExcReset, 1, false},
+		{"flaky-recovers", simnet.FaultSpec{Mode: simnet.FaultFlaky, FailCount: 2}, ExcNone, 3, true},
+		{"flaky-exhausts-budget", simnet.FaultSpec{Mode: simnet.FaultFlaky, FailCount: 99}, ExcReset, budget, false},
+		{"prob-certain-timeout", simnet.FaultSpec{Mode: simnet.FaultProb, Probability: 1, FailWith: simnet.ErrTimedOut}, ExcTimeout, budget, false},
+		{"mid-handshake-reset", simnet.FaultSpec{Mode: simnet.FaultMidHandshake}, ExcReset, 1, false},
+		{"truncated-response", simnet.FaultSpec{Mode: simnet.FaultTruncate, TruncateBytes: 3}, ExcOther, 1, false},
+		{"slow-but-healthy", simnet.FaultSpec{DialLatency: 200 * time.Millisecond}, ExcNone, 1, true},
+	}
+	for _, row := range rows {
+		t.Run(row.name, func(t *testing.T) {
+			testWorld.Net.SetFaultSpec(ep, row.spec)
+			defer testWorld.Net.SetFaultSpec(ep, simnet.FaultSpec{})
+			r := s.Scan(context.Background(), site.Hostname)
+			if r.Exception != row.wantExc {
+				t.Errorf("exception = %v (%q), want %v", r.Exception, r.ExceptionDetail, row.wantExc)
+			}
+			if r.Attempts != row.wantTries {
+				t.Errorf("attempts = %d, want %d", r.Attempts, row.wantTries)
+			}
+			if r.ValidHTTPS() != row.wantValid {
+				t.Errorf("ValidHTTPS = %v, want %v", r.ValidHTTPS(), row.wantValid)
+			}
+			// Port 80 still redirects, so the host always counts as
+			// attempting https and as available.
+			if !r.AttemptsHTTPS || !r.Available {
+				t.Errorf("AttemptsHTTPS = %v, Available = %v, want both true", r.AttemptsHTTPS, r.Available)
+			}
+			if row.wantValid && row.spec.Mode == simnet.FaultFlaky && !r.ServesHTTPS {
+				t.Error("recovered flaky host did not serve https")
+			}
+		})
+	}
+}
+
+// TestFirewallNotRetried: a deterministically censored route is classified
+// on the first dial — one attempt per port, no retry budget burned.
+func TestFirewallNotRetried(t *testing.T) {
+	var host string
+	for _, h := range testWorld.UnreachableHosts {
+		if !strings.HasSuffix(h, ".cn") || testWorld.CountryOf(h) != "" {
+			continue
+		}
+		if addrs, err := testWorld.DNS.LookupA(h); err == nil && len(addrs) > 0 {
+			host = h
+			break
+		}
+	}
+	if host == "" {
+		t.Skip("no firewalled host at this scale")
+	}
+	s := testScanner()
+	before := testWorld.Net.DialCount()
+	r := s.Scan(context.Background(), host)
+	dials := testWorld.Net.DialCount() - before
+
+	if r.Exception != ExcTimeout {
+		t.Errorf("exception = %v, want %v (censorship looks like packet loss)", r.Exception, ExcTimeout)
+	}
+	if r.Attempts != 1 {
+		t.Errorf("attempts = %d, want 1 (no retries against a firewall)", r.Attempts)
+	}
+	if dials != 2 {
+		t.Errorf("dials = %d, want 2 (one per port)", dials)
+	}
+	if r.Available {
+		t.Error("firewalled host scanned as available")
+	}
+}
+
+func TestBreakerUnit(t *testing.T) {
+	clock := simclock.NewVirtual(time.Unix(0, 0))
+	b := NewBreaker(3, time.Minute, clock)
+
+	for i := 0; i < 2; i++ {
+		if !b.Allow("aws") {
+			t.Fatalf("circuit open after %d failures, threshold 3", i)
+		}
+		b.Failure("aws")
+	}
+	if !b.Allow("aws") {
+		t.Fatal("circuit open below threshold")
+	}
+	b.Failure("aws")
+	if b.Allow("aws") {
+		t.Fatal("circuit still closed after threshold failures")
+	}
+	if b.Trips() != 1 || b.Skips() != 1 {
+		t.Errorf("trips = %d skips = %d, want 1/1", b.Trips(), b.Skips())
+	}
+
+	// Cooldown expiry grants exactly one half-open probe.
+	clock.Advance(61 * time.Second)
+	if !b.Allow("aws") {
+		t.Fatal("no probe after cooldown")
+	}
+	if b.Allow("aws") {
+		t.Fatal("second probe granted while first in flight")
+	}
+	b.Failure("aws") // probe failed: re-open
+	if b.Allow("aws") || b.Trips() != 2 {
+		t.Fatalf("failed probe did not re-open (trips = %d)", b.Trips())
+	}
+	clock.Advance(2 * time.Minute)
+	if !b.Allow("aws") {
+		t.Fatal("no probe after second cooldown")
+	}
+	b.Success("aws") // probe succeeded: close
+	if !b.Allow("aws") || !b.Allow("aws") {
+		t.Error("circuit not closed after successful probe")
+	}
+
+	// Unclassifiable hosts and zero thresholds never trip.
+	if !b.Allow("") {
+		t.Error("empty key blocked")
+	}
+	z := NewBreaker(0, time.Minute, clock)
+	for i := 0; i < 5; i++ {
+		z.Failure("x")
+	}
+	if !z.Allow("x") {
+		t.Error("zero-threshold breaker tripped")
+	}
+}
+
+// TestBreakerScanIntegration: with a sequential scan against a dead
+// provider block, the breaker opens after the threshold and later hosts
+// record ExcCircuitOpen without dialing at all.
+func TestBreakerScanIntegration(t *testing.T) {
+	n := simnet.New()
+	zone := dnssim.NewZone()
+	var hosts []string
+	for i := 0; i < 6; i++ {
+		h := fmt.Sprintf("h%d.dead.gov.zz", i)
+		ip := netip.MustParseAddr(fmt.Sprintf("203.0.113.%d", 10+i))
+		zone.AddA(h, ip)
+		hosts = append(hosts, h)
+		// The whole provider block is silent: every dial times out.
+		n.SetFaultSpec(netip.AddrPortFrom(ip, 80), simnet.FaultSpec{Mode: simnet.FaultTimeout})
+		n.SetFaultSpec(netip.AddrPortFrom(ip, 443), simnet.FaultSpec{Mode: simnet.FaultTimeout})
+	}
+	cfg := DefaultConfig(nil, time.Unix(0, 0))
+	cfg.Concurrency = 1 // deterministic failure ordering
+	cfg.Retries = 0
+	cfg.Breaker = NewBreaker(2, time.Hour, simclock.NewVirtual(time.Unix(0, 0)))
+	s := New(n, zone, nil, cfg)
+
+	results := s.ScanAll(context.Background(), hosts)
+
+	// Host 0 burned the two failures (port 80 + port 443) that opened the
+	// circuit; it is reported on its own merits.
+	if results[0].Exception == ExcCircuitOpen {
+		t.Error("first host misreported as circuit-open")
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].Exception != ExcCircuitOpen {
+			t.Errorf("host %d: exception = %v, want %v", i, results[i].Exception, ExcCircuitOpen)
+		}
+		if results[i].Category() != CatUnavailable {
+			t.Errorf("host %d: category = %v, want %v", i, results[i].Category(), CatUnavailable)
+		}
+		if results[i].Attempts != 0 {
+			t.Errorf("host %d: attempts = %d, want 0 (suppressed)", i, results[i].Attempts)
+		}
+	}
+	if got := n.DialCount(); got != 2 {
+		t.Errorf("network saw %d dials, want 2", got)
+	}
+	if cfg.Breaker.Trips() != 1 {
+		t.Errorf("trips = %d, want 1", cfg.Breaker.Trips())
+	}
+	if cfg.Breaker.Skips() != 10 {
+		t.Errorf("skips = %d, want 10 (2 ports x 5 hosts)", cfg.Breaker.Skips())
+	}
+}
+
+// TestBreakerHealthyWorldNoTrips: on a healthy world the breaker must be
+// inert. (Regression test: clean port-443 refusals from http-only hosts
+// once counted as provider failures, so the "Private" circuit opened
+// almost immediately and most of the world scanned as unavailable.)
+func TestBreakerHealthyWorldNoTrips(t *testing.T) {
+	s := testScanner()
+	s.Cfg.Concurrency = 1 // deterministic failure ordering
+	s.Cfg.Breaker = NewBreaker(5, time.Hour, simclock.NewVirtual(time.Unix(0, 0)))
+	results := s.ScanAll(context.Background(), testWorld.GovHosts)
+	if trips := s.Cfg.Breaker.Trips(); trips != 0 {
+		t.Errorf("breaker tripped %d times on a healthy world", trips)
+	}
+	for i := range results {
+		if results[i].Exception == ExcCircuitOpen {
+			t.Fatalf("host %q suppressed on a healthy world", results[i].Hostname)
+		}
+	}
+	baseline := scanAllOnce(t)
+	for i := range results {
+		if results[i].Category() != baseline[i].Category() {
+			t.Errorf("host %q: category %v with breaker, %v without",
+				results[i].Hostname, results[i].Category(), baseline[i].Category())
+		}
+	}
+}
+
+// TestJournalRoundTrip: a journal restores byte-identical results,
+// certificate chains included.
+func TestJournalRoundTrip(t *testing.T) {
+	results := scanAllOnce(t)
+	if len(results) > 80 {
+		results = results[:80]
+	}
+	path := filepath.Join(t.TempDir(), "scan.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unique := map[string]bool{}
+	for _, r := range results {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+		unique[r.Hostname] = true
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Len() != len(unique) {
+		t.Fatalf("journal holds %d hosts, want %d", j2.Len(), len(unique))
+	}
+	for _, want := range results {
+		got, ok := j2.Lookup(want.Hostname)
+		if !ok {
+			t.Fatalf("host %q missing after reload", want.Hostname)
+		}
+		ge, _ := json.Marshal(toEntry(got))
+		we, _ := json.Marshal(toEntry(want))
+		if !bytes.Equal(ge, we) {
+			t.Errorf("host %q: reloaded entry differs:\n got %s\nwant %s", want.Hostname, ge, we)
+		}
+		if got.Category() != want.Category() {
+			t.Errorf("host %q: category %v != %v", want.Hostname, got.Category(), want.Category())
+		}
+		if len(want.Chain) > 0 && (len(got.Chain) != len(want.Chain) ||
+			got.Chain[0].Fingerprint() != want.Chain[0].Fingerprint()) {
+			t.Errorf("host %q: chain not restored losslessly", want.Hostname)
+		}
+	}
+}
+
+// TestJournalTruncatedTail: a run killed mid-write leaves a partial final
+// line; reopening drops it and appends cleanly after the last good entry.
+func TestJournalTruncatedTail(t *testing.T) {
+	results := scanAllOnce(t)
+	path := filepath.Join(t.TempDir(), "scan.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(results[0])
+	j.Append(results[1])
+	j.Close()
+
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"hostname":"half-written.gov.zz","avail`) // kill -9 mid-write
+	f.Close()
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.Len() != 2 {
+		t.Fatalf("len = %d after corrupt tail, want 2", j2.Len())
+	}
+	if _, ok := j2.Lookup("half-written.gov.zz"); ok {
+		t.Fatal("corrupt entry surfaced")
+	}
+	if err := j2.Append(results[2]); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+
+	j3, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if j3.Len() != 3 {
+		t.Errorf("len = %d after repair+append, want 3", j3.Len())
+	}
+}

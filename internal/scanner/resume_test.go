@@ -1,0 +1,163 @@
+package scanner_test
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/report"
+	"repro/internal/scanner"
+	"repro/internal/world"
+)
+
+// extWorld is this file's own world instance (the in-package tests own the
+// shared one and mutate its faults).
+var extWorld = world.MustBuild(world.TestConfig())
+
+func extScanner(w *world.World) *scanner.Scanner {
+	cfg := scanner.DefaultConfig(w.Stores["apple"], w.ScanTime)
+	cfg.Seed = w.Cfg.Seed
+	cfg.Clock = w.Clock
+	return scanner.New(w.Net, w.DNS, w.Class, cfg)
+}
+
+func table2(rs []scanner.Result) string {
+	return report.Table2(analysis.ComputeTable2(rs))
+}
+
+// TestResumeMatchesUninterrupted is the headline checkpoint criterion: a
+// scan killed at 50% and resumed from its journal produces byte-identical
+// Table 2 aggregates to a never-interrupted run.
+func TestResumeMatchesUninterrupted(t *testing.T) {
+	hosts := extWorld.GovHosts
+	baseline := extScanner(extWorld).ScanAll(context.Background(), hosts)
+
+	// Simulate the killed run: a journal holding only the first half.
+	path := filepath.Join(t.TempDir(), "scan.jsonl")
+	j, err := scanner.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range baseline[:len(baseline)/2] {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	j2, err := scanner.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	s := extScanner(extWorld)
+	s.Cfg.Journal = j2
+	resumed := s.ScanAll(context.Background(), hosts)
+
+	if len(resumed) != len(baseline) {
+		t.Fatalf("resumed %d results, want %d", len(resumed), len(baseline))
+	}
+	if got, want := table2(resumed), table2(baseline); got != want {
+		t.Errorf("resumed Table 2 differs from uninterrupted run:\n got:\n%s\nwant:\n%s", got, want)
+	}
+	for i := range resumed {
+		if resumed[i].Hostname != baseline[i].Hostname ||
+			resumed[i].Category() != baseline[i].Category() {
+			t.Errorf("host %d: resumed %q/%v, baseline %q/%v", i,
+				resumed[i].Hostname, resumed[i].Category(),
+				baseline[i].Hostname, baseline[i].Category())
+		}
+	}
+}
+
+// TestInterruptedScanResumes kills a live scan via context cancellation
+// partway through, then resumes from the journal it left behind; the final
+// aggregates must match an uninterrupted run regardless of where the kill
+// landed.
+func TestInterruptedScanResumes(t *testing.T) {
+	hosts := extWorld.GovHosts
+	path := filepath.Join(t.TempDir(), "scan.jsonl")
+	j, err := scanner.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := extScanner(extWorld)
+	s.Cfg.Journal = j
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.ScanAll(ctx, hosts)
+	}()
+	// Kill the run once it is partway through (the scan may legitimately
+	// finish first at small scales; the resume still has to be a no-op
+	// then).
+	for j.Len() < len(hosts)/4 {
+		select {
+		case <-done:
+		case <-time.After(time.Millisecond):
+			continue
+		}
+		break
+	}
+	cancel()
+	<-done
+	j.Close()
+
+	j2, err := scanner.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Len() == 0 {
+		t.Fatal("journal empty after interrupted run")
+	}
+	s2 := extScanner(extWorld)
+	s2.Cfg.Journal = j2
+	resumed := s2.ScanAll(context.Background(), hosts)
+
+	baseline := extScanner(extWorld).ScanAll(context.Background(), hosts)
+	if got, want := table2(resumed), table2(baseline); got != want {
+		t.Errorf("resumed Table 2 differs from uninterrupted run:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestFlakyWorldDeterministic: with transient faults injected, two
+// same-seed runs are identical, and — because every injected fault heals
+// within the paper's 3-retry budget — the aggregates match the fault-free
+// world exactly. Fresh worlds per run: flaky faults are stateful
+// (consumed by dials), so determinism is per-run, not per-world-instance.
+func TestFlakyWorldDeterministic(t *testing.T) {
+	cfg := world.TestConfig()
+	cfg.Flakiness = 0.3
+
+	scan := func() ([]scanner.Result, string) {
+		w := world.MustBuild(cfg)
+		rs := extScanner(w).ScanAll(context.Background(), w.GovHosts)
+		return rs, table2(rs)
+	}
+	r1, t1 := scan()
+	_, t2 := scan()
+	if t1 != t2 {
+		t.Errorf("same seed, different Table 2:\n%s\nvs\n%s", t1, t2)
+	}
+
+	clean := extScanner(extWorld).ScanAll(context.Background(), extWorld.GovHosts)
+	if tClean := table2(clean); t1 != tClean {
+		t.Errorf("flaky world shifted Table 2 (faults must heal within the retry budget):\nflaky:\n%s\nclean:\n%s", t1, tClean)
+	}
+
+	// The faults were real: the flaky run burned more 443 attempts.
+	sum := func(rs []scanner.Result) int {
+		n := 0
+		for i := range rs {
+			n += rs[i].Attempts
+		}
+		return n
+	}
+	if sum(r1) <= sum(clean) {
+		t.Errorf("flaky run attempts = %d, clean = %d; expected extra retries", sum(r1), sum(clean))
+	}
+}

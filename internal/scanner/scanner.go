@@ -9,6 +9,8 @@ package scanner
 import (
 	"context"
 	"errors"
+	"fmt"
+	"hash/fnv"
 	"net"
 	"net/netip"
 	"sync"
@@ -18,6 +20,7 @@ import (
 	"repro/internal/dnssim"
 	"repro/internal/hosting"
 	"repro/internal/httpsim"
+	"repro/internal/simclock"
 	"repro/internal/simnet"
 	"repro/internal/tlssim"
 	"repro/internal/truststore"
@@ -50,6 +53,29 @@ type Config struct {
 	Store *truststore.Store
 	// Now is the scan time for certificate validity.
 	Now time.Time
+	// Clock paces retry backoff. Simulation uses a collapsing virtual
+	// clock (backoff advances simulated time only); production would use
+	// simclock.Real. nil defaults to a fresh virtual clock.
+	Clock simclock.Clock
+	// BackoffBase is the delay before the first re-attempt; each further
+	// re-attempt doubles it (plus deterministic jitter). Zero disables
+	// backoff pacing.
+	BackoffBase time.Duration
+	// BackoffMax caps the exponential backoff delay.
+	BackoffMax time.Duration
+	// Seed drives the deterministic backoff jitter.
+	Seed int64
+	// HostBudget caps the (simulated) time charged to one port of one
+	// host across retries — timed-out attempts plus backoff waits. Zero
+	// means unlimited, mirroring the paper's plain 3-retry policy.
+	HostBudget time.Duration
+	// Breaker, when non-nil, stops hammering a hosting provider after
+	// repeated consecutive dial timeouts; affected hosts record
+	// ExcCircuitOpen.
+	Breaker *Breaker
+	// Journal, when non-nil, checkpoints every completed result so an
+	// interrupted ScanAll resumes from the last completed host.
+	Journal *Journal
 }
 
 // DefaultConfig mirrors the paper's scanning posture.
@@ -61,6 +87,9 @@ func DefaultConfig(store *truststore.Store, now time.Time) Config {
 		Timeout:     5 * time.Second,
 		Store:       store,
 		Now:         now,
+		Clock:       simclock.NewVirtual(now),
+		BackoffBase: 500 * time.Millisecond,
+		BackoffMax:  8 * time.Second,
 	}
 }
 
@@ -76,6 +105,9 @@ type Scanner struct {
 func New(d Dialer, r Resolver, class *hosting.Classifier, cfg Config) *Scanner {
 	if cfg.Concurrency <= 0 {
 		cfg.Concurrency = 1
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = simclock.NewVirtual(cfg.Now)
 	}
 	if class == nil {
 		class = hosting.DefaultClassifier()
@@ -99,6 +131,10 @@ const (
 	ExcAlertHandshake
 	ExcAlertProtoVersion
 	ExcOther
+	// ExcCircuitOpen marks a host the scanner deliberately skipped because
+	// its hosting provider's circuit breaker was open — a degraded result,
+	// not a measurement of the host itself.
+	ExcCircuitOpen
 )
 
 var excNames = map[Exception]string{
@@ -112,6 +148,7 @@ var excNames = map[Exception]string{
 	ExcAlertHandshake:      "SSLv3 alert handshake failure",
 	ExcAlertProtoVersion:   "TLSv1 alert internal protocol version",
 	ExcOther:               "other exception",
+	ExcCircuitOpen:         "circuit breaker open",
 }
 
 // String names the exception the way Table 2 does.
@@ -201,7 +238,7 @@ func (e Exception) ServerResponded() bool {
 }
 
 func (s *Scanner) probeHTTP(ctx context.Context, res *Result) {
-	conn, err := s.dialRetry(ctx, netip.AddrPortFrom(res.IP, 80), nil)
+	conn, err := s.dialRetry(ctx, netip.AddrPortFrom(res.IP, 80), nil, s.breakerKey(res))
 	if err != nil {
 		return
 	}
@@ -224,8 +261,15 @@ func (s *Scanner) probeHTTP(ctx context.Context, res *Result) {
 }
 
 func (s *Scanner) probeHTTPS(ctx context.Context, res *Result) {
-	conn, err := s.dialRetry(ctx, netip.AddrPortFrom(res.IP, 443), res)
+	conn, err := s.dialRetry(ctx, netip.AddrPortFrom(res.IP, 443), res, s.breakerKey(res))
 	if err != nil {
+		if errors.Is(err, ErrCircuitOpen) {
+			// Deliberately skipped, not measured: record the degradation
+			// without claiming anything about the host's TLS posture.
+			res.Exception = ExcCircuitOpen
+			res.ExceptionDetail = err.Error()
+			return
+		}
 		// Connection-level failure. A plain refusal with no upgrade hint
 		// means the host simply does not do https.
 		exc := classifyConnErr(err)
@@ -261,12 +305,28 @@ func (s *Scanner) probeHTTPS(ctx context.Context, res *Result) {
 	}
 }
 
+// ErrCircuitOpen is returned by dialRetry when the endpoint's provider
+// circuit breaker is open and the dial was skipped entirely.
+var ErrCircuitOpen = errors.New("scanner: circuit breaker open")
+
 // dialRetry dials with the configured retry budget, mirroring the paper's
-// three re-queues on connection failure.
-func (s *Scanner) dialRetry(ctx context.Context, ep netip.AddrPort, res *Result) (net.Conn, error) {
+// three re-queues on connection failure, with exponential backoff between
+// attempts. Deterministic failures (national firewall blocks) are not
+// retried — re-dialing a censored route cannot succeed and only burns scan
+// budget. When a circuit breaker is configured and open for the
+// endpoint's provider, the dial is skipped with ErrCircuitOpen.
+func (s *Scanner) dialRetry(ctx context.Context, ep netip.AddrPort, res *Result, key string) (net.Conn, error) {
 	var lastErr error
+	var spent time.Duration
 	attempts := 1 + s.Cfg.Retries
 	for i := 0; i < attempts; i++ {
+		if s.Cfg.Breaker != nil && !s.Cfg.Breaker.Allow(key) {
+			if lastErr != nil {
+				// The breaker tripped mid-retry; report the real failure.
+				return nil, lastErr
+			}
+			return nil, fmt.Errorf("%w: provider %q", ErrCircuitOpen, key)
+		}
 		if res != nil {
 			res.Attempts++
 		}
@@ -280,14 +340,96 @@ func (s *Scanner) dialRetry(ctx context.Context, ep netip.AddrPort, res *Result)
 			cancel()
 		}
 		if err == nil {
+			if s.Cfg.Breaker != nil {
+				s.Cfg.Breaker.Success(key)
+			}
 			return conn, nil
 		}
 		lastErr = err
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
+		if errors.Is(err, simnet.ErrFirewalled) {
+			// Censorship, not a provider outage: no breaker signal, and
+			// re-dialing a censored route cannot succeed.
+			break
+		}
+		if s.Cfg.Breaker != nil {
+			if simnet.IsTimeout(err) {
+				s.Cfg.Breaker.Failure(key)
+			} else {
+				// A refusal or reset is an answer: the provider's network is
+				// up, whatever this host thinks of us. Only silence counts
+				// toward an outage — otherwise every http-only host's closed
+				// port 443 would open the circuit for its whole provider.
+				s.Cfg.Breaker.Success(key)
+			}
+		}
+		if i+1 == attempts {
+			break
+		}
+		delay := s.backoff(ep, i)
+		if simnet.IsTimeout(err) {
+			spent += s.Cfg.Timeout
+		}
+		spent += delay
+		if s.Cfg.HostBudget > 0 && spent > s.Cfg.HostBudget {
+			break
+		}
+		if delay > 0 {
+			if err := s.Cfg.Clock.Sleep(ctx, delay); err != nil {
+				return nil, err
+			}
+		}
 	}
 	return nil, lastErr
+}
+
+// backoff computes the delay before re-attempt number attempt (0-based):
+// exponential doubling from BackoffBase, capped at BackoffMax, scaled by a
+// deterministic jitter factor in [0.5, 1.5) derived from the scan seed and
+// the endpoint — decorrelating retries across hosts without an RNG shared
+// between goroutines.
+func (s *Scanner) backoff(ep netip.AddrPort, attempt int) time.Duration {
+	base := s.Cfg.BackoffBase
+	if base <= 0 {
+		return 0
+	}
+	if attempt > 30 {
+		attempt = 30
+	}
+	d := base << uint(attempt)
+	if s.Cfg.BackoffMax > 0 && d > s.Cfg.BackoffMax {
+		d = s.Cfg.BackoffMax
+	}
+	h := fnv.New64a()
+	var buf [16]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(s.Cfg.Seed >> (8 * i))
+		buf[8+i] = byte(int64(attempt) >> (8 * i))
+	}
+	h.Write(buf[:])
+	if b, err := ep.MarshalBinary(); err == nil {
+		h.Write(b)
+	}
+	frac := float64(h.Sum64()>>11) / float64(1<<53)
+	return time.Duration(float64(d) * (0.5 + frac))
+}
+
+// breakerKey groups endpoints for the circuit breaker: the hosting
+// provider when classified, otherwise the host's /24 prefix.
+func (s *Scanner) breakerKey(res *Result) string {
+	if res.Provider != "" {
+		return res.Provider
+	}
+	if !res.IP.IsValid() {
+		return ""
+	}
+	p, err := res.IP.Prefix(24)
+	if err != nil {
+		return res.IP.String()
+	}
+	return p.String()
 }
 
 func (s *Scanner) applyDeadline(conn net.Conn) {
@@ -338,12 +480,26 @@ func classifyTLSErr(err error) (Exception, string) {
 }
 
 // ScanAll probes every hostname with bounded concurrency, preserving input
-// order in the result slice.
+// order in the result slice. Hosts skipped (context cancellation, breaker)
+// still carry their Hostname, so downstream analysis never sees anonymous
+// rows. When a Journal is configured, hosts it already holds are restored
+// without re-scanning and every newly completed host is checkpointed, so
+// an interrupted run resumes from the last completed host.
 func (s *Scanner) ScanAll(ctx context.Context, hostnames []string) []Result {
 	results := make([]Result, len(hostnames))
+	for i, h := range hostnames {
+		results[i].Hostname = h
+	}
+	journal := s.Cfg.Journal
 	sem := make(chan struct{}, s.Cfg.Concurrency)
 	var wg sync.WaitGroup
 	for i, h := range hostnames {
+		if journal != nil {
+			if prev, ok := journal.Lookup(h); ok {
+				results[i] = prev
+				continue
+			}
+		}
 		if ctx.Err() != nil {
 			break
 		}
@@ -352,7 +508,13 @@ func (s *Scanner) ScanAll(ctx context.Context, hostnames []string) []Result {
 		go func(i int, h string) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			results[i] = s.Scan(ctx, h)
+			r := s.Scan(ctx, h)
+			results[i] = r
+			if journal != nil && ctx.Err() == nil {
+				// Only completed scans are checkpointed; a scan degraded by
+				// cancellation must be redone on resume.
+				journal.Append(r)
+			}
 		}(i, h)
 	}
 	wg.Wait()

@@ -16,6 +16,8 @@ type pipeBuffer struct {
 	buf      []byte
 	closed   bool  // no more writes will arrive
 	readErr  error // error overriding normal reads (e.g. reset)
+	limited  bool  // deliver at most `limit` more bytes, then EOF
+	limit    int
 	deadline time.Time
 	timer    *time.Timer
 }
@@ -31,6 +33,21 @@ func (b *pipeBuffer) write(p []byte) (int, error) {
 	defer b.mu.Unlock()
 	if b.closed {
 		return 0, ErrConnClosed
+	}
+	if b.limited {
+		// Deliver only what the truncation budget allows; the writer does
+		// not notice, as with bytes lost after a mid-flight teardown.
+		keep := p
+		if len(keep) > b.limit {
+			keep = keep[:b.limit]
+		}
+		b.buf = append(b.buf, keep...)
+		b.limit -= len(keep)
+		if b.limit == 0 {
+			b.closed = true
+		}
+		b.cond.Broadcast()
+		return len(p), nil
 	}
 	b.buf = append(b.buf, p...)
 	b.cond.Broadcast()
@@ -63,6 +80,20 @@ func (b *pipeBuffer) close() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.closed = true
+	b.cond.Broadcast()
+}
+
+// truncateAfter caps the bytes this buffer will ever deliver from now on:
+// n more bytes (beyond anything already buffered), then EOF.
+func (b *pipeBuffer) truncateAfter(n int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.limited = true
+	b.limit = n
+	if b.limit <= 0 {
+		b.limit = 0
+		b.closed = true
+	}
 	b.cond.Broadcast()
 }
 
@@ -139,6 +170,20 @@ func (c *Conn) Close() error {
 func (c *Conn) Reset() {
 	c.writeBuf.fail(ErrConnReset)
 	c.readBuf.fail(ErrConnReset)
+}
+
+// ResetInbound resets only the receiving direction: our writes still reach
+// the peer, but everything the peer sends back is replaced by
+// ErrConnReset — an RST arriving after our request went out.
+func (c *Conn) ResetInbound() {
+	c.readBuf.fail(ErrConnReset)
+}
+
+// TruncateInbound cuts the receiving direction after n more bytes: reads
+// deliver at most n bytes of whatever the peer writes, then EOF. The peer
+// keeps writing successfully, as with a connection torn down in transit.
+func (c *Conn) TruncateInbound(n int) {
+	c.readBuf.truncateAfter(n)
 }
 
 // LocalAddr implements net.Conn.

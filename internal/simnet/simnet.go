@@ -14,9 +14,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"net"
 	"net/netip"
 	"sync"
+	"time"
+
+	"repro/internal/simclock"
 )
 
 // Errors surfaced by the simulated network. They correspond to the
@@ -29,10 +33,21 @@ var (
 	ErrFirewalled  = errors.New("simnet: blocked by national firewall")
 )
 
+// ErrFirewallTimeout is what a censored dial fails with: it classifies as
+// a timeout (on the wire, censorship is indistinguishable from packet
+// loss, §7.1.2) while staying identifiable as a deterministic block via
+// errors.Is(err, ErrFirewalled) — so a scanner can classify it once
+// instead of burning its retry budget re-dialing a censored route.
+var ErrFirewallTimeout = fmt.Errorf("%w: %w", ErrTimedOut, ErrFirewalled)
+
 // Fault is a per-endpoint failure mode.
 type Fault int
 
-// Endpoint failure modes.
+// Endpoint failure modes. The first four are permanent: every dial (or
+// every use) fails the same way. The transient modes model the long tail
+// of flaky hosts the paper's scanner survives by re-queuing (§4.2.3): they
+// fail some dials and let others through, deterministically for a given
+// network seed.
 const (
 	// FaultNone delivers connections normally.
 	FaultNone Fault = iota
@@ -42,7 +57,50 @@ const (
 	FaultTimeout
 	// FaultReset accepts the dial then resets the connection on first use.
 	FaultReset
+	// FaultFlaky fails the endpoint's first FailCount dials (with FailWith,
+	// default ErrConnReset) and serves normally afterwards — a host that
+	// recovers under the scanner's retry policy.
+	FaultFlaky
+	// FaultProb fails each dial independently with Probability, decided by
+	// a deterministic per-(endpoint, dial-ordinal) hash of the network
+	// seed, so runs with the same seed see the same failure sequence.
+	FaultProb
+	// FaultMidHandshake completes the TCP dial and lets the client send
+	// (the ClientHello goes out) but every byte the server sends back is
+	// replaced by a connection reset — an RST arriving mid-handshake.
+	FaultMidHandshake
+	// FaultTruncate completes the dial but cuts the server-to-client
+	// stream after TruncateBytes bytes, then EOF — a truncated response.
+	FaultTruncate
 )
+
+// transient reports whether the mode can let later dials succeed.
+func (f Fault) transient() bool { return f == FaultFlaky || f == FaultProb }
+
+// FaultSpec is the full description of an endpoint failure mode. The zero
+// value means "no fault". Legacy SetFault(ep, mode) is shorthand for
+// SetFaultSpec(ep, FaultSpec{Mode: mode}).
+type FaultSpec struct {
+	// Mode selects the failure behaviour.
+	Mode Fault
+	// FailCount is how many initial dials FaultFlaky fails.
+	FailCount int
+	// Probability is FaultProb's per-dial failure chance in [0, 1].
+	Probability float64
+	// FailWith overrides the error FaultFlaky/FaultProb dials fail with;
+	// nil means ErrConnReset.
+	FailWith error
+	// DialLatency is injected before the dial resolves (success or
+	// failure), advancing the network's clock. Usable with any Mode,
+	// including FaultNone, to model slow responders.
+	DialLatency time.Duration
+	// TruncateBytes is how many server-sent bytes FaultTruncate delivers
+	// before the stream ends.
+	TruncateBytes int
+}
+
+// isZero reports whether the spec configures nothing.
+func (fs FaultSpec) isZero() bool { return fs.Mode == FaultNone && fs.DialLatency == 0 }
 
 // FirewallFunc inspects a dial and returns a non-nil error to block it.
 // The source is an opaque vantage label (e.g. "us-west") so censorship can
@@ -67,20 +125,45 @@ type Network struct {
 	mu        sync.RWMutex
 	listeners map[netip.AddrPort]*Listener
 	handlers  map[netip.AddrPort]Handler
-	faults    map[netip.AddrPort]Fault
+	faults    map[netip.AddrPort]FaultSpec
+	dialSeq   map[netip.AddrPort]int64
 	firewall  FirewallFunc
+	clock     simclock.Clock
+	seed      int64
 	nextPort  uint16
 	dials     int64
 }
 
-// New creates an empty network.
+// New creates an empty network on a collapsing virtual clock (injected
+// latency advances simulated time only).
 func New() *Network {
 	return &Network{
 		listeners: make(map[netip.AddrPort]*Listener),
 		handlers:  make(map[netip.AddrPort]Handler),
-		faults:    make(map[netip.AddrPort]Fault),
+		faults:    make(map[netip.AddrPort]FaultSpec),
+		dialSeq:   make(map[netip.AddrPort]int64),
+		clock:     simclock.NewVirtual(time.Unix(0, 0)),
 		nextPort:  40000,
 	}
+}
+
+// SetClock installs the clock used for injected latency. Simulation wires
+// a shared virtual clock; nil restores the default.
+func (n *Network) SetClock(c simclock.Clock) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if c == nil {
+		c = simclock.NewVirtual(time.Unix(0, 0))
+	}
+	n.clock = c
+}
+
+// SetSeed fixes the seed behind probabilistic faults; identical seeds give
+// identical per-endpoint failure sequences.
+func (n *Network) SetSeed(seed int64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.seed = seed
 }
 
 // Handle registers a handler for an endpoint. Unlike Listen, a handler
@@ -106,15 +189,30 @@ func (n *Network) HasEndpoint(ep netip.AddrPort) bool {
 	return l || h
 }
 
-// SetFault installs a failure mode on an endpoint.
+// SetFault installs a simple failure mode on an endpoint.
 func (n *Network) SetFault(ep netip.AddrPort, f Fault) {
+	n.SetFaultSpec(ep, FaultSpec{Mode: f})
+}
+
+// SetFaultSpec installs a full failure description on an endpoint; a zero
+// spec removes any existing fault. Installing a spec resets the endpoint's
+// dial ordinal, so FaultFlaky counts from the installation point.
+func (n *Network) SetFaultSpec(ep netip.AddrPort, fs FaultSpec) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if f == FaultNone {
+	delete(n.dialSeq, ep)
+	if fs.isZero() {
 		delete(n.faults, ep)
 		return
 	}
-	n.faults[ep] = f
+	n.faults[ep] = fs
+}
+
+// FaultAt reports the fault spec installed on an endpoint.
+func (n *Network) FaultAt(ep netip.AddrPort) FaultSpec {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.faults[ep]
 }
 
 // SetFirewall installs the censorship hook; nil disables it.
@@ -150,15 +248,22 @@ func (n *Network) Listen(ep netip.AddrPort) (*Listener, error) {
 }
 
 // Dial connects to an endpoint from the given vantage. It honours the
-// context, endpoint faults and the firewall.
+// context, endpoint faults (permanent and transient), injected latency and
+// the firewall.
 func (n *Network) Dial(ctx context.Context, fromVantage string, ep netip.AddrPort) (net.Conn, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	n.mu.Lock()
 	n.dials++
-	fault := n.faults[ep]
+	spec := n.faults[ep]
+	seq := n.dialSeq[ep]
+	if spec.Mode.transient() {
+		n.dialSeq[ep] = seq + 1
+	}
 	fw := n.firewall
+	clock := n.clock
+	seed := n.seed
 	l := n.listeners[ep]
 	h := n.handlers[ep]
 	n.mu.Unlock()
@@ -168,14 +273,30 @@ func (n *Network) Dial(ctx context.Context, fromVantage string, ep netip.AddrPor
 			return nil, &net.OpError{Op: "dial", Net: "sim", Addr: Addr{ep}, Err: err}
 		}
 	}
-	switch fault {
+	if spec.DialLatency > 0 {
+		if err := clock.Sleep(ctx, spec.DialLatency); err != nil {
+			return nil, err
+		}
+	}
+	dialErr := func(err error) (net.Conn, error) {
+		return nil, &net.OpError{Op: "dial", Net: "sim", Addr: Addr{ep}, Err: err}
+	}
+	switch spec.Mode {
 	case FaultRefuse:
-		return nil, &net.OpError{Op: "dial", Net: "sim", Addr: Addr{ep}, Err: ErrConnRefused}
+		return dialErr(ErrConnRefused)
 	case FaultTimeout:
-		return nil, &net.OpError{Op: "dial", Net: "sim", Addr: Addr{ep}, Err: ErrTimedOut}
+		return dialErr(ErrTimedOut)
+	case FaultFlaky:
+		if seq < int64(spec.FailCount) {
+			return dialErr(spec.failErr())
+		}
+	case FaultProb:
+		if dialChance(seed, ep, seq) < spec.Probability {
+			return dialErr(spec.failErr())
+		}
 	}
 	if l == nil && h == nil {
-		return nil, &net.OpError{Op: "dial", Net: "sim", Addr: Addr{ep}, Err: ErrConnRefused}
+		return dialErr(ErrConnRefused)
 	}
 
 	n.mu.Lock()
@@ -188,10 +309,18 @@ func (n *Network) Dial(ctx context.Context, fromVantage string, ep netip.AddrPor
 	clientAddr := Addr{netip.AddrPortFrom(netip.MustParseAddr("10.0.0.1"), clientPort)}
 	client, server := Pipe(clientAddr, Addr{ep})
 
-	if fault == FaultReset {
-		// The TCP handshake completes but the connection dies on use.
+	switch spec.Mode {
+	case FaultReset:
+		// The TCP handshake completes but the connection dies on use; the
+		// server side never sees it.
 		client.Reset()
 		return client, nil
+	case FaultMidHandshake:
+		// The client's outbound bytes reach the server, but everything the
+		// server answers is replaced by a reset.
+		client.ResetInbound()
+	case FaultTruncate:
+		client.TruncateInbound(spec.TruncateBytes)
 	}
 
 	if h != nil {
@@ -204,12 +333,45 @@ func (n *Network) Dial(ctx context.Context, fromVantage string, ep netip.AddrPor
 
 	select {
 	case l.backlog <- server:
+		// The listener may have closed between the send and now; its Close
+		// drains the backlog, but a conn that slipped in after the drain
+		// must not be left half-open.
+		select {
+		case <-l.done:
+			server.Close()
+			return dialErr(ErrConnRefused)
+		default:
+		}
 		return client, nil
 	case <-l.done:
 		return nil, &net.OpError{Op: "dial", Net: "sim", Addr: Addr{ep}, Err: ErrConnRefused}
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
+}
+
+// failErr picks the error a transient fault fails with.
+func (fs FaultSpec) failErr() error {
+	if fs.FailWith != nil {
+		return fs.FailWith
+	}
+	return ErrConnReset
+}
+
+// dialChance derives a deterministic value in [0, 1) from the network
+// seed, the endpoint and the dial ordinal, so probabilistic faults are
+// reproducible regardless of goroutine scheduling.
+func dialChance(seed int64, ep netip.AddrPort, seq int64) float64 {
+	h := fnv.New64a()
+	var buf [16]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(seed >> (8 * i))
+		buf[8+i] = byte(seq >> (8 * i))
+	}
+	h.Write(buf[:])
+	b, _ := ep.MarshalBinary()
+	h.Write(b)
+	return float64(h.Sum64()>>11) / float64(1<<53)
 }
 
 // Listener accepts simulated connections.
@@ -231,13 +393,23 @@ func (l *Listener) Accept() (net.Conn, error) {
 	}
 }
 
-// Close stops the listener and removes it from the network.
+// Close stops the listener and removes it from the network. Connections
+// already queued in the backlog but never accepted are closed, so their
+// peers see EOF instead of hanging on a half-open conn.
 func (l *Listener) Close() error {
 	l.closeOnce.Do(func() {
 		close(l.done)
 		l.net.mu.Lock()
 		delete(l.net.listeners, l.addr)
 		l.net.mu.Unlock()
+		for {
+			select {
+			case c := <-l.backlog:
+				c.Close()
+			default:
+				return
+			}
+		}
 	})
 	return nil
 }
@@ -255,3 +427,7 @@ func IsRefused(err error) bool { return errors.Is(err, ErrConnRefused) }
 
 // IsReset reports whether err represents a reset connection.
 func IsReset(err error) bool { return errors.Is(err, ErrConnReset) }
+
+// IsFirewalled reports whether err represents a deterministic censorship
+// block; such failures never succeed on retry.
+func IsFirewalled(err error) bool { return errors.Is(err, ErrFirewalled) }

@@ -30,7 +30,16 @@ const (
 	QuirkHandshakeFailureAlert
 	// QuirkProtocolVersionAlert aborts with a TLSv1 protocol_version alert.
 	QuirkProtocolVersionAlert
+	// QuirkTruncateHandshake sends the ServerHello and then tears the
+	// connection down, so the client sees a truncated handshake (EOF where
+	// the Certificate message should be) — the response-truncation fault
+	// model at the TLS layer.
+	QuirkTruncateHandshake
 )
+
+// ErrHandshakeTruncated marks a handshake the server deliberately cut
+// short (QuirkTruncateHandshake).
+var ErrHandshakeTruncated = fmt.Errorf("tlssim: handshake truncated by server")
 
 // ServerConfig configures a simulated TLS server.
 type ServerConfig struct {
@@ -251,6 +260,11 @@ func ServerHandshake(raw net.Conn, cfg *ServerConfig) (*Conn, error) {
 	if cfg.Quirk == QuirkSSLv2Only {
 		// The client rejects the SSLv2 selection; nothing more to send.
 		return nil, ErrUnsupportedProtocol
+	}
+	if cfg.Quirk == QuirkTruncateHandshake {
+		// Tear the connection down where the Certificate should follow.
+		raw.Close()
+		return nil, ErrHandshakeTruncated
 	}
 
 	certMsg := append([]byte{msgCertificate}, cert.EncodeChain(cfg.Chain)...)

@@ -1,0 +1,31 @@
+package tlssim
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestQuirkTruncateHandshake: the server sends its ServerHello then tears
+// the transport down; the client's handshake must fail (it never sees a
+// certificate), and the server reports the deliberate truncation.
+func TestQuirkTruncateHandshake(t *testing.T) {
+	scfg := &ServerConfig{
+		Chain:      testChain(t),
+		MinVersion: TLS1_0,
+		MaxVersion: TLS1_2,
+		Quirk:      QuirkTruncateHandshake,
+	}
+	cc, cerr, sc, serr := handshakePair(t, scfg, DefaultClientConfig("www.agency.gov"))
+	if cerr == nil {
+		t.Fatal("client handshake succeeded against a truncating server")
+	}
+	if cc != nil {
+		t.Error("client conn non-nil on failed handshake")
+	}
+	if !errors.Is(serr, ErrHandshakeTruncated) {
+		t.Errorf("server err = %v, want ErrHandshakeTruncated", serr)
+	}
+	if sc != nil {
+		t.Error("server conn non-nil after truncation")
+	}
+}

@@ -13,6 +13,13 @@ type Config struct {
 	// ScanTime is the instant certificates are judged against; the paper's
 	// main scan ran 22–26 April 2020.
 	ScanTime time.Time
+	// Flakiness is the fraction of reachable https sites given transient
+	// faults: their 443 endpoint fails the first one or two dials (plus
+	// injected dial latency on some) before serving normally, exercising
+	// the scanner's retry/backoff machinery the way the real Internet's
+	// long tail does (§4.2.3). Sites recover within the paper's 3-retry
+	// budget, so Table 2 aggregates are unchanged. Zero disables.
+	Flakiness float64
 }
 
 // Paper-scale reference times.

@@ -3,6 +3,7 @@ package world
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"repro/internal/hosting"
 )
@@ -50,8 +51,16 @@ func (w *World) buildDataset(r *rand.Rand, f *certFactory, d *datasetSpec) []str
 	// Build the https class deck with exact (scaled) counts.
 	httpsTotal := both + httpsOnly
 	deck := make([]ErrorClass, 0, httpsTotal)
-	for class, n := range d.invalid {
-		for i := 0; i < w.scaled(n, boolToInt(n > 0)); i++ {
+	classes := make([]ErrorClass, 0, len(d.invalid))
+	for class := range d.invalid {
+		classes = append(classes, class)
+	}
+	// Fixed iteration order: the deck must be identical across builds so a
+	// same-seed world assigns every host the same class (map order would
+	// survive the shuffle as a different permutation).
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	for _, class := range classes {
+		for i := 0; i < w.scaled(d.invalid[class], boolToInt(d.invalid[class] > 0)); i++ {
 			deck = append(deck, class)
 		}
 	}

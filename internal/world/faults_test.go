@@ -1,0 +1,98 @@
+package world
+
+import (
+	"net/netip"
+	"testing"
+
+	"repro/internal/simnet"
+)
+
+// TestFlakinessInjection checks the transient-fault injector: selection is
+// seed-deterministic, only healthy https endpoints are touched, and every
+// installed fault heals within the paper's 3-retry budget.
+func TestFlakinessInjection(t *testing.T) {
+	cfg := TestConfig()
+	cfg.Flakiness = 0.5
+	w := MustBuild(cfg)
+
+	faulted := 0
+	for _, s := range w.Sites {
+		if !s.IP.IsValid() {
+			continue
+		}
+		spec := w.Net.FaultAt(netip.AddrPortFrom(s.IP, 443))
+		if spec.Mode == simnet.FaultNone && spec.DialLatency == 0 {
+			continue
+		}
+		if s.Fault != simnet.FaultNone {
+			continue // the site's own permanent fault, not an injection
+		}
+		faulted++
+		if !s.Serving.HasHTTPS() {
+			t.Errorf("%q: fault injected on a non-https site", s.Hostname)
+		}
+		if spec.Mode != simnet.FaultFlaky {
+			t.Errorf("%q: injected mode = %v, want FaultFlaky", s.Hostname, spec.Mode)
+		}
+		if spec.FailCount < 1 || spec.FailCount > 3 {
+			t.Errorf("%q: FailCount = %d, outside the 3-retry heal budget", s.Hostname, spec.FailCount)
+		}
+	}
+	if faulted == 0 {
+		t.Fatal("Flakiness=0.5 injected no faults")
+	}
+
+	// Same seed, same injection — independent of map iteration order.
+	w2 := MustBuild(cfg)
+	for _, s := range w.Sites {
+		if !s.IP.IsValid() {
+			continue
+		}
+		ep := netip.AddrPortFrom(s.IP, 443)
+		if w.Net.FaultAt(ep) != w2.Net.FaultAt(ep) {
+			t.Fatalf("%q: fault spec differs between same-seed builds", s.Hostname)
+		}
+	}
+
+	// Zero flakiness injects nothing beyond the sites' own faults.
+	w0 := MustBuild(TestConfig())
+	for _, s := range w0.Sites {
+		if !s.IP.IsValid() || s.Fault != simnet.FaultNone {
+			continue
+		}
+		if spec := w0.Net.FaultAt(netip.AddrPortFrom(s.IP, 443)); spec.Mode != simnet.FaultNone {
+			t.Fatalf("%q: fault %v present with Flakiness=0", s.Hostname, spec.Mode)
+		}
+	}
+}
+
+// TestSameSeedSameSites: two same-seed builds must agree on every per-host
+// attribute, not just on aggregates — checkpoint/resume across processes
+// depends on it. (Regression test: the GSA class deck was once built by Go
+// map iteration, so which host drew which error class varied per build
+// even though the Table 2 marginals never moved.)
+func TestSameSeedSameSites(t *testing.T) {
+	w1 := MustBuild(TestConfig())
+	w2 := MustBuild(TestConfig())
+	if len(w1.Sites) != len(w2.Sites) {
+		t.Fatalf("site counts differ: %d vs %d", len(w1.Sites), len(w2.Sites))
+	}
+	for h, s1 := range w1.Sites {
+		s2 := w2.Sites[h]
+		if s2 == nil {
+			t.Fatalf("host %q missing from second build", h)
+		}
+		if s1.IP != s2.IP || s1.Injected != s2.Injected || s1.Serving != s2.Serving ||
+			s1.Fault != s2.Fault || s1.Quirk != s2.Quirk || s1.HSTS != s2.HSTS {
+			t.Errorf("host %q differs between same-seed builds:\n  %+v\n  %+v", h,
+				[]any{s1.IP, s1.Injected, s1.Serving, s1.Fault, s1.Quirk, s1.HSTS},
+				[]any{s2.IP, s2.Injected, s2.Serving, s2.Fault, s2.Quirk, s2.HSTS})
+			return
+		}
+		if len(s1.Chain) > 0 && len(s2.Chain) > 0 &&
+			s1.Chain[0].Fingerprint() != s2.Chain[0].Fingerprint() {
+			t.Errorf("host %q: leaf certificate differs between same-seed builds", h)
+			return
+		}
+	}
+}

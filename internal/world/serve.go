@@ -3,8 +3,10 @@ package world
 import (
 	"bufio"
 	"fmt"
+	"hash/fnv"
 	"net"
 	"net/netip"
+	"time"
 
 	"repro/internal/httpsim"
 	"repro/internal/simnet"
@@ -116,6 +118,44 @@ func (w *World) writePage(conn net.Conn, s *Site, https bool) {
 	httpsim.WriteResponse(conn, 200, hdr, httpsim.RenderPage(title, links))
 }
 
+// injectTransientFaults makes Cfg.Flakiness of the reachable https estate
+// flaky: the 443 endpoint fails its first one or two dials (connection
+// reset) before serving normally, and some of those hosts also answer
+// slowly (injected dial latency on the shared virtual clock). Selection is
+// a per-hostname hash of the seed — not a sequential RNG — so the
+// injection is identical regardless of map iteration order, and every
+// faulted site recovers within the paper's 3-retry budget, leaving the
+// Table 2 calibration untouched.
+func (w *World) injectTransientFaults() {
+	if w.Cfg.Flakiness <= 0 {
+		return
+	}
+	for _, s := range w.Sites {
+		if !s.IP.IsValid() || !s.Serving.HasHTTPS() || s.Fault != simnet.FaultNone {
+			continue
+		}
+		h := fnv.New64a()
+		h.Write([]byte(s.Hostname))
+		var seedBuf [8]byte
+		for i := 0; i < 8; i++ {
+			seedBuf[i] = byte(w.Cfg.Seed >> (8 * i))
+		}
+		h.Write(seedBuf[:])
+		v := h.Sum64()
+		if float64(v>>11)/float64(1<<53) >= w.Cfg.Flakiness {
+			continue
+		}
+		spec := simnet.FaultSpec{
+			Mode:      simnet.FaultFlaky,
+			FailCount: 1 + int(v%2),
+		}
+		if v%3 == 0 {
+			spec.DialLatency = time.Duration(50+v%450) * time.Millisecond
+		}
+		w.Net.SetFaultSpec(netip.AddrPortFrom(s.IP, 443), spec)
+	}
+}
+
 // buildFirewall installs the national-firewall model (§7.1.2): dials from
 // the default external vantage to blocked Chinese endpoints time out. The
 // blocked set is the unreachable-but-resolving Chinese population, so the
@@ -143,7 +183,7 @@ func (w *World) buildFirewall() {
 			return nil // §7.1.2: VPN vantages closer to China did not help us either
 		}
 		if blocked[to.Addr()] {
-			return simnet.ErrTimedOut
+			return simnet.ErrFirewallTimeout
 		}
 		return nil
 	})

@@ -22,6 +22,7 @@ import (
 	"repro/internal/ctlog"
 	"repro/internal/dnssim"
 	"repro/internal/hosting"
+	"repro/internal/simclock"
 	"repro/internal/simnet"
 	"repro/internal/tlssim"
 	"repro/internal/truststore"
@@ -100,6 +101,10 @@ type World struct {
 	Stores   map[string]*truststore.Store
 	Class    *hosting.Classifier
 	ScanTime time.Time
+	// Clock is the virtual clock the network (and its fault latency
+	// injection) runs on; scanners share it so backoff and injected
+	// latency advance the same simulated timeline.
+	Clock *simclock.Virtual
 
 	// Sites indexes every site by hostname.
 	Sites map[string]*Site
@@ -162,6 +167,10 @@ func Build(cfg Config) (*World, error) {
 		Whitelist: make(map[string]string),
 		ipAlloc:   make(map[string]uint32),
 	}
+	w.Clock = simclock.NewVirtual(cfg.ScanTime)
+	w.Net.SetClock(w.Clock)
+	w.Net.SetSeed(cfg.Seed)
+
 	root := rand.New(rand.NewSource(cfg.Seed))
 	w.CAs = ca.NewRegistry(rand.New(rand.NewSource(root.Int63())))
 	w.Stores = w.CAs.BuildDefaultStores(rand.New(rand.NewSource(root.Int63())))
@@ -176,6 +185,7 @@ func Build(cfg Config) (*World, error) {
 	w.buildWhois()
 	w.buildFirewall()
 	w.serveAll()
+	w.injectTransientFaults()
 
 	sort.Strings(w.GovHosts)
 	sort.Strings(w.UnreachableHosts)
