@@ -316,13 +316,6 @@ func BenchmarkDisclosureCampaign(b *testing.B) {
 	}
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 // --- Extension benches ---
 
 func BenchmarkExtensionCTCoverage(b *testing.B) { benchExperiment(b, "E1") }

@@ -176,7 +176,8 @@ func (s *Server) Finalize(ctx context.Context, orderID string) ([]*cert.Certific
 	}
 
 	chain := s.Authority.Issue(ca.Request{
-		Hostnames: o.hostnames,
+		// Issue retains the slice; the order keeps using its own copy.
+		Hostnames: append([]string(nil), o.hostnames...),
 		Key:       o.key,
 		NotBefore: s.Clock(),
 	})

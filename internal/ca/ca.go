@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strconv"
 	"time"
 
 	"repro/internal/cert"
@@ -161,11 +162,16 @@ type Request struct {
 	Organization string
 	// Country is the subject country.
 	Country string
+	// Serial, when non-zero, overrides the authority's serial counter.
+	// Parallel world builders partition the serial space per worker so
+	// issuance needs no lock; zero keeps the counter behaviour.
+	Serial uint64
 }
 
 // Issue mints a leaf under the authority and returns the served chain
 // (leaf, intermediate). The authority's serial counter guarantees unique
-// serial numbers per CA.
+// serial numbers per CA. The request's Hostnames slice is retained as the
+// leaf's SAN list; callers must not modify it afterwards.
 func (a *Authority) Issue(req Request) []*cert.Certificate {
 	if len(req.Hostnames) == 0 {
 		panic("ca: issuance request without hostnames")
@@ -174,16 +180,20 @@ func (a *Authority) Issue(req Request) []*cert.Certificate {
 	if lifetime == 0 {
 		lifetime = a.DefaultLifetime
 	}
-	a.serial++
+	serial := req.Serial
+	if serial == 0 {
+		a.serial++
+		serial = a.serial
+	}
 	leaf := &cert.Certificate{
-		SerialNumber: a.serial,
+		SerialNumber: serial,
 		Subject: cert.Name{
 			CommonName:   req.Hostnames[0],
 			Organization: req.Organization,
 			Country:      req.Country,
 		},
 		Issuer:             a.Intermediate.Subject,
-		DNSNames:           append([]string(nil), req.Hostnames...),
+		DNSNames:           req.Hostnames,
 		NotBefore:          req.NotBefore,
 		NotAfter:           req.NotBefore.Add(lifetime),
 		PublicKey:          req.Key,
@@ -198,6 +208,8 @@ func (a *Authority) Issue(req Request) []*cert.Certificate {
 
 // SelfSigned mints a self-signed certificate outside any CA hierarchy —
 // the "localhost" style certificates behind §5.3.3's most-reused chains.
+// The hostnames slice is retained as the SAN list; callers must not modify
+// it afterwards.
 func SelfSigned(key cert.PublicKey, hostnames []string, notBefore time.Time, lifetime time.Duration, alg cert.SignatureAlgorithm) *cert.Certificate {
 	cn := "localhost"
 	if len(hostnames) > 0 {
@@ -206,7 +218,7 @@ func SelfSigned(key cert.PublicKey, hostnames []string, notBefore time.Time, lif
 	c := &cert.Certificate{
 		Subject:            cert.Name{CommonName: cn},
 		Issuer:             cert.Name{CommonName: cn},
-		DNSNames:           append([]string(nil), hostnames...),
+		DNSNames:           hostnames,
 		NotBefore:          notBefore,
 		NotAfter:           notBefore.Add(lifetime),
 		PublicKey:          key,
@@ -264,13 +276,14 @@ func (r *Registry) BuildStore(name string, counts StoreCounts, rng *rand.Rand) *
 		fillerOwners = 1
 	}
 	for i := 0; s.Len() < counts.Roots; i++ {
-		ownerName := fmt.Sprintf("%s filler owner %d", name, i%fillerOwners)
+		ownerName := name + " filler owner " + strconv.Itoa(i%fillerOwners)
 		owners[ownerName] = true
 		key := cert.NewKey(rng, cert.KeyRSA, 4096)
+		cn := name + " Filler Root " + strconv.Itoa(i)
 		root := &cert.Certificate{
 			SerialNumber:       rng.Uint64(),
-			Subject:            cert.Name{CommonName: fmt.Sprintf("%s Filler Root %d", name, i), Organization: ownerName},
-			Issuer:             cert.Name{CommonName: fmt.Sprintf("%s Filler Root %d", name, i), Organization: ownerName},
+			Subject:            cert.Name{CommonName: cn, Organization: ownerName},
+			Issuer:             cert.Name{CommonName: cn, Organization: ownerName},
 			NotBefore:          time.Date(2005, 1, 1, 0, 0, 0, 0, time.UTC),
 			NotAfter:           time.Date(2045, 1, 1, 0, 0, 0, 0, time.UTC),
 			PublicKey:          key,

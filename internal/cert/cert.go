@@ -153,6 +153,32 @@ type Certificate struct {
 	AuthorityKeyID KeyID
 	// Signature binds the TBS bytes to the issuing key.
 	Signature [32]byte
+
+	// Frozen caches of the wire encoding, TBS bytes and fingerprint,
+	// populated by Freeze (or by ParseChain, whose input already carries the
+	// encoding). Nil while the certificate is still being built; Sign and
+	// Clone reset them. Once set they are read-only, so a frozen certificate
+	// is safe to share across goroutines.
+	enc []byte
+	tbs []byte
+	fp  *[32]byte
+}
+
+// Freeze precomputes the certificate's wire encoding, TBS bytes and
+// fingerprint so Encode, Fingerprint and signature checks stop
+// re-serializing on every call. Call it once, from a single goroutine,
+// after the certificate reaches its final form; mutating an exported field
+// afterwards leaves the caches stale (Sign and Clone reset them).
+func (c *Certificate) Freeze() {
+	if c.enc != nil {
+		return
+	}
+	tbs := encodeBody(c, false)
+	// The wire form is tbs ++ signature; appending in place shares one
+	// backing array between both cached views.
+	enc := append(tbs, c.Signature[:]...)
+	fp := sha256.Sum256(enc)
+	c.tbs, c.enc, c.fp = enc[:len(tbs):len(tbs)], enc, &fp
 }
 
 // Errors returned by signature and hostname verification.
@@ -162,16 +188,19 @@ var (
 	ErrNoHostname        = errors.New("cert: certificate contains no host names")
 )
 
-// tbsBytes serializes the to-be-signed portion of the certificate.
+// tbsBytes serializes the to-be-signed portion of the certificate
+// (encodeBody never reads the Signature field when withSig is false).
 func (c *Certificate) tbsBytes() []byte {
-	clone := *c
-	clone.Signature = [32]byte{}
-	return encodeBody(&clone, false)
+	if c.tbs != nil {
+		return c.tbs
+	}
+	return encodeBody(c, false)
 }
 
 // Sign computes the certificate signature under the given issuing key.
 // For self-signed certificates, pass the certificate's own key ID.
 func (c *Certificate) Sign(issuerKey KeyID) {
+	c.enc, c.tbs, c.fp = nil, nil, nil
 	c.AuthorityKeyID = issuerKey
 	c.Signature = computeSignature(c.tbsBytes(), issuerKey, c.SignatureAlgorithm)
 }
@@ -182,7 +211,7 @@ func computeSignature(tbs []byte, key KeyID, alg SignatureAlgorithm) [32]byte {
 	h.Write(key[:])
 	h.Write(tbs)
 	var out [32]byte
-	copy(out[:], h.Sum(nil))
+	h.Sum(out[:0])
 	return out
 }
 
@@ -292,13 +321,18 @@ func matchHostname(pattern, host string) bool {
 // Fingerprint returns a stable digest of the full certificate, used to
 // detect exact certificate reuse across hosts (§5.3.3).
 func (c *Certificate) Fingerprint() [32]byte {
+	if c.fp != nil {
+		return *c.fp
+	}
 	return sha256.Sum256(c.Encode())
 }
 
-// Clone returns a deep copy of the certificate.
+// Clone returns a deep copy of the certificate. The copy is mutable: the
+// frozen caches are not carried over.
 func (c *Certificate) Clone() *Certificate {
 	clone := *c
 	clone.DNSNames = append([]string(nil), c.DNSNames...)
 	clone.PolicyOIDs = append([]string(nil), c.PolicyOIDs...)
+	clone.enc, clone.tbs, clone.fp = nil, nil, nil
 	return &clone
 }

@@ -1,6 +1,7 @@
 package cert
 
 import (
+	"crypto/sha256"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -28,11 +29,30 @@ var (
 	ErrOversize  = errors.New("cert: encoded field exceeds size limit")
 )
 
-// Encode serializes the certificate, including its signature.
-func (c *Certificate) Encode() []byte { return encodeBody(c, true) }
+// Encode serializes the certificate, including its signature. On a frozen
+// certificate the cached encoding is returned directly; callers must not
+// modify it.
+func (c *Certificate) Encode() []byte {
+	if c.enc != nil {
+		return c.enc
+	}
+	return encodeBody(c, true)
+}
 
 func encodeBody(c *Certificate, withSig bool) []byte {
-	var b builder
+	// Upper-bound the encoded size so the builder allocates exactly once:
+	// 107 covers the magic, the fixed-width fields and every varint at its
+	// ceiling; each string costs its length plus a 2-byte length varint.
+	size := 107 + 12 +
+		len(c.Subject.CommonName) + len(c.Subject.Organization) + len(c.Subject.Country) +
+		len(c.Issuer.CommonName) + len(c.Issuer.Organization) + len(c.Issuer.Country)
+	for _, n := range c.DNSNames {
+		size += len(n) + 2
+	}
+	for _, oid := range c.PolicyOIDs {
+		size += len(oid) + 2
+	}
+	b := builder{buf: make([]byte, 0, size)}
 	b.bytes(encodeMagic[:])
 	b.uvarint(c.SerialNumber)
 	encodeName(&b, c.Subject)
@@ -119,7 +139,7 @@ func parseOne(data []byte) (*Certificate, []byte, error) {
 
 // EncodeChain serializes a certificate chain, leaf first.
 func EncodeChain(chain []*Certificate) []byte {
-	var b builder
+	b := builder{buf: make([]byte, 0, 16+320*len(chain))}
 	b.uvarint(uint64(len(chain)))
 	for _, c := range chain {
 		enc := c.Encode()
@@ -153,6 +173,11 @@ func ParseChain(data []byte) ([]*Certificate, error) {
 		if len(rest) != 0 {
 			return nil, fmt.Errorf("cert: chain entry %d has %d trailing bytes", i, len(rest))
 		}
+		// The wire bytes *are* the encoding (TBS bytes followed by the
+		// signature), so seed the frozen caches and spare the parsed chain
+		// from ever re-serializing.
+		fp := sha256.Sum256(raw)
+		c.enc, c.tbs, c.fp = raw, raw[:len(raw)-len(c.Signature)], &fp
 		chain = append(chain, c)
 	}
 	if len(p.buf) != 0 {

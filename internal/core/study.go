@@ -10,8 +10,10 @@ import (
 	"os"
 	"sync"
 
+	"repro/internal/cert"
 	"repro/internal/scanner"
 	"repro/internal/truststore"
+	"repro/internal/verify"
 	"repro/internal/world"
 )
 
@@ -27,6 +29,14 @@ type Study struct {
 	storeInUse string
 	journal    *scanner.Journal
 	breaker    *scanner.Breaker
+
+	// verifyCache and chainCache persist across every scanner this study
+	// builds, so the worldwide, USA and ROK datasets — and repeat scans
+	// under different stores — share one pool of verified chain structures
+	// and parsed chains. The verify cache keys on the trust store, so no
+	// invalidation is needed when UseStore switches.
+	verifyCache *verify.Cache
+	chainCache  *cert.ChainCache
 }
 
 // NewStudy builds the world for the configuration.
@@ -35,7 +45,13 @@ func NewStudy(cfg world.Config) (*Study, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Study{World: w, usa: make(map[string][]scanner.Result), storeInUse: "apple"}, nil
+	return &Study{
+		World:       w,
+		usa:         make(map[string][]scanner.Result),
+		storeInUse:  "apple",
+		verifyCache: verify.NewCache(),
+		chainCache:  cert.NewChainCache(),
+	}, nil
 }
 
 // MustNewStudy is NewStudy for known-valid configurations.
@@ -129,6 +145,8 @@ func (s *Study) Scanner() *scanner.Scanner {
 	cfg.Clock = s.World.Clock
 	cfg.Journal = s.journal
 	cfg.Breaker = s.breaker
+	cfg.VerifyCache = s.verifyCache
+	cfg.ChainCache = s.chainCache
 	return scanner.New(s.World.Net, s.World.DNS, s.World.Class, cfg)
 }
 

@@ -35,7 +35,7 @@ func LeafHash(data []byte) Hash {
 	h.Write([]byte{leafPrefix})
 	h.Write(data)
 	var out Hash
-	copy(out[:], h.Sum(nil))
+	h.Sum(out[:0])
 	return out
 }
 
@@ -45,7 +45,7 @@ func nodeHash(l, r Hash) Hash {
 	h.Write(l[:])
 	h.Write(r[:])
 	var out Hash
-	copy(out[:], h.Sum(nil))
+	h.Sum(out[:0])
 	return out
 }
 
@@ -82,10 +82,16 @@ type Log struct {
 
 // New creates an empty log.
 func New(name string) *Log {
+	return NewSized(name, 0)
+}
+
+// NewSized is New with a capacity hint for the expected entry count.
+func NewSized(name string, hint int) *Log {
 	return &Log{
-		name:   name,
-		logID:  LeafHash([]byte("ct-log-id:" + name)),
-		byHost: make(map[string][]int),
+		name:    name,
+		logID:   LeafHash([]byte("ct-log-id:" + name)),
+		entries: make([]Entry, 0, hint),
+		byHost:  make(map[string][]int, hint),
 	}
 }
 

@@ -35,8 +35,13 @@ func (r CAARecord) Valid() bool {
 	return (r.Tag == "issue" || r.Tag == "issuewild") && r.Value != ""
 }
 
+// record is stored by value in the zone map: one fewer heap object per
+// hostname, which matters when whole-world builds register every host.
+// The first A record lives inline for the same reason — almost every
+// hostname has exactly one address, so the slice stays nil.
 type record struct {
-	addrs    []netip.Addr
+	addr0    netip.Addr
+	addrs    []netip.Addr // second and later A records, rarely populated
 	caa      []CAARecord
 	servfail bool
 }
@@ -44,35 +49,52 @@ type record struct {
 // Zone is the authoritative database for the simulated Internet.
 type Zone struct {
 	mu      sync.RWMutex
-	records map[string]*record
+	records map[string]record
 }
 
 // NewZone creates an empty zone.
 func NewZone() *Zone {
-	return &Zone{records: make(map[string]*record)}
+	return NewZoneSized(0)
+}
+
+// NewZoneSized is NewZone with a capacity hint for the record table, for
+// callers that register whole host populations at once.
+func NewZoneSized(hint int) *Zone {
+	return &Zone{records: make(map[string]record, hint)}
 }
 
 // AddA installs an A record for the hostname.
 func (z *Zone) AddA(hostname string, addr netip.Addr) {
 	z.mu.Lock()
 	defer z.mu.Unlock()
-	rec := z.record(hostname)
-	rec.addrs = append(rec.addrs, addr)
+	key := strings.ToLower(hostname)
+	rec := z.records[key]
+	if !rec.addr0.IsValid() {
+		rec.addr0 = addr
+	} else {
+		rec.addrs = append(rec.addrs, addr)
+	}
+	z.records[key] = rec
 }
 
 // AddCAA installs a CAA record on the domain.
 func (z *Zone) AddCAA(domain string, r CAARecord) {
 	z.mu.Lock()
 	defer z.mu.Unlock()
-	rec := z.record(domain)
+	key := strings.ToLower(domain)
+	rec := z.records[key]
 	rec.caa = append(rec.caa, r)
+	z.records[key] = rec
 }
 
 // SetServFail makes lookups for the hostname fail with ErrServFail.
 func (z *Zone) SetServFail(hostname string, broken bool) {
 	z.mu.Lock()
 	defer z.mu.Unlock()
-	z.record(hostname).servfail = broken
+	key := strings.ToLower(hostname)
+	rec := z.records[key]
+	rec.servfail = broken
+	z.records[key] = rec
 }
 
 // Remove deletes a hostname entirely (it becomes NXDOMAIN). Used by the
@@ -81,16 +103,6 @@ func (z *Zone) Remove(hostname string) {
 	z.mu.Lock()
 	defer z.mu.Unlock()
 	delete(z.records, strings.ToLower(hostname))
-}
-
-func (z *Zone) record(hostname string) *record {
-	key := strings.ToLower(hostname)
-	rec, ok := z.records[key]
-	if !ok {
-		rec = &record{}
-		z.records[key] = rec
-	}
-	return rec
 }
 
 // LookupA resolves the hostname to its A records. The paper's pipeline uses
@@ -106,11 +118,12 @@ func (z *Zone) LookupA(hostname string) ([]netip.Addr, error) {
 	if rec.servfail {
 		return nil, fmt.Errorf("lookup %s: %w", hostname, ErrServFail)
 	}
-	if len(rec.addrs) == 0 {
+	if !rec.addr0.IsValid() {
 		return nil, fmt.Errorf("lookup %s: %w", hostname, ErrNXDomain)
 	}
-	out := make([]netip.Addr, len(rec.addrs))
-	copy(out, rec.addrs)
+	out := make([]netip.Addr, 0, 1+len(rec.addrs))
+	out = append(out, rec.addr0)
+	out = append(out, rec.addrs...)
 	return out, nil
 }
 
@@ -152,7 +165,7 @@ func (z *Zone) Hostnames() []string {
 	defer z.mu.RUnlock()
 	out := make([]string, 0, len(z.records))
 	for h, rec := range z.records {
-		if len(rec.addrs) > 0 {
+		if rec.addr0.IsValid() {
 			out = append(out, h)
 		}
 	}

@@ -59,7 +59,7 @@ type Country struct {
 // GovSuffixes returns every hostname suffix that identifies an official
 // government site of the country, most specific first.
 func (c Country) GovSuffixes() []string {
-	var out []string
+	out := make([]string, 0, 1+len(c.ExtraGovTLDs))
 	if c.Convention != ConvNone {
 		out = append(out, string(c.Convention)+"."+c.Code)
 	}

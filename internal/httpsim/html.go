@@ -93,7 +93,10 @@ func indexCaseInsensitive(s, sub string) int {
 	return strings.Index(strings.ToLower(s), sub)
 }
 
+// htmlEscaper is shared across calls: strings.NewReplacer builds its
+// matching machine lazily on first Replace and is safe for concurrent use.
+var htmlEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+
 func escapeHTML(s string) string {
-	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
-	return r.Replace(s)
+	return htmlEscaper.Replace(s)
 }

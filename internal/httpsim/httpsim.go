@@ -13,6 +13,7 @@ import (
 	"net"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Protocol limits.
@@ -121,13 +122,41 @@ func ReadRequest(br *bufio.Reader) (*Request, error) {
 	return req, nil
 }
 
+// brPool recycles the response readers Get/Post allocate: responses are
+// fully consumed by ReadResponse, so the reader holds no live state when
+// the call returns.
+var brPool = sync.Pool{
+	New: func() any { return bufio.NewReaderSize(nil, 4096) },
+}
+
+func readPooled(conn net.Conn) (*Response, error) {
+	br := brPool.Get().(*bufio.Reader)
+	br.Reset(conn)
+	resp, err := ReadResponse(br)
+	br.Reset(nil)
+	brPool.Put(br)
+	return resp, err
+}
+
+// ReadRequestConn parses one request from conn using a pooled reader. The
+// request is fully consumed before the call returns, so the reader carries
+// no state back into the pool.
+func ReadRequestConn(conn net.Conn) (*Request, error) {
+	br := brPool.Get().(*bufio.Reader)
+	br.Reset(conn)
+	req, err := ReadRequest(br)
+	br.Reset(nil)
+	brPool.Put(br)
+	return req, err
+}
+
 // Post performs one POST over an established connection and parses the
 // response.
 func Post(conn net.Conn, host, path, contentType string, body []byte) (*Response, error) {
 	if err := WriteRequestBody(conn, "POST", host, path, contentType, body); err != nil {
 		return nil, err
 	}
-	return ReadResponse(bufio.NewReader(conn))
+	return readPooled(conn)
 }
 
 // WriteResponse sends a response with the given status, headers and body.
@@ -240,5 +269,5 @@ func Get(conn net.Conn, host, path string) (*Response, error) {
 	if err := WriteRequest(conn, "GET", host, path); err != nil {
 		return nil, err
 	}
-	return ReadResponse(bufio.NewReader(conn))
+	return readPooled(conn)
 }

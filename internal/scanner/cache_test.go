@@ -1,0 +1,110 @@
+package scanner
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/cert"
+	"repro/internal/verify"
+)
+
+// TestScanCacheDifferential proves the shared caches are purely an
+// optimization: scanning the same worldwide list with and without them
+// yields byte-identical results, and therefore identical Table 2 tallies.
+func TestScanCacheDifferential(t *testing.T) {
+	w := testWorld
+	hosts := w.GovHosts
+
+	cached := testScanner().ScanAll(context.Background(), hosts)
+
+	cfg := DefaultConfig(w.Stores["apple"], w.ScanTime)
+	cfg.VerifyCache = nil
+	cfg.ChainCache = nil
+	uncached := New(w.Net, w.DNS, w.Class, cfg).ScanAll(context.Background(), hosts)
+
+	if len(cached) != len(uncached) {
+		t.Fatalf("result counts differ: %d vs %d", len(cached), len(uncached))
+	}
+	for i := range cached {
+		a, err := json.Marshal(toEntry(cached[i]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(toEntry(uncached[i]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("host %q differs with cache on:\n  cached:   %s\n  uncached: %s",
+				hosts[i], a, b)
+		}
+	}
+
+	tally := func(rs []Result) map[Category]int {
+		m := map[Category]int{}
+		for _, r := range rs {
+			m[r.Category()]++
+		}
+		return m
+	}
+	if a, b := tally(cached), tally(uncached); !reflect.DeepEqual(a, b) {
+		t.Errorf("Table 2 tallies differ: cached %v, uncached %v", a, b)
+	}
+}
+
+// TestVerifyCacheConcurrent hammers one shared verify cache from 64
+// goroutines (run under -race in CI) and checks every verdict against an
+// uncached baseline.
+func TestVerifyCacheConcurrent(t *testing.T) {
+	w := testWorld
+	store := w.Stores["apple"]
+
+	var chains [][]*cert.Certificate
+	var hostnames []string
+	for _, h := range w.GovHosts {
+		s := w.Sites[h]
+		if len(s.Chain) == 0 {
+			continue
+		}
+		chains = append(chains, s.Chain)
+		hostnames = append(hostnames, h)
+		if len(chains) == 200 {
+			break
+		}
+	}
+
+	base := &verify.Verifier{Store: store, Now: w.ScanTime}
+	baseline := make([]verify.Result, len(chains))
+	for i := range chains {
+		baseline[i] = base.Verify(chains[i], hostnames[i])
+	}
+
+	cache := verify.NewCache()
+	var wg sync.WaitGroup
+	for g := 0; g < 64; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v := &verify.Verifier{Store: store, Now: w.ScanTime, Cache: cache}
+			for i := range chains {
+				if got := v.Verify(chains[i], hostnames[i]); !reflect.DeepEqual(got, baseline[i]) {
+					t.Errorf("host %q: cached verdict %+v, want %+v", hostnames[i], got, baseline[i])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	hits, misses := cache.Stats()
+	if hits == 0 {
+		t.Error("shared cache recorded no hits across 64 goroutines")
+	}
+	if misses == 0 {
+		t.Error("shared cache recorded no misses")
+	}
+}

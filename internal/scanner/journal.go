@@ -112,12 +112,24 @@ func (e journalEntry) toResult() (Result, error) {
 // run killed mid-scan resumes from the last completed host instead of
 // restarting 135k probes from zero. Appends are safe from concurrent scan
 // goroutines.
+//
+// Writes are batched behind a buffered writer and flushed to the file every
+// journalFlushEvery appends and on Close, so the per-host checkpoint cost
+// is a buffer copy rather than a syscall. A crash can lose at most the one
+// unflushed batch; the truncated-tail repair in OpenJournal makes any
+// partially written line harmless, and the lost hosts are simply rescanned
+// on resume.
 type Journal struct {
-	mu   sync.Mutex
-	f    *os.File
-	enc  *json.Encoder
-	done map[string]Result
+	mu        sync.Mutex
+	f         *os.File
+	w         *bufio.Writer
+	unflushed int
+	done      map[string]Result
 }
+
+// journalFlushEvery bounds how many appends may sit in the write buffer
+// before it is forced to disk.
+const journalFlushEvery = 64
 
 // OpenJournal opens (or creates) a checkpoint journal, loading every
 // complete entry already present. A truncated final line — the signature
@@ -158,7 +170,7 @@ func OpenJournal(path string) (*Journal, error) {
 		f.Close()
 		return nil, fmt.Errorf("scanner: seeking journal: %w", err)
 	}
-	return &Journal{f: f, enc: json.NewEncoder(f), done: done}, nil
+	return &Journal{f: f, w: bufio.NewWriterSize(f, 1<<16), done: done}, nil
 }
 
 // Lookup returns the checkpointed result for a host, if present.
@@ -176,15 +188,41 @@ func (j *Journal) Len() int {
 	return len(j.done)
 }
 
-// Append checkpoints one completed result.
+// Append checkpoints one completed result. The JSON encoding happens
+// outside the lock, so concurrent scan workers serialize their entries in
+// parallel and contend only for the buffer write.
 func (j *Journal) Append(r Result) error {
+	line, err := json.Marshal(toEntry(r))
+	if err != nil {
+		return fmt.Errorf("scanner: journaling %q: %w", r.Hostname, err)
+	}
+	line = append(line, '\n')
+
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if err := j.enc.Encode(toEntry(r)); err != nil {
+	if _, err := j.w.Write(line); err != nil {
 		return fmt.Errorf("scanner: journaling %q: %w", r.Hostname, err)
 	}
 	j.done[r.Hostname] = r
+	j.unflushed++
+	if j.unflushed >= journalFlushEvery {
+		if err := j.w.Flush(); err != nil {
+			return fmt.Errorf("scanner: flushing journal: %w", err)
+		}
+		j.unflushed = 0
+	}
 	return nil
+}
+
+// Flush forces any buffered appends to disk.
+func (j *Journal) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	j.unflushed = 0
+	return j.w.Flush()
 }
 
 // Close flushes and closes the journal file.
@@ -194,7 +232,11 @@ func (j *Journal) Close() error {
 	if j.f == nil {
 		return nil
 	}
+	flushErr := j.w.Flush()
 	err := j.f.Close()
 	j.f = nil
+	if flushErr != nil {
+		return flushErr
+	}
 	return err
 }

@@ -76,6 +76,14 @@ type Config struct {
 	// Journal, when non-nil, checkpoints every completed result so an
 	// interrupted ScanAll resumes from the last completed host.
 	Journal *Journal
+	// VerifyCache, when non-nil, memoizes the chain-structural half of
+	// verification across hosts that present the same chain (the long tail
+	// of shared wildcards and internal CAs). Scan results are identical
+	// with and without it.
+	VerifyCache *verify.Cache
+	// ChainCache, when non-nil, deduplicates parsed certificate chains
+	// across handshakes presenting the same payload.
+	ChainCache *cert.ChainCache
 }
 
 // DefaultConfig mirrors the paper's scanning posture.
@@ -90,6 +98,8 @@ func DefaultConfig(store *truststore.Store, now time.Time) Config {
 		Clock:       simclock.NewVirtual(now),
 		BackoffBase: 500 * time.Millisecond,
 		BackoffMax:  8 * time.Second,
+		VerifyCache: verify.NewCache(),
+		ChainCache:  cert.NewChainCache(),
 	}
 }
 
@@ -137,22 +147,35 @@ const (
 	ExcCircuitOpen
 )
 
-var excNames = map[Exception]string{
-	ExcNone:                "none",
-	ExcUnsupportedProtocol: "unsupported SSL protocol",
-	ExcTimeout:             "timed out",
-	ExcRefused:             "connection refused",
-	ExcReset:               "connection reset by peer",
-	ExcWrongVersion:        "wrong SSL version number",
-	ExcAlertInternal:       "TLSv1 alert internal error",
-	ExcAlertHandshake:      "SSLv3 alert handshake failure",
-	ExcAlertProtoVersion:   "TLSv1 alert internal protocol version",
-	ExcOther:               "other exception",
-	ExcCircuitOpen:         "circuit breaker open",
-}
-
 // String names the exception the way Table 2 does.
-func (e Exception) String() string { return excNames[e] }
+func (e Exception) String() string {
+	switch e {
+	case ExcNone:
+		return "none"
+	case ExcUnsupportedProtocol:
+		return "unsupported SSL protocol"
+	case ExcTimeout:
+		return "timed out"
+	case ExcRefused:
+		return "connection refused"
+	case ExcReset:
+		return "connection reset by peer"
+	case ExcWrongVersion:
+		return "wrong SSL version number"
+	case ExcAlertInternal:
+		return "TLSv1 alert internal error"
+	case ExcAlertHandshake:
+		return "SSLv3 alert handshake failure"
+	case ExcAlertProtoVersion:
+		return "TLSv1 alert internal protocol version"
+	case ExcOther:
+		return "other exception"
+	case ExcCircuitOpen:
+		return "circuit breaker open"
+	default:
+		return ""
+	}
+}
 
 // Result is the outcome of scanning one hostname.
 type Result struct {
@@ -217,8 +240,26 @@ func (s *Scanner) Scan(ctx context.Context, hostname string) Result {
 	res.IP = addrs[0]
 	res.Provider, res.HostKind = s.Class.Classify(res.IP)
 
-	s.probeHTTP(ctx, &res)
-	s.probeHTTPS(ctx, &res)
+	// Ports 80 and 443 are probed concurrently; the 443 outcome is staged
+	// in out and merged after the join, because how it is reported depends
+	// on what port 80 said (a refused 443 is only an exception when port 80
+	// advertised an https upgrade). With a circuit breaker configured the
+	// probes run sequentially instead: the breaker consumes dial outcomes
+	// in order, and that order is part of its contract.
+	var out httpsOutcome
+	if s.Cfg.Breaker != nil {
+		s.probeHTTP(ctx, &res)
+		s.probeHTTPS(ctx, &res, &out)
+	} else {
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			s.probeHTTPS(ctx, &res, &out)
+		}()
+		s.probeHTTP(ctx, &res)
+		<-done
+	}
+	s.mergeHTTPS(&res, &out)
 
 	res.Available = res.ServesHTTP || res.ServesHTTPS || res.RedirectsToHTTPS ||
 		len(res.Chain) > 0 || res.Exception.ServerResponded()
@@ -260,25 +301,37 @@ func (s *Scanner) probeHTTP(ctx context.Context, res *Result) {
 	}
 }
 
-func (s *Scanner) probeHTTPS(ctx context.Context, res *Result) {
+// httpsOutcome stages everything the 443 probe learned. It is merged into
+// the Result only after the port-80 probe has finished, so the two probes
+// can run concurrently without racing on Result fields.
+type httpsOutcome struct {
+	circuitOpen bool
+	dialFailed  bool
+	engaged     bool // the TLS layer was reached (handshake attempted)
+	exception   Exception
+	detail      string
+
+	version     tlssim.Version
+	chain       []*cert.Certificate
+	verify      verify.Result
+	servesHTTPS bool
+	hsts        bool
+}
+
+// probeHTTPS probes port 443 into out. It writes only out and, via
+// dialRetry, res.Attempts — a field nothing else touches — so it is safe to
+// run alongside probeHTTP.
+func (s *Scanner) probeHTTPS(ctx context.Context, res *Result, out *httpsOutcome) {
 	conn, err := s.dialRetry(ctx, netip.AddrPortFrom(res.IP, 443), res, s.breakerKey(res))
 	if err != nil {
 		if errors.Is(err, ErrCircuitOpen) {
-			// Deliberately skipped, not measured: record the degradation
-			// without claiming anything about the host's TLS posture.
-			res.Exception = ExcCircuitOpen
-			res.ExceptionDetail = err.Error()
+			out.circuitOpen = true
+			out.detail = err.Error()
 			return
 		}
-		// Connection-level failure. A plain refusal with no upgrade hint
-		// means the host simply does not do https.
-		exc := classifyConnErr(err)
-		if exc == ExcRefused && !res.RedirectsToHTTPS {
-			return
-		}
-		res.AttemptsHTTPS = true
-		res.Exception = exc
-		res.ExceptionDetail = err.Error()
+		out.dialFailed = true
+		out.exception = classifyConnErr(err)
+		out.detail = err.Error()
 		return
 	}
 	defer conn.Close()
@@ -286,22 +339,53 @@ func (s *Scanner) probeHTTPS(ctx context.Context, res *Result) {
 
 	ccfg := tlssim.DefaultClientConfig(res.Hostname)
 	ccfg.HandshakeTimeout = s.Cfg.Timeout
+	ccfg.ChainCache = s.Cfg.ChainCache
 	tc, err := tlssim.ClientHandshake(conn, ccfg)
+	out.engaged = true
 	if err != nil {
-		res.AttemptsHTTPS = true
-		res.Exception, res.ExceptionDetail = classifyTLSErr(err)
+		out.exception, out.detail = classifyTLSErr(err)
 		return
 	}
-	res.AttemptsHTTPS = true
 	state := tc.ConnectionState()
-	res.TLSVersion = state.Version
-	res.Chain = state.Chain
-	res.Verify = (&verify.Verifier{Store: s.Cfg.Store, Now: s.Cfg.Now}).Verify(state.Chain, res.Hostname)
+	out.version = state.Version
+	out.chain = state.Chain
+	out.verify = (&verify.Verifier{Store: s.Cfg.Store, Now: s.Cfg.Now, Cache: s.Cfg.VerifyCache}).
+		Verify(state.Chain, res.Hostname)
 
 	resp, err := httpsim.Get(tc, res.Hostname, "/")
 	if err == nil && resp.StatusCode == 200 {
-		res.ServesHTTPS = true
-		res.HSTS = resp.HSTS()
+		out.servesHTTPS = true
+		out.hsts = resp.HSTS()
+	}
+}
+
+// mergeHTTPS folds the staged 443 outcome into the result, reproducing the
+// sequential reporting rules exactly.
+func (s *Scanner) mergeHTTPS(res *Result, out *httpsOutcome) {
+	switch {
+	case out.circuitOpen:
+		// Deliberately skipped, not measured: record the degradation
+		// without claiming anything about the host's TLS posture.
+		res.Exception = ExcCircuitOpen
+		res.ExceptionDetail = out.detail
+	case out.dialFailed:
+		// Connection-level failure. A plain refusal with no upgrade hint
+		// means the host simply does not do https.
+		if out.exception == ExcRefused && !res.RedirectsToHTTPS {
+			return
+		}
+		res.AttemptsHTTPS = true
+		res.Exception = out.exception
+		res.ExceptionDetail = out.detail
+	case out.engaged:
+		res.AttemptsHTTPS = true
+		res.Exception = out.exception
+		res.ExceptionDetail = out.detail
+		res.TLSVersion = out.version
+		res.Chain = out.chain
+		res.Verify = out.verify
+		res.ServesHTTPS = out.servesHTTPS
+		res.HSTS = out.hsts
 	}
 }
 
@@ -432,10 +516,21 @@ func (s *Scanner) breakerKey(res *Result) string {
 	return p.String()
 }
 
+// applyDeadline bounds post-dial I/O using the configured clock rather
+// than wall time, so real-clock scans time out on the same timeline the
+// retry/backoff machinery runs on. Virtual-clock runs set no deadline at
+// all: the collapsing clock is advanced by *other* workers' sleeps, so an
+// absolute deadline derived from it would expire scheduling-dependently
+// and break determinism — simulated timeouts are modeled at the dial/fault
+// layer instead.
 func (s *Scanner) applyDeadline(conn net.Conn) {
-	if s.Cfg.Timeout > 0 {
-		conn.SetDeadline(time.Now().Add(s.Cfg.Timeout))
+	if s.Cfg.Timeout <= 0 {
+		return
 	}
+	if _, virtual := s.Cfg.Clock.(*simclock.Virtual); virtual {
+		return
+	}
+	conn.SetDeadline(s.Cfg.Clock.Now().Add(s.Cfg.Timeout))
 }
 
 func classifyConnErr(err error) Exception {
@@ -491,8 +586,31 @@ func (s *Scanner) ScanAll(ctx context.Context, hostnames []string) []Result {
 		results[i].Hostname = h
 	}
 	journal := s.Cfg.Journal
-	sem := make(chan struct{}, s.Cfg.Concurrency)
+
+	// A fixed pool of workers drains an index channel — no goroutine churn
+	// per host, and memory stays bounded by the pool size rather than the
+	// input length.
+	workers := min(s.Cfg.Concurrency, len(hostnames))
+	if workers < 1 {
+		workers = 1
+	}
+	idx := make(chan int)
 	var wg sync.WaitGroup
+	wg.Add(workers)
+	for range workers {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				r := s.Scan(ctx, hostnames[i])
+				results[i] = r
+				if journal != nil && ctx.Err() == nil {
+					// Only completed scans are checkpointed; a scan degraded
+					// by cancellation must be redone on resume.
+					journal.Append(r)
+				}
+			}
+		}()
+	}
 	for i, h := range hostnames {
 		if journal != nil {
 			if prev, ok := journal.Lookup(h); ok {
@@ -503,20 +621,9 @@ func (s *Scanner) ScanAll(ctx context.Context, hostnames []string) []Result {
 		if ctx.Err() != nil {
 			break
 		}
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, h string) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			r := s.Scan(ctx, h)
-			results[i] = r
-			if journal != nil && ctx.Err() == nil {
-				// Only completed scans are checkpointed; a scan degraded by
-				// cancellation must be redone on resume.
-				journal.Append(r)
-			}
-		}(i, h)
+		idx <- i
 	}
+	close(idx)
 	wg.Wait()
 	return results
 }

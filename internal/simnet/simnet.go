@@ -137,9 +137,16 @@ type Network struct {
 // New creates an empty network on a collapsing virtual clock (injected
 // latency advances simulated time only).
 func New() *Network {
+	return NewSized(0)
+}
+
+// NewSized is New with a capacity hint for the endpoint tables. A
+// full-scale world registers hundreds of thousands of handlers; sizing the
+// maps up front avoids rehashing the tables a dozen times while it builds.
+func NewSized(hint int) *Network {
 	return &Network{
 		listeners: make(map[netip.AddrPort]*Listener),
-		handlers:  make(map[netip.AddrPort]Handler),
+		handlers:  make(map[netip.AddrPort]Handler, hint),
 		faults:    make(map[netip.AddrPort]FaultSpec),
 		dialSeq:   make(map[netip.AddrPort]int64),
 		clock:     simclock.NewVirtual(time.Unix(0, 0)),

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"net"
+	"sync"
 	"time"
 
 	"repro/internal/cert"
@@ -41,7 +42,9 @@ const (
 // short (QuirkTruncateHandshake).
 var ErrHandshakeTruncated = fmt.Errorf("tlssim: handshake truncated by server")
 
-// ServerConfig configures a simulated TLS server.
+// ServerConfig configures a simulated TLS server. A config whose Chain is
+// fixed may be shared across handshakes; the encoded Certificate message is
+// built once on first use.
 type ServerConfig struct {
 	// Chain is served to clients, leaf first.
 	Chain []*cert.Certificate
@@ -49,6 +52,20 @@ type ServerConfig struct {
 	MinVersion, MaxVersion Version
 	// Quirk selects a misbehaviour; QuirkNone for a healthy server.
 	Quirk Quirk
+
+	// certMsgOnce lazily caches the encoded Certificate handshake message
+	// for Chain, so long-lived servers stop re-serializing it per dial.
+	certMsgOnce sync.Once
+	certMsg     []byte
+}
+
+// certMessage returns the Certificate handshake message for cfg.Chain,
+// encoding it on first call.
+func (cfg *ServerConfig) certMessage() []byte {
+	cfg.certMsgOnce.Do(func() {
+		cfg.certMsg = append([]byte{msgCertificate}, cert.EncodeChain(cfg.Chain)...)
+	})
+	return cfg.certMsg
 }
 
 // ClientConfig configures the scanning client.
@@ -62,6 +79,10 @@ type ClientConfig struct {
 	ServerName string
 	// HandshakeTimeout bounds the handshake when positive.
 	HandshakeTimeout time.Duration
+	// ChainCache, when non-nil, deduplicates parsed certificate chains
+	// across handshakes that present the same payload (the scanner shares
+	// one cache across all probes).
+	ChainCache *cert.ChainCache
 }
 
 // ConnectionState describes a completed handshake.
@@ -192,7 +213,12 @@ func ClientHandshake(raw net.Conn, cfg *ClientConfig) (*Conn, error) {
 	if typ != recordHandshake || len(payload) < 1 || payload[0] != msgCertificate {
 		return nil, ErrHandshakeState
 	}
-	chain, err := cert.ParseChain(payload[1:])
+	var chain []*cert.Certificate
+	if cfg.ChainCache != nil {
+		chain, err = cfg.ChainCache.Parse(payload[1:])
+	} else {
+		chain, err = cert.ParseChain(payload[1:])
+	}
 	if err != nil {
 		return nil, fmt.Errorf("tlssim: parsing certificate chain: %w", err)
 	}
@@ -267,8 +293,7 @@ func ServerHandshake(raw net.Conn, cfg *ServerConfig) (*Conn, error) {
 		return nil, ErrHandshakeTruncated
 	}
 
-	certMsg := append([]byte{msgCertificate}, cert.EncodeChain(cfg.Chain)...)
-	if err := writeRecord(raw, recordHandshake, version, certMsg); err != nil {
+	if err := writeRecord(raw, recordHandshake, version, cfg.certMessage()); err != nil {
 		return nil, err
 	}
 	if err := writeRecord(raw, recordHandshake, version, []byte{msgFinished}); err != nil {

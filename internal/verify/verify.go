@@ -44,24 +44,30 @@ const (
 	HostnameMismatch
 )
 
-var codeNames = map[Code]string{
-	OK:                     "ok",
-	EmptyChain:             "empty certificate chain",
-	SelfSignedLeaf:         "self signed certificate",
-	SelfSignedInChain:      "self signed certificate in certificate chain",
-	UnableToGetLocalIssuer: "unable to get local issuer certificate",
-	SignatureFailure:       "certificate signature failure",
-	CertificateExpired:     "certificate has expired",
-	CertificateNotYetValid: "certificate is not yet valid",
-	HostnameMismatch:       "hostname mismatch",
-}
-
 // String returns the OpenSSL-style description of the code.
 func (c Code) String() string {
-	if s, ok := codeNames[c]; ok {
-		return s
+	switch c {
+	case OK:
+		return "ok"
+	case EmptyChain:
+		return "empty certificate chain"
+	case SelfSignedLeaf:
+		return "self signed certificate"
+	case SelfSignedInChain:
+		return "self signed certificate in certificate chain"
+	case UnableToGetLocalIssuer:
+		return "unable to get local issuer certificate"
+	case SignatureFailure:
+		return "certificate signature failure"
+	case CertificateExpired:
+		return "certificate has expired"
+	case CertificateNotYetValid:
+		return "certificate is not yet valid"
+	case HostnameMismatch:
+		return "hostname mismatch"
+	default:
+		return fmt.Sprintf("Code(%d)", int(c))
 	}
-	return fmt.Sprintf("Code(%d)", int(c))
 }
 
 // Result is the outcome of validating one presented chain.
@@ -100,26 +106,23 @@ type Verifier struct {
 	Store *truststore.Store
 	// Now is the scan time certificates are checked against.
 	Now time.Time
+	// Cache, when non-nil, memoizes the chain-structural pass (issuer walk,
+	// signatures, validity windows, trust anchoring) across hosts that
+	// present the same chain. Results are identical with and without it.
+	Cache *Cache
 }
 
 // Verify validates the presented chain (leaf first) for the given hostname.
+// Verification runs in two passes: a chain-structural pass that depends
+// only on (chain, store, scan time) and is memoizable via Cache, and a
+// cheap per-host hostname-match pass layered on top.
 func (v *Verifier) Verify(chain []*cert.Certificate, hostname string) Result {
 	if len(chain) == 0 {
 		return Result{Code: EmptyChain, Errors: []Code{EmptyChain}, Detail: "server presented no certificates"}
 	}
 	leaf := chain[0]
 
-	var found []failure
-	depth := v.buildChain(chain, &found)
-	for i, c := range chain[:min(depth+1, len(chain))] {
-		if c.IsExpiredAt(v.Now) {
-			found = append(found, failure{CertificateExpired, i,
-				fmt.Sprintf("certificate at depth %d expired %s", i, c.NotAfter.Format("2006-01-02"))})
-		} else if c.IsNotYetValidAt(v.Now) {
-			found = append(found, failure{CertificateNotYetValid, i,
-				fmt.Sprintf("certificate at depth %d not valid before %s", i, c.NotBefore.Format("2006-01-02"))})
-		}
-	}
+	found, ev := v.structural(chain)
 	if err := leaf.VerifyHostname(hostname); err != nil {
 		found = append(found, failure{HostnameMismatch, 0, err.Error()})
 	}
@@ -128,7 +131,7 @@ func (v *Verifier) Verify(chain []*cert.Certificate, hostname string) Result {
 		return Result{
 			Code:  OK,
 			Depth: len(chain),
-			EV:    v.isEV(leaf),
+			EV:    ev,
 		}
 	}
 	primary := found[0]
@@ -146,6 +149,38 @@ func (v *Verifier) Verify(chain []*cert.Certificate, hostname string) Result {
 		}
 	}
 	return res
+}
+
+// structural runs (or recalls) the chain-structural verification pass. The
+// returned slice has its capacity clamped to its length, so the hostname
+// pass can append without ever mutating a cached entry shared with other
+// goroutines.
+func (v *Verifier) structural(chain []*cert.Certificate) ([]failure, bool) {
+	var k cacheKey
+	if v.Cache != nil {
+		k = cacheKey{chain: chainDigest(chain), store: v.Store, now: v.Now.UnixNano()}
+		if e, ok := v.Cache.lookup(k); ok {
+			return e.found, e.ev
+		}
+	}
+
+	var found []failure
+	depth := v.buildChain(chain, &found)
+	for i, c := range chain[:min(depth+1, len(chain))] {
+		if c.IsExpiredAt(v.Now) {
+			found = append(found, failure{CertificateExpired, i,
+				fmt.Sprintf("certificate at depth %d expired %s", i, c.NotAfter.Format("2006-01-02"))})
+		} else if c.IsNotYetValidAt(v.Now) {
+			found = append(found, failure{CertificateNotYetValid, i,
+				fmt.Sprintf("certificate at depth %d not valid before %s", i, c.NotBefore.Format("2006-01-02"))})
+		}
+	}
+	found = found[:len(found):len(found)]
+	ev := v.isEV(chain[0])
+	if v.Cache != nil {
+		v.Cache.store(k, &cacheEntry{found: found, ev: ev})
+	}
+	return found, ev
 }
 
 type failure struct {
@@ -228,11 +263,4 @@ func (v *Verifier) isEV(leaf *cert.Certificate) bool {
 		}
 	}
 	return false
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

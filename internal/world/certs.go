@@ -1,8 +1,8 @@
 package world
 
 import (
-	"fmt"
 	"math/rand"
+	"strconv"
 	"strings"
 	"time"
 
@@ -27,6 +27,13 @@ type certFactory struct {
 	internalCAs map[string]*internalCA
 	// epochCertPlaced tracks the single 1970-epoch certificate (§5.3.1).
 	epochCertPlaced bool
+	// serialBase, when non-zero, gives this factory a private slice of the
+	// CA serial space so parallel factories never touch the authorities'
+	// shared counters. serialCtr counts issuances within the slice.
+	serialBase uint64
+	serialCtr  uint64
+	// weights is pickCA's scratch buffer, reused across draws.
+	weights []float64
 }
 
 type sharedCert struct {
@@ -112,10 +119,25 @@ func (f *certFactory) configure(s *Site, class ErrorClass, mix []caWeight) {
 // pickCA draws an authority from the mix. Valid issuance excludes
 // distrusted and weak-signature CAs (their use correlates with invalidity,
 // Figure 4); invalid issuance skews toward them.
+// nextSerial returns the serial number for the factory's next issuance:
+// zero in sequential mode (letting the CA's own counter run), or the next
+// value of the factory's private slice in parallel mode.
+func (f *certFactory) nextSerial() uint64 {
+	if f.serialBase == 0 {
+		return 0
+	}
+	f.serialCtr++
+	return f.serialBase | f.serialCtr
+}
+
 func (f *certFactory) pickCA(mix []caWeight, forValid bool) *ca.Authority {
 	total := 0.0
-	weights := make([]float64, len(mix))
+	if cap(f.weights) < len(mix) {
+		f.weights = make([]float64, len(mix))
+	}
+	weights := f.weights[:len(mix)]
 	for i, cw := range mix {
+		weights[i] = 0
 		a, ok := f.w.CAs.Lookup(cw.name)
 		if !ok {
 			continue
@@ -221,6 +243,7 @@ func (f *certFactory) issueValid(s *Site, mix []caWeight) {
 		EV:           a.EV,
 		Organization: orgName(s),
 		Country:      s.Country,
+		Serial:       f.nextSerial(),
 	})
 	s.Issuer = a.Name
 }
@@ -237,6 +260,7 @@ func (f *certFactory) issueExpired(s *Site, mix []caWeight) {
 		Key:       key,
 		NotBefore: start,
 		Lifetime:  lifetime,
+		Serial:    f.nextSerial(),
 	})
 	s.Issuer = a.Name
 }
@@ -258,13 +282,14 @@ func (f *certFactory) issueMismatch(s *Site, mix []caWeight) {
 	// government (copy-pasted vhost configuration).
 	a := f.pickCA(mix, false)
 	key := f.hostKey(a, false)
-	other := fmt.Sprintf("old-%s", s.Hostname)
+	other := "old-" + s.Hostname
 	start := f.w.ScanTime.Add(-time.Duration(10+f.r.Intn(300)) * 24 * time.Hour)
 	s.Chain = a.Issue(ca.Request{
 		Hostnames: []string{other},
 		Key:       key,
 		NotBefore: start,
 		Lifetime:  f.invalidLifetime(),
+		Serial:    f.nextSerial(),
 	})
 	s.Issuer = a.Name
 }
@@ -280,7 +305,7 @@ func (f *certFactory) sharedWildcard(country string, mix []caWeight) *sharedCert
 	if len(certs) < want {
 		a := f.pickCA(mix, true) // the certificate itself is healthy
 		key := f.hostKey(a, true)
-		zone := fmt.Sprintf("portal%d.gov.%s", len(certs)+1, country)
+		zone := "portal" + strconv.Itoa(len(certs)+1) + ".gov." + country
 		// Shared portal certificates often carry the long, out-of-policy
 		// lifetimes §5.3.1 observes on invalid certificates.
 		lifetime := time.Duration(0)
@@ -292,6 +317,7 @@ func (f *certFactory) sharedWildcard(country string, mix []caWeight) *sharedCert
 			Key:       key,
 			NotBefore: f.w.ScanTime.Add(-90 * 24 * time.Hour),
 			Lifetime:  lifetime,
+			Serial:    f.nextSerial(),
 		})
 		sc := &sharedCert{chain: chain, zone: zone}
 		f.sharedWildcards[country] = append(certs, sc)
@@ -332,14 +358,14 @@ func (f *certFactory) issueLocalIssuer(s *Site, mix []caWeight) {
 		// from the stores.
 		key := f.hostKey(a, false)
 		start := f.w.ScanTime.Add(-time.Duration(10+f.r.Intn(200)) * 24 * time.Hour)
-		s.Chain = a.Issue(ca.Request{Hostnames: []string{s.Hostname}, Key: key, NotBefore: start})
+		s.Chain = a.Issue(ca.Request{Hostnames: []string{s.Hostname}, Key: key, NotBefore: start, Serial: f.nextSerial()})
 		s.Issuer = a.Name
 		return
 	}
 	// Missing intermediate: serve only the leaf.
 	key := f.hostKey(a, false)
 	start := f.w.ScanTime.Add(-time.Duration(10+f.r.Intn(200)) * 24 * time.Hour)
-	chain := a.Issue(ca.Request{Hostnames: []string{s.Hostname}, Key: key, NotBefore: start})
+	chain := a.Issue(ca.Request{Hostnames: []string{s.Hostname}, Key: key, NotBefore: start, Serial: f.nextSerial()})
 	s.Chain = chain[:1]
 	s.Issuer = a.Name
 }
@@ -358,7 +384,7 @@ func (f *certFactory) internalCA(country string, mix []caWeight) *internalCA {
 	ic, ok := f.internalCAs[country]
 	if !ok {
 		key := cert.NewKey(f.r, cert.KeyRSA, 2048)
-		cn := fmt.Sprintf("Government of %s Internal CA", country)
+		cn := "Government of " + country + " Internal CA"
 		root := &cert.Certificate{
 			SerialNumber:       f.r.Uint64(),
 			Subject:            cert.Name{CommonName: cn, Country: country},
@@ -393,7 +419,7 @@ func (f *certFactory) issueSelfSigned(s *Site) {
 
 func (f *certFactory) issueSelfSignedChain(s *Site) {
 	rootKey := cert.NewKey(f.r, cert.KeyRSA, 2048)
-	cn := fmt.Sprintf("%s Root", parentDomain(s.Hostname))
+	cn := parentDomain(s.Hostname) + " Root"
 	root := &cert.Certificate{
 		SerialNumber:       f.r.Uint64(),
 		Subject:            cert.Name{CommonName: cn},
@@ -462,5 +488,5 @@ func orgName(s *Site) string {
 	if s.Country == "" {
 		return ""
 	}
-	return fmt.Sprintf("Government of %s", s.Country)
+	return "Government of " + s.Country
 }

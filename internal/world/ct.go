@@ -2,7 +2,6 @@ package world
 
 import (
 	"math/rand"
-	"sort"
 	"time"
 
 	"repro/internal/cert"
@@ -17,20 +16,19 @@ import (
 // real ecosystem. The phishing lookalikes registered in DNS are logged too,
 // which is what makes the §7.3.2 certwatch monitoring possible.
 func (w *World) buildCT(r *rand.Rand) {
-	log := ctlog.New("govhttps-observatory")
-	hosts := make([]string, 0, len(w.Sites))
-	for h := range w.Sites {
-		hosts = append(hosts, h)
-	}
-	sort.Strings(hosts)
-	seen := map[[32]byte]bool{}
-	for _, h := range hosts {
+	// Roughly half the sites end up logged; sizing for that avoids both
+	// rehashing and allocating double-size tables up front.
+	log := ctlog.NewSized("govhttps-observatory", len(w.Sites)/2)
+	seen := make(map[[32]byte]bool, len(w.Sites)/2)
+	// siteOrder is the deterministic insertion order — a canonical
+	// iteration without re-sorting every hostname in the world.
+	for _, h := range w.siteOrder {
 		s := w.Sites[h]
 		if len(s.Chain) == 0 {
 			continue
 		}
 		leaf := s.Chain[0]
-		if leaf.SelfSigned() || s.Issuer == "" {
+		if s.Issuer == "" || leaf.SelfSigned() {
 			continue // never submitted to CT
 		}
 		if _, distrusted := w.CAs.Lookup(s.Issuer); !distrusted {
@@ -39,6 +37,14 @@ func (w *World) buildCT(r *rand.Rand) {
 			if _, known := w.CAs.Lookup(leaf.Issuer.CommonName); !known {
 				continue
 			}
+		}
+		// Only chains that reach the log are worth freezing: the fingerprint
+		// below, the log encoding and the scan-time Certificate message all
+		// reuse the cached serialization. Chains that never log are encoded
+		// at most once per site (certMsgOnce), so eager freezing would cost
+		// build time for nothing.
+		for _, c := range s.Chain {
+			c.Freeze()
 		}
 		fp := leaf.Fingerprint()
 		if seen[fp] {

@@ -1,9 +1,9 @@
 package world
 
 import (
-	"fmt"
 	"math/rand"
 	"sort"
+	"strconv"
 
 	"repro/internal/hosting"
 )
@@ -28,16 +28,25 @@ type datasetSpec struct {
 	caMix []caWeight
 	// cloudShare/cdnShare set hosting.
 	cloudShare, cdnShare float64
+	// buf is scratch space for hostname, reused across calls so each name
+	// costs one allocation (the final string).
+	buf []byte
 }
 
 // agencyHost builds the i-th hostname of a dataset.
 func (d *datasetSpec) hostname(i int) string {
 	word := agencyWords[i%len(agencyWords)]
 	n := i / len(agencyWords)
-	if n == 0 {
-		return fmt.Sprintf("%s.%s.%s", word, d.key, d.suffix)
+	b := append(d.buf[:0], word...)
+	if n > 0 {
+		b = strconv.AppendInt(b, int64(n), 10)
 	}
-	return fmt.Sprintf("%s%d.%s.%s", word, n, d.key, d.suffix)
+	b = append(b, '.')
+	b = append(b, d.key...)
+	b = append(b, '.')
+	b = append(b, d.suffix...)
+	d.buf = b
+	return string(b)
 }
 
 // buildDataset realizes the spec as live sites and returns every hostname
@@ -85,7 +94,8 @@ func (w *World) buildDataset(r *rand.Rand, f *certFactory, d *datasetSpec) []str
 		s := &Site{Hostname: host, Country: d.country, Serving: serving}
 		prof := Profile{CloudShare: d.cloudShare, CDNShare: d.cdnShare}
 		w.assignHosting(s, prof, r)
-		w.Sites[host] = s
+		s.IP = w.allocIP(s.Provider)
+		w.addSite(s)
 		w.DNS.AddA(host, s.IP)
 		return s
 	}

@@ -1,8 +1,8 @@
 package world
 
 import (
-	"fmt"
 	"math/rand"
+	"strconv"
 
 	"repro/internal/geo"
 )
@@ -47,20 +47,21 @@ var (
 
 // nameGen synthesizes unique hostnames under a country's gov suffixes.
 type nameGen struct {
-	country geo.Country
-	r       *rand.Rand
-	used    map[string]bool
-	counter int
+	country  geo.Country
+	r        *rand.Rand
+	used     map[string]bool
+	counter  int
+	suffixes []string
 }
 
 func newNameGen(c geo.Country, r *rand.Rand) *nameGen {
-	return &nameGen{country: c, r: r, used: make(map[string]bool)}
+	return &nameGen{country: c, r: r, used: make(map[string]bool), suffixes: c.GovSuffixes()}
 }
 
 // suffix picks one of the country's government suffixes, weighted toward
 // the primary convention.
 func (g *nameGen) suffix() string {
-	suffixes := g.country.GovSuffixes()
+	suffixes := g.suffixes
 	if len(suffixes) == 0 {
 		// Whitelist-only countries host under bare ccTLD domains.
 		return g.country.Code
@@ -82,7 +83,7 @@ func (g *nameGen) next() string {
 	}
 	// Exhausted the combinatorial space; fall back to a numbered name.
 	g.counter++
-	h := fmt.Sprintf("site%d.%s", g.counter, g.suffix())
+	h := "site" + strconv.Itoa(g.counter) + "." + g.suffix()
 	g.used[h] = true
 	return h
 }
@@ -92,20 +93,20 @@ func (g *nameGen) candidate() string {
 	agency := agencyWords[g.r.Intn(len(agencyWords))]
 	switch g.r.Intn(6) {
 	case 0: // health.gov.xx
-		return fmt.Sprintf("%s.%s", agency, suffix)
+		return agency + "." + suffix
 	case 1: // www.health.gov.xx
-		return fmt.Sprintf("www.%s.%s", agency, suffix)
+		return "www." + agency + "." + suffix
 	case 2: // health.ministry.gov.xx
 		org := orgWords[g.r.Intn(len(orgWords))]
-		return fmt.Sprintf("%s.%s.%s", agency, org, suffix)
+		return agency + "." + org + "." + suffix
 	case 3: // northville.gov.xx (local government)
-		return fmt.Sprintf("%s%s.%s", cityWords[g.r.Intn(len(cityWords))],
-			citySuffixes[g.r.Intn(len(citySuffixes))], suffix)
+		return cityWords[g.r.Intn(len(cityWords))] +
+			citySuffixes[g.r.Intn(len(citySuffixes))] + "." + suffix
 	case 4: // city.northton.gov.xx
-		return fmt.Sprintf("%s.%s%s.%s", localWords[g.r.Intn(len(localWords))],
-			cityWords[g.r.Intn(len(cityWords))], citySuffixes[g.r.Intn(len(citySuffixes))], suffix)
+		return localWords[g.r.Intn(len(localWords))] + "." +
+			cityWords[g.r.Intn(len(cityWords))] + citySuffixes[g.r.Intn(len(citySuffixes))] + "." + suffix
 	default: // portal5.gov.xx style service hosts
-		return fmt.Sprintf("%s%d.%s", agency, 1+g.r.Intn(20), suffix)
+		return agency + strconv.Itoa(1+g.r.Intn(20)) + "." + suffix
 	}
 }
 

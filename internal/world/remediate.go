@@ -150,7 +150,7 @@ func (w *World) reviveSite(host string, f *certFactory, class ErrorClass, r *ran
 	ip := w.allocIP("Private")
 	s := &Site{Hostname: host, Country: "", IP: ip, Provider: "Private", Serving: BothRedirect}
 	f.configure(s, class, caMixWorldwide)
-	w.Sites[host] = s
+	w.addSite(s)
 	w.DNS.Remove(host) // clear any half-registered A records
 	w.DNS.AddA(host, ip)
 	w.serveSite(s)

@@ -1,7 +1,7 @@
 package world
 
 import (
-	"bufio"
+	"bytes"
 	"fmt"
 	"hash/fnv"
 	"net"
@@ -34,10 +34,10 @@ func (w *World) serveSite(s *Site) {
 		// Resolves, answers http, but never with a 200.
 		w.Net.Handle(ep80, func(conn net.Conn) {
 			defer conn.Close()
-			if _, err := httpsim.ReadRequest(bufio.NewReader(conn)); err != nil {
+			if _, err := httpsim.ReadRequestConn(conn); err != nil {
 				return
 			}
-			httpsim.WriteResponse(conn, 503, nil, []byte("service unavailable"))
+			conn.Write(resp503)
 		})
 		return
 	case HTTPOnly:
@@ -62,6 +62,9 @@ func (w *World) serveTLS(s *Site, ep netip.AddrPort) {
 		w.Net.SetFault(ep, s.Fault)
 		return
 	}
+	// No eager Freeze here: the Certificate message is encoded once per
+	// site (certMsgOnce), and the scanner fingerprints the parsed copy it
+	// receives, never these objects. buildCT freezes the chains it logs.
 	cfg := &tlssim.ServerConfig{
 		Chain:      s.Chain,
 		MinVersion: s.TLSMin,
@@ -84,13 +87,12 @@ func (w *World) httpHandler(s *Site, redirect bool) simnet.Handler {
 	site := s
 	return func(conn net.Conn) {
 		defer conn.Close()
-		if _, err := httpsim.ReadRequest(bufio.NewReader(conn)); err != nil {
+		if _, err := httpsim.ReadRequestConn(conn); err != nil {
 			return
 		}
 		if redirect {
-			httpsim.WriteResponse(conn, 301, map[string]string{
-				"Location": "https://" + site.Hostname + "/",
-			}, nil)
+			site.render()
+			conn.Write(site.respRedirect)
 			return
 		}
 		w.writePage(conn, site, false)
@@ -99,24 +101,59 @@ func (w *World) httpHandler(s *Site, redirect bool) simnet.Handler {
 
 // answer handles one request arriving over an established TLS connection.
 func (w *World) answer(conn net.Conn, s *Site, _ bool) {
-	if _, err := httpsim.ReadRequest(bufio.NewReader(conn)); err != nil {
+	if _, err := httpsim.ReadRequestConn(conn); err != nil {
 		return
 	}
 	w.writePage(conn, s, true)
 }
 
 func (w *World) writePage(conn net.Conn, s *Site, https bool) {
-	links := make([]string, 0, len(s.Links))
-	for _, l := range s.Links {
-		links = append(links, "http://"+l+"/")
+	s.render()
+	if https {
+		conn.Write(s.respHTTPS)
+	} else {
+		conn.Write(s.respHTTP)
 	}
-	hdr := map[string]string{"Content-Type": "text/html"}
-	if https && s.HSTS {
-		hdr["Strict-Transport-Security"] = "max-age=31536000; includeSubDomains; preload"
-	}
-	title := fmt.Sprintf("Official website — %s", s.Hostname)
-	httpsim.WriteResponse(conn, 200, hdr, httpsim.RenderPage(title, links))
 }
+
+// render serializes the site's responses once, on first request — after the
+// link graph is final — so every later request is a single buffer write.
+// Safe under concurrent scanners via renderOnce.
+func (s *Site) render() {
+	s.renderOnce.Do(func() {
+		links := make([]string, 0, len(s.Links))
+		for _, l := range s.Links {
+			links = append(links, "http://"+l+"/")
+		}
+		title := fmt.Sprintf("Official website — %s", s.Hostname)
+		body := httpsim.RenderPage(title, links)
+
+		var b bytes.Buffer
+		hdr := map[string]string{"Content-Type": "text/html"}
+		httpsim.WriteResponse(&b, 200, hdr, body)
+		s.respHTTP = append([]byte(nil), b.Bytes()...)
+
+		if s.HSTS {
+			hdr["Strict-Transport-Security"] = "max-age=31536000; includeSubDomains; preload"
+		}
+		b.Reset()
+		httpsim.WriteResponse(&b, 200, hdr, body)
+		s.respHTTPS = append([]byte(nil), b.Bytes()...)
+
+		b.Reset()
+		httpsim.WriteResponse(&b, 301, map[string]string{
+			"Location": "https://" + s.Hostname + "/",
+		}, nil)
+		s.respRedirect = append([]byte(nil), b.Bytes()...)
+	})
+}
+
+// resp503 is the canned unavailable-site answer.
+var resp503 = func() []byte {
+	var b bytes.Buffer
+	httpsim.WriteResponse(&b, 503, nil, []byte("service unavailable"))
+	return b.Bytes()
+}()
 
 // injectTransientFaults makes Cfg.Flakiness of the reachable https estate
 // flaky: the 443 endpoint fails its first one or two dials (connection

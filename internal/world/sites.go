@@ -4,8 +4,11 @@ import (
 	"math"
 	"math/rand"
 	"net/netip"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 
 	"repro/internal/ca"
 	"repro/internal/cert"
@@ -35,10 +38,37 @@ var tinyCountries = map[string]int{
 	"kp": 2, "pw": 3, "st": 4, "ss": 5, "tg": 8, "tv": 2,
 }
 
-// buildWorldwide generates the 135,408-hostname worldwide dataset.
+// countryJob is one country's unit of parallel site generation: seeds are
+// drawn sequentially up front, generation runs on a worker, and the results
+// are registered sequentially afterwards.
+type countryJob struct {
+	cc      string
+	n       int
+	factory *certFactory
+	cr      *rand.Rand
+	sites   []*Site
+	unreach []unreachablePlan
+}
+
+// unreachablePlan defers an unreachable host's world-state mutations (IP
+// allocation, DNS, indexes) to the sequential registration pass; x is the
+// fate draw made on the worker.
+type unreachablePlan struct {
+	host string
+	cc   string
+	x    float64
+}
+
+// buildWorldwide generates the 135,408-hostname worldwide dataset. Country
+// populations are independent, so their generation — name drawing, class
+// assignment, key minting, certificate issuance — fans out across
+// GOMAXPROCS workers. Everything that touches shared world state (IP
+// allocator, DNS, site indexes) is deferred to a sequential registration
+// pass in sorted-country order, and every RNG stream is seeded before the
+// fan-out, so a given Config.Seed yields a bit-identical world regardless
+// of scheduling.
 func (w *World) buildWorldwide(r *rand.Rand) {
 	counts := w.countryCounts()
-	f := newCertFactory(w, rand.New(rand.NewSource(r.Int63())))
 
 	codes := make([]string, 0, len(counts))
 	for cc := range counts {
@@ -46,30 +76,95 @@ func (w *World) buildWorldwide(r *rand.Rand) {
 	}
 	sort.Strings(codes)
 
+	var jobs []*countryJob
 	for _, cc := range codes {
 		n := counts[cc]
 		if n == 0 {
 			continue
 		}
-		country := geo.MustByCode(cc)
-		prof := w.profileFor(country)
-		cr := rand.New(rand.NewSource(r.Int63() ^ int64(len(cc))))
-		gen := newNameGen(country, cr)
-		for i := 0; i < n; i++ {
-			host := gen.next()
-			site := w.newGovSite(host, cc, prof, cr, f)
-			w.registerWorldwide(site)
-		}
-		// Unreachable extras: registered names that never return a 200.
-		nUn := int(float64(n) * prof.UnreachableShare)
-		for i := 0; i < nUn; i++ {
-			w.registerUnreachable(gen.next(), cc, cr)
-		}
+		f := newCertFactory(w, rand.New(newSplitMix(r.Int63())))
+		// Workers issue from private serial slices; the single epoch
+		// certificate (§5.3.1) is installed in a deterministic post-pass.
+		f.serialBase = uint64(len(jobs)+1) << 32
+		f.epochCertPlaced = true
+		cr := rand.New(newSplitMix(r.Int63() ^ int64(len(cc))))
+		jobs = append(jobs, &countryJob{cc: cc, n: n, factory: f, cr: cr})
 	}
 
+	jobCh := make(chan *countryJob)
+	var wg sync.WaitGroup
+	for i := 0; i < min(runtime.GOMAXPROCS(0), len(jobs)); i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range jobCh {
+				w.generateCountry(job)
+			}
+		}()
+	}
+	for _, job := range jobs {
+		jobCh <- job
+	}
+	close(jobCh)
+	wg.Wait()
+
+	for _, job := range jobs {
+		for _, s := range job.sites {
+			s.IP = w.allocIP(s.Provider)
+			w.registerWorldwide(s)
+		}
+		for _, u := range job.unreach {
+			w.registerUnreachable(u)
+		}
+	}
+	w.placeEpochCertSite(jobs)
+
 	// Named sites from the paper, for flavour and for tests.
+	f := newCertFactory(w, rand.New(newSplitMix(r.Int63())))
 	w.addNamedSites(f, r)
 	w.buildWhitelist(r)
+}
+
+// generateCountry builds one country's site records. It touches only the
+// job's own RNGs and factory plus read-only world state (profiles, the CA
+// registry, ScanTime), so jobs run concurrently.
+func (w *World) generateCountry(job *countryJob) {
+	country := geo.MustByCode(job.cc)
+	prof := w.profileFor(country)
+	gen := newNameGen(country, job.cr)
+	job.sites = make([]*Site, 0, job.n)
+	for i := 0; i < job.n; i++ {
+		job.sites = append(job.sites, w.newGovSite(gen.next(), job.cc, prof, job.cr, job.factory))
+	}
+	// Unreachable extras: registered names that never return a 200.
+	nUn := int(float64(job.n) * prof.UnreachableShare)
+	job.unreach = make([]unreachablePlan, 0, nUn)
+	for i := 0; i < nUn; i++ {
+		job.unreach = append(job.unreach, unreachablePlan{
+			host: gen.next(), cc: job.cc, x: job.cr.Float64(),
+		})
+	}
+}
+
+// placeEpochCertSite installs the world's single 1970-epoch certificate
+// (§5.3.1) on the first self-signed government site in country order —
+// worker factories suppress it so exactly one exists per world, chosen
+// deterministically.
+func (w *World) placeEpochCertSite(jobs []*countryJob) {
+	for _, job := range jobs {
+		for _, s := range job.sites {
+			if s.Injected != ClassSelfSigned || len(s.Chain) != 1 {
+				continue
+			}
+			if w.Sites[s.Hostname] != s {
+				continue // lost a duplicate-hostname race at registration
+			}
+			leaf := s.Chain[0]
+			s.Chain = []*cert.Certificate{ca.SelfSigned(leaf.PublicKey, leaf.DNSNames,
+				time.Unix(0, 0).UTC(), 70*365*24*time.Hour, cert.SHA256WithRSA)}
+			return
+		}
+	}
 }
 
 // profileFor derives the country profile, applying the special cases.
@@ -124,7 +219,7 @@ func (w *World) countryCounts() map[string]int {
 	}
 	for cc, n := range tinyCountries {
 		if _, done := counts[cc]; !done {
-			counts[cc] = minInt(n, 10) // never scale tiny countries up
+			counts[cc] = min(n, 10) // never scale tiny countries up
 			used += counts[cc]
 		}
 	}
@@ -206,7 +301,7 @@ func (w *World) registerWorldwide(s *Site) {
 	if _, dup := w.Sites[s.Hostname]; dup {
 		return
 	}
-	w.Sites[s.Hostname] = s
+	w.addSite(s)
 	w.GovHosts = append(w.GovHosts, s.Hostname)
 	w.ByCountry[s.Country] = append(w.ByCountry[s.Country], s.Hostname)
 	w.DNS.AddA(s.Hostname, s.IP)
@@ -217,28 +312,30 @@ func (w *World) registerWorldwide(s *Site) {
 }
 
 // registerUnreachable records a hostname that never yields a 200: absent
-// from DNS, refusing connections, or serving errors.
-func (w *World) registerUnreachable(host, cc string, r *rand.Rand) {
-	if _, dup := w.Sites[host]; dup {
+// from DNS, refusing connections, or serving errors. The fate draw was made
+// on the generating worker; only the shared-state mutations happen here.
+func (w *World) registerUnreachable(p unreachablePlan) {
+	if _, dup := w.Sites[p.host]; dup {
 		return
 	}
-	w.UnreachableHosts = append(w.UnreachableHosts, host)
-	switch x := r.Float64(); {
-	case x < 0.60:
+	w.UnreachableHosts = append(w.UnreachableHosts, p.host)
+	switch {
+	case p.x < 0.60:
 		// NXDOMAIN: not added to DNS at all.
-	case x < 0.85:
+	case p.x < 0.85:
 		// Resolves but nothing listens.
-		w.DNS.AddA(host, w.allocIP("Private"))
+		w.DNS.AddA(p.host, w.allocIP("Private"))
 	default:
 		// Resolves and serves a 503 on http.
 		ip := w.allocIP("Private")
-		w.DNS.AddA(host, ip)
-		s := &Site{Hostname: host, Country: cc, IP: ip, Serving: Unavailable}
-		w.Sites[host] = s
+		w.DNS.AddA(p.host, ip)
+		w.addSite(&Site{Hostname: p.host, Country: p.cc, IP: ip, Serving: Unavailable})
 	}
 }
 
-// assignHosting picks the provider and mints the IP.
+// assignHosting picks the provider. The IP is minted by the caller — for
+// worldwide sites that happens in the sequential registration pass, because
+// the allocator's per-provider counters are shared state.
 func (w *World) assignHosting(s *Site, prof Profile, r *rand.Rand) {
 	x := r.Float64()
 	switch {
@@ -252,7 +349,6 @@ func (w *World) assignHosting(s *Site, prof Profile, r *rand.Rand) {
 		s.Provider = "Private"
 		s.HostKind = hosting.Private
 	}
-	s.IP = w.allocIP(s.Provider)
 }
 
 // pickCloud reflects §6.1.2: AWS is 3.5x more popular than Cloudflare, with
@@ -401,7 +497,7 @@ func (w *World) addSpoofSites(r *rand.Rand) {
 			Key:       cert.NewKey(r, cert.KeyRSA, 2048),
 			NotBefore: w.ScanTime.AddDate(0, -1, 0),
 		})
-		w.Sites[host] = s
+		w.addSite(s)
 		w.DNS.AddA(host, s.IP)
 	}
 }
@@ -427,13 +523,6 @@ func (w *World) buildWhitelist(r *rand.Rand) {
 		}
 	}
 	_ = r
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // crc32ish is a tiny deterministic string hash for stable per-host choices.

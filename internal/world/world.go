@@ -15,6 +15,7 @@ import (
 	"math/rand"
 	"net/netip"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/ca"
@@ -90,6 +91,14 @@ type Site struct {
 	// Injected is the ground-truth error class the generator planted,
 	// letting tests distinguish measurement error from generation error.
 	Injected ErrorClass
+
+	// renderOnce lazily caches the serialized 200/301 responses the site's
+	// handlers write, so repeated scans stop re-rendering the page per
+	// request. Populated on first request, after Links are final.
+	renderOnce   sync.Once
+	respHTTP     []byte
+	respHTTPS    []byte
+	respRedirect []byte
 }
 
 // World is a fully built synthetic Internet.
@@ -134,6 +143,21 @@ type World struct {
 
 	ipAlloc  map[string]uint32 // per-block allocation counters
 	serialIP uint32
+	// siteOrder lists hostnames in insertion order. Build is
+	// deterministic, so the order is too; passes that need a canonical
+	// iteration over every site (buildCT) walk it instead of sorting the
+	// Sites keys from scratch.
+	siteOrder []string
+}
+
+// addSite registers the site in the hostname index, tracking insertion
+// order. Callers must have checked for duplicates when overwriting is not
+// intended.
+func (w *World) addSite(s *Site) {
+	if _, dup := w.Sites[s.Hostname]; !dup {
+		w.siteOrder = append(w.siteOrder, s.Hostname)
+	}
+	w.Sites[s.Hostname] = s
 }
 
 // Host returns the site for a hostname.
@@ -156,17 +180,23 @@ func Build(cfg Config) (*World, error) {
 	if cfg.Scale <= 0 || cfg.Scale > 1 {
 		return nil, fmt.Errorf("world: scale %v out of range (0, 1]", cfg.Scale)
 	}
+	// Rough host-population ceiling across every dataset (worldwide +
+	// unreachable + USA + ROK + spoofs); pre-sizing the big tables keeps a
+	// build from rehashing them a dozen times.
+	hostHint := int(float64(paperWorldwideHosts+paperUnreachableHosts+paperROKHosts+40000)*cfg.Scale) + 1024
 	w := &World{
 		Cfg:       cfg,
-		Net:       simnet.New(),
-		DNS:       dnssim.NewZone(),
+		Net:       simnet.NewSized(2 * hostHint),
+		DNS:       dnssim.NewZoneSized(hostHint),
 		Class:     hosting.DefaultClassifier(),
 		ScanTime:  cfg.ScanTime,
-		Sites:     make(map[string]*Site),
+		Sites:     make(map[string]*Site, hostHint),
 		ByCountry: make(map[string][]string),
 		Whitelist: make(map[string]string),
 		ipAlloc:   make(map[string]uint32),
 	}
+	w.GovHosts = make([]string, 0, hostHint)
+	w.siteOrder = make([]string, 0, hostHint)
 	w.Clock = simclock.NewVirtual(cfg.ScanTime)
 	w.Net.SetClock(w.Clock)
 	w.Net.SetSeed(cfg.Seed)

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# bench_scan.sh — run the scan-path benchmarks and emit BENCH_scan.json
+# comparing the current tree against the recorded pre-overhaul baselines.
+#
+# The baselines were measured on the same class of host the CI bench job
+# uses (one core, default GOVHTTPS_BENCH_SCALE=0.05) at the commit before
+# the scan-path throughput overhaul (verify cache, worker-pool ScanAll,
+# batched journal, parallel world build).
+#
+# Usage: scripts/bench_scan.sh [output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_scan.json}"
+
+# One `go test` process per benchmark: heap state left behind by one
+# benchmark (a worldwide scan leaves ~70 MB of results) skews the GC
+# behaviour of the next, and the baselines were recorded per-benchmark.
+raw=""
+for b in ScanWorldwide WorldBuild ScanSingleHost JSONExport; do
+    raw+="$(go test -run '^$' -bench "^Benchmark${b}\$" -benchmem -count "${BENCH_COUNT:-3}" .)"
+    raw+=$'\n'
+done
+printf '%s\n' "$raw"
+
+printf '%s\n' "$raw" | awk -v out="$out" '
+BEGIN {
+    # ns/op at the pre-overhaul seed commit (one core, scale 0.05).
+    base["ScanWorldwide"]  = 635628502
+    base["WorldBuild"]     = 22436147
+    base["ScanSingleHost"] = 101503
+    base["JSONExport"]     = 8780592
+    order[1] = "ScanWorldwide"; order[2] = "WorldBuild"
+    order[3] = "ScanSingleHost"; order[4] = "JSONExport"
+}
+/^Benchmark/ {
+    name = $1
+    sub(/^Benchmark/, "", name)
+    sub(/-[0-9]+$/, "", name)
+    # Keep the best of -count runs: least interference from the host.
+    if (!(name in cur) || $3 + 0 < cur[name]) cur[name] = $3 + 0
+}
+END {
+    printf "{\n  \"scale\": %s,\n", (ENVIRON["GOVHTTPS_BENCH_SCALE"] != "" ? ENVIRON["GOVHTTPS_BENCH_SCALE"] : "0.05") > out
+    printf "  \"baseline_ns_per_op\": {" > out
+    for (i = 1; i <= 4; i++)
+        printf "%s\n    \"%s\": %d", (i > 1 ? "," : ""), order[i], base[order[i]] > out
+    printf "\n  },\n  \"current_ns_per_op\": {" > out
+    for (i = 1; i <= 4; i++)
+        printf "%s\n    \"%s\": %d", (i > 1 ? "," : ""), order[i], cur[order[i]] > out
+    printf "\n  },\n  \"speedup\": {" > out
+    for (i = 1; i <= 4; i++)
+        printf "%s\n    \"%s\": %.2f", (i > 1 ? "," : ""), order[i],
+            (cur[order[i]] > 0 ? base[order[i]] / cur[order[i]] : 0) > out
+    printf "\n  }\n}\n" > out
+}
+'
+echo "wrote $out"
