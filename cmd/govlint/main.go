@@ -1,0 +1,53 @@
+// Command govlint enforces the repository's determinism and taxonomy
+// invariants: no wall-clock reads outside sanctioned packages (walltime),
+// no process-global or constant-seeded RNGs (globalrand), no unordered map
+// iteration in deterministic packages (maprange), and no enum switch that
+// silently drops a taxonomy class (exhaustive). See internal/lint for the
+// framework and DESIGN.md "Static analysis & enforced invariants" for the
+// rationale.
+//
+// Usage:
+//
+//	govlint [packages]
+//
+// Packages are directory patterns relative to the working directory
+// ("./...", "./internal/scanner"); the default is "./...". govlint must
+// run from inside the module so imports resolve. Exit status is 0 when the
+// tree is clean, 1 when findings were reported, 2 on load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: govlint [packages]\n\nChecks:\n")
+		for _, a := range lint.DefaultAnalyzers() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(os.Stderr, "\nSuppress a finding with `//lint:allow <check> <reason>` on or above the line.\n")
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := lint.Run(".", patterns, lint.DefaultAnalyzers())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "govlint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "govlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -38,8 +38,7 @@ func ComputeTable2(results []scanner.Result) Table2 {
 	for i := range results {
 		r := &results[i]
 		cat := r.Category()
-		switch cat {
-		case scanner.CatUnavailable:
+		if cat == scanner.CatUnavailable {
 			t.Unavailable++
 			continue
 		}

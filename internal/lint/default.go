@@ -1,0 +1,35 @@
+package lint
+
+// DeterministicPackages are the packages whose output feeds the paper's
+// tables and must be bit-identical across same-seed runs; maprange
+// enforces ordered iteration inside them. World generation, scanning,
+// verification, and the reporting/statistics layers all qualify: a single
+// unordered map walk in any of them reorders RNG draws or report rows.
+var DeterministicPackages = []string{
+	"repro/internal/world",
+	"repro/internal/scanner",
+	"repro/internal/verify",
+	"repro/internal/report",
+	"repro/internal/stats",
+}
+
+// WallClockPackages are the packages whose business is genuinely the wall
+// clock, exempt from walltime as a package rather than line by line:
+// simclock implements the Real clock, and tlsprobe scans the actual
+// Internet where elapsed wall time is the measurement.
+var WallClockPackages = []string{
+	"repro/internal/simclock",
+	"repro/internal/tlsprobe",
+}
+
+// DefaultAnalyzers is the invariant set enforced on this repository — the
+// configuration behind `govlint ./...`, the CI lint job, and the
+// repo-lints-clean smoke test.
+func DefaultAnalyzers() []*Analyzer {
+	return []*Analyzer{
+		Walltime(WallClockPackages...),
+		GlobalRand(),
+		MapRange(DeterministicPackages...),
+		Exhaustive(),
+	}
+}

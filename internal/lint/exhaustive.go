@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Exhaustive requires that a switch over a locally-declared enum type —
+// a named int or string type with two or more declared constants, like
+// verify.Code, scanner.Exception, or tlssim.Quirk — either covers every
+// declared constant or carries a default clause. The paper's Table 2/
+// Table 4 taxonomy lives in exactly such switches (Code.String,
+// Exception.String, Result.Category); when a new error class is added,
+// this check turns every switch that silently drops it into a build
+// failure instead of a silently shrunken taxonomy.
+func Exhaustive() *Analyzer {
+	return &Analyzer{
+		Name: "exhaustive",
+		Doc:  "a switch over a locally-declared enum must cover every constant or have a default",
+		Run: func(p *Pass) {
+			for _, f := range p.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					sw, ok := n.(*ast.SwitchStmt)
+					if !ok || sw.Tag == nil {
+						return true
+					}
+					checkSwitch(p, sw)
+					return true
+				})
+			}
+		},
+	}
+}
+
+// checkSwitch validates one tagged switch statement.
+func checkSwitch(p *Pass, sw *ast.SwitchStmt) {
+	tagType := p.Info.Types[sw.Tag].Type
+	if tagType == nil {
+		return
+	}
+	named, ok := types.Unalias(tagType).(*types.Named)
+	if !ok {
+		return
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !underModule(obj.Pkg().Path(), p.Module) {
+		return
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&(types.IsInteger|types.IsString) == 0 {
+		return
+	}
+	consts := enumConstants(named)
+	if len(consts) < 2 {
+		return // one constant is a sentinel, not an enum
+	}
+
+	covered := make(map[string]bool)
+	for _, stmt := range sw.Body.List {
+		clause, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if clause.List == nil {
+			return // default clause: the switch owns its long tail explicitly
+		}
+		for _, e := range clause.List {
+			if tv := p.Info.Types[e]; tv.Value != nil {
+				covered[tv.Value.ExactString()] = true
+			}
+		}
+	}
+
+	var missing []string
+	for _, c := range consts {
+		if !covered[c.Val().ExactString()] {
+			missing = append(missing, c.Name())
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	p.Reportf(sw.Pos(),
+		"switch over %s.%s is missing %s and has no default; cover the taxonomy or own the remainder with a default",
+		obj.Pkg().Name(), obj.Name(), strings.Join(missing, ", "))
+}
+
+// enumConstants returns the constants of exactly type named declared in
+// its defining package, in scope (i.e. sorted-name) order.
+func enumConstants(named *types.Named) []*types.Const {
+	scope := named.Obj().Pkg().Scope()
+	var out []*types.Const
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if ok && types.Identical(c.Type(), named) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// underModule reports whether pkgPath is the module or a package inside it.
+func underModule(pkgPath, module string) bool {
+	return pkgPath == module || strings.HasPrefix(pkgPath, module+"/")
+}

@@ -1,0 +1,52 @@
+package lint
+
+import "go/ast"
+
+// globalRandFuncs are the math/rand package-level draws that consume the
+// process-global source. rand.New and rand.NewSource are absent: they are
+// the sanctioned construction path and are checked separately for
+// constant (un-threaded) seeds.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+}
+
+// GlobalRand forbids drawing from math/rand's process-global source and
+// seeding a fresh source with a compile-time constant. Every RNG in the
+// pipeline must be threaded from the world/study seed (world.Config.Seed →
+// per-subsystem rand.New(rand.NewSource(root.Int63())) streams); a global
+// draw shares hidden state across goroutines and a constant seed creates a
+// stream that ignores the study seed entirely. Test files are outside the
+// loader's view and therefore exempt by construction.
+func GlobalRand() *Analyzer {
+	return &Analyzer{
+		Name: "globalrand",
+		Doc:  "forbid global math/rand draws and constant-seeded sources; thread RNGs from the study seed",
+		Run: func(p *Pass) {
+			for _, f := range p.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.SelectorExpr:
+						if isPkgFunc(p, n, "math/rand") && globalRandFuncs[n.Sel.Name] {
+							p.Reportf(n.Pos(),
+								"global math/rand.%s draws from process-wide hidden state; thread a *rand.Rand from the study seed",
+								n.Sel.Name)
+						}
+					case *ast.CallExpr:
+						sel, ok := n.Fun.(*ast.SelectorExpr)
+						if !ok || !isPkgFunc(p, sel, "math/rand") || sel.Sel.Name != "NewSource" {
+							return true
+						}
+						if len(n.Args) == 1 && p.Info.Types[n.Args[0]].Value != nil {
+							p.Reportf(n.Pos(),
+								"rand.NewSource with a constant seed creates an RNG stream untethered from the study seed; derive the seed from the threaded RNG or config")
+						}
+					}
+					return true
+				})
+			}
+		},
+	}
+}

@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapRange flags `for range` over map-typed values in packages whose
+// output must be bit-identical across same-seed runs. Go randomizes map
+// iteration order per run, so any map range whose body's effect is
+// order-sensitive (appending, writing a report row, drawing from an RNG,
+// assigning serial numbers) silently breaks reproducibility — PR 1's
+// GSA-deck bug was exactly this class. The sanctioned pattern is to
+// collect the keys, sort them, and range over the sorted slice; a bare
+// key-collection loop (`for k := range m { keys = append(keys, k) }`) is
+// recognized and permitted since its append order is discarded by the
+// subsequent sort. Anything else needs a //lint:allow maprange <reason>
+// arguing the body is genuinely commutative.
+func MapRange(pkgs ...string) *Analyzer {
+	var match func(string) bool
+	if len(pkgs) > 0 {
+		set := make(map[string]bool, len(pkgs))
+		for _, p := range pkgs {
+			set[p] = true
+		}
+		match = func(path string) bool { return set[path] }
+	}
+	return &Analyzer{
+		Name:  "maprange",
+		Doc:   "flag map iteration in deterministic packages; collect and sort keys first",
+		Match: match,
+		Run: func(p *Pass) {
+			for _, f := range p.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					rs, ok := n.(*ast.RangeStmt)
+					if !ok {
+						return true
+					}
+					t := p.Info.Types[rs.X].Type
+					if t == nil {
+						return true
+					}
+					if _, isMap := t.Underlying().(*types.Map); !isMap {
+						return true
+					}
+					if isKeyCollection(rs) {
+						return true
+					}
+					p.Reportf(rs.Pos(),
+						"map iteration order is randomized per run; collect the keys and sort them before ranging")
+					return true
+				})
+			}
+		},
+	}
+}
+
+// isKeyCollection recognizes the first half of the sanctioned
+// sort-the-keys idiom: a range using only the key whose body is exactly
+// `keys = append(keys, k)`. The append order is irrelevant because the
+// slice is sorted before use; every other body shape must prove itself.
+func isKeyCollection(rs *ast.RangeStmt) bool {
+	if rs.Value != nil || rs.Key == nil || len(rs.Body.List) != 1 {
+		return false
+	}
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	asg, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	dst, ok := asg.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	src, ok := call.Args[0].(*ast.Ident)
+	if !ok || src.Name != dst.Name {
+		return false
+	}
+	arg, ok := call.Args[1].(*ast.Ident)
+	return ok && arg.Name == key.Name
+}

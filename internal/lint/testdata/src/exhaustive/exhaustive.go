@@ -1,0 +1,80 @@
+// Package exhaustivefix exercises the exhaustive analyzer: a switch over
+// a locally-declared enum must cover every constant or carry a default.
+package exhaustivefix
+
+import "time"
+
+type Code int
+
+const (
+	CodeOK Code = iota
+	CodeWarn
+	CodeFail
+)
+
+func missing(c Code) string {
+	switch c { // want `missing CodeFail`
+	case CodeOK:
+		return "ok"
+	case CodeWarn:
+		return "warn"
+	}
+	return ""
+}
+
+func covered(c Code) string {
+	switch c {
+	case CodeOK:
+		return "ok"
+	case CodeWarn, CodeFail:
+		return "bad"
+	}
+	return ""
+}
+
+func defaulted(c Code) string {
+	switch c {
+	case CodeOK:
+		return "ok"
+	default:
+		return "bad"
+	}
+}
+
+// String-typed enums are enums too.
+type Mode string
+
+const (
+	ModeFast Mode = "fast"
+	ModeSafe Mode = "safe"
+)
+
+func stringEnum(m Mode) int {
+	switch m { // want `missing ModeSafe`
+	case ModeFast:
+		return 1
+	}
+	return 0
+}
+
+// A type with a single constant is a sentinel, not an enum: quiet.
+type sentinel int
+
+const only sentinel = 1
+
+func notEnum(s sentinel) bool {
+	switch s {
+	case only:
+		return true
+	}
+	return false
+}
+
+// Enums declared outside the module (time.Month) are not ours to police.
+func stdEnum(m time.Month) bool {
+	switch m {
+	case time.January:
+		return true
+	}
+	return false
+}

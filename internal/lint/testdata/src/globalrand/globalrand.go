@@ -1,0 +1,37 @@
+// Package globalrandfix exercises the globalrand analyzer: process-global
+// draws and constant-seeded sources are flagged, while RNGs threaded from
+// a caller-supplied seed stay quiet.
+package globalrandfix
+
+import "math/rand"
+
+func globalInt() int {
+	return rand.Int() // want `global math/rand\.Int`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand\.Shuffle`
+}
+
+func constSeed() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want `constant seed`
+}
+
+const fixedSeed = 7
+
+func constExprSeed() *rand.Rand {
+	return rand.New(rand.NewSource(fixedSeed * 3)) // want `constant seed`
+}
+
+// The sanctioned forms: the seed or the generator is threaded in.
+func threadedSeed(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func threadedDraw(r *rand.Rand) int {
+	return r.Intn(10)
+}
+
+func derivedStream(r *rand.Rand) *rand.Rand {
+	return rand.New(rand.NewSource(r.Int63()))
+}

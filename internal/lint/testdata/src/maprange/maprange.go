@@ -1,0 +1,55 @@
+// Package maprangefix exercises the maprange analyzer: ranging over a map
+// is flagged unless it is the bare key-collection half of the
+// collect-and-sort idiom.
+package maprangefix
+
+import "sort"
+
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `map iteration order is randomized`
+		total += v
+	}
+	return total
+}
+
+// keysOnly is the sanctioned key-collection idiom: the append order is
+// discarded by the sort, so the loop stays quiet.
+func keysOnly(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sortedWalk ranges over the sorted key slice, not the map: quiet.
+func sortedWalk(m map[string]int) []int {
+	out := make([]int, 0, len(m))
+	for _, k := range keysOnly(m) {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// Named map types are still maps.
+type bag map[string]int
+
+func drain(b bag) {
+	for range b { // want `map iteration order is randomized`
+	}
+}
+
+// Key collection that does anything beyond appending the key is not the
+// idiom: the filter makes the body shape non-canonical.
+func filteredKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration order is randomized`
+		if m[k] > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}

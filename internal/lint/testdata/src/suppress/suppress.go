@@ -1,0 +1,30 @@
+// Package suppressfix exercises the driver's //lint:allow machinery.
+// lint_test.go asserts the exact findings (with line numbers) produced by
+// running the walltime analyzer over this file, so keep the layout stable:
+// the line of each construct is part of the test's expectations.
+package suppressfix
+
+import "time"
+
+// A trailing suppression on the offending line.
+func sameLine() time.Time {
+	return time.Now() //lint:allow walltime fixture demonstrates a trailing suppression
+}
+
+// A suppression on the line directly above the offense.
+func lineAbove() time.Time {
+	//lint:allow walltime fixture demonstrates a line-above suppression
+	return time.Now()
+}
+
+// A reason-less allow is malformed: it reports allow-syntax and the
+// walltime finding survives.
+func malformed() time.Time {
+	return time.Now() //lint:allow walltime
+}
+
+// A well-formed allow that suppresses nothing reports allow-unused.
+var unused = 3 //lint:allow walltime nothing on this line violates walltime
+
+// An allow naming a check that does not exist must not silently rot.
+var unknown = 4 //lint:allow warptime misspelled check names must be reported

@@ -1,0 +1,54 @@
+// Package walltimefix exercises the walltime analyzer: every forbidden
+// wall-clock read carries a want expectation, and the threaded-clock
+// alternatives below must stay quiet.
+package walltimefix
+
+import (
+	"time"
+
+	wall "time"
+)
+
+func now() time.Time {
+	return time.Now() // want `wall-clock time\.Now`
+}
+
+func since(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `wall-clock time\.Since`
+}
+
+func after() <-chan time.Time {
+	return time.After(time.Second) // want `wall-clock time\.After`
+}
+
+func tick() <-chan time.Time {
+	return time.Tick(time.Second) // want `wall-clock time\.Tick`
+}
+
+func renamed() time.Time {
+	return wall.Now() // want `wall-clock time\.Now`
+}
+
+// Clock is the sanctioned alternative: "now" arrives through an injected
+// dependency, so same-seed runs replay on an identical timeline.
+type Clock interface{ Now() time.Time }
+
+func threaded(c Clock) time.Time {
+	return c.Now()
+}
+
+// Methods named Now on non-time values must stay quiet.
+type fakeTime struct{}
+
+func (fakeTime) Now() time.Time { return time.Time{} }
+
+func methodNow() time.Time {
+	var ft fakeTime
+	return ft.Now()
+}
+
+// A local identifier shadowing the import must stay quiet too.
+func shadowed() time.Time {
+	time := fakeTime{}
+	return time.Now()
+}

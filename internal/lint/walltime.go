@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// walltimeFuncs are the package-level time functions that read the wall
+// clock. time.Until and the timer constructors are deliberately absent:
+// they only matter once a wall instant is already in hand, and the Real
+// clock's own Sleep needs timers.
+var walltimeFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"After": true,
+	"Tick":  true,
+}
+
+// Walltime forbids reading the wall clock. Simulation and scan code must
+// take its notion of "now" from a threaded simclock.Clock (scanner.Cfg.Clock,
+// tlssim.ClientConfig.Clock) so that same-seed runs replay on an identical
+// timeline; a stray time.Now makes handshake deadlines, backoff pacing, or
+// timestamps depend on the host machine instead of the seed. Packages whose
+// business is genuinely wall-clock time — the Real clock itself, the
+// real-Internet prober — are exempted by import path; anything else needs a
+// //lint:allow walltime <reason> at the call site.
+func Walltime(allowPkgs ...string) *Analyzer {
+	allowed := make(map[string]bool, len(allowPkgs))
+	for _, p := range allowPkgs {
+		allowed[p] = true
+	}
+	return &Analyzer{
+		Name:  "walltime",
+		Doc:   "forbid wall-clock reads (time.Now/Since/After/Tick); thread a simclock.Clock instead",
+		Match: func(path string) bool { return !allowed[path] },
+		Run: func(p *Pass) {
+			for _, f := range p.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					if !isPkgFunc(p, sel, "time") || !walltimeFuncs[sel.Sel.Name] {
+						return true
+					}
+					p.Reportf(sel.Pos(),
+						"wall-clock time.%s breaks same-seed reproducibility; use a threaded simclock.Clock",
+						sel.Sel.Name)
+					return true
+				})
+			}
+		},
+	}
+}
+
+// isPkgFunc reports whether sel selects out of the package imported from
+// pkgPath (robust to renamed imports, and never confused by a local
+// variable that happens to be named "time" or "rand").
+func isPkgFunc(p *Pass, sel *ast.SelectorExpr, pkgPath string) bool {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := p.Info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == pkgPath
+}

@@ -233,12 +233,18 @@ func Campaign(c *notify.CampaignResult) string {
 
 	b.WriteString(section("Figure 13: Response by country population rank"))
 	bands := newTable("Population rank band", "Contacted", "Replied", "Reply%")
+	ccs := make([]string, 0, len(c.Deliveries))
+	for cc := range c.Deliveries {
+		ccs = append(ccs, cc)
+	}
+	sort.Strings(ccs)
 	type band struct {
 		lo, hi int
 	}
 	for _, bd := range []band{{1, 50}, {51, 100}, {101, 200}, {201, 400}} {
 		contacted, replied := 0, 0
-		for cc, d := range c.Deliveries {
+		for _, cc := range ccs {
+			d := c.Deliveries[cc]
 			rank, ok := geo.PopulationRank(cc)
 			if !ok || rank < bd.lo || rank > bd.hi || !d.Delivered {
 				continue

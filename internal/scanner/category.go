@@ -55,8 +55,11 @@ func (c Category) IsInvalidHTTPS() bool {
 	switch c {
 	case CatUnavailable, CatHTTPOnly, CatValid:
 		return false
+	default:
+		// Every other category — certificate errors, the exception block,
+		// and Others — counts as invalid https.
+		return true
 	}
-	return true
 }
 
 // IsException reports whether the category belongs to the Exceptions block.
@@ -66,8 +69,9 @@ func (c Category) IsException() bool {
 		CatExcWrongVersion, CatExcAlertInternal, CatExcAlertHandshake,
 		CatExcAlertProtoVersion:
 		return true
+	default:
+		return false
 	}
-	return false
 }
 
 // Category classifies the result.

@@ -274,8 +274,11 @@ func (e Exception) ServerResponded() bool {
 	case ExcUnsupportedProtocol, ExcWrongVersion, ExcAlertInternal,
 		ExcAlertHandshake, ExcAlertProtoVersion:
 		return true
+	default:
+		// Timeouts, refusals, resets, open breakers, and unclassifiable
+		// failures are connection-level silence.
+		return false
 	}
-	return false
 }
 
 func (s *Scanner) probeHTTP(ctx context.Context, res *Result) {
@@ -339,6 +342,7 @@ func (s *Scanner) probeHTTPS(ctx context.Context, res *Result, out *httpsOutcome
 
 	ccfg := tlssim.DefaultClientConfig(res.Hostname)
 	ccfg.HandshakeTimeout = s.Cfg.Timeout
+	ccfg.Clock = s.Cfg.Clock
 	ccfg.ChainCache = s.Cfg.ChainCache
 	tc, err := tlssim.ClientHandshake(conn, ccfg)
 	out.engaged = true

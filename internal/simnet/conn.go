@@ -69,6 +69,7 @@ func (b *pipeBuffer) read(p []byte) (int, error) {
 		if b.closed {
 			return 0, io.EOF
 		}
+		//lint:allow walltime net.Conn deadlines are wall-clock by contract; virtual-clock scans never set one (scanner.applyDeadline skips them)
 		if !b.deadline.IsZero() && !time.Now().Before(b.deadline) {
 			return 0, os.ErrDeadlineExceeded
 		}

@@ -301,6 +301,10 @@ func (n *Network) Dial(ctx context.Context, fromVantage string, ep netip.AddrPor
 		if dialChance(seed, ep, seq) < spec.Probability {
 			return dialErr(spec.failErr())
 		}
+	default:
+		// FaultNone and the connection-stage faults (reset, mid-handshake,
+		// truncate) do not interfere with the dial; they apply after the
+		// pipe exists.
 	}
 	if l == nil && h == nil {
 		return dialErr(ErrConnRefused)
@@ -328,6 +332,9 @@ func (n *Network) Dial(ctx context.Context, fromVantage string, ep netip.AddrPor
 		client.ResetInbound()
 	case FaultTruncate:
 		client.TruncateInbound(spec.TruncateBytes)
+	default:
+		// FaultNone and the dial-stage faults (refuse, timeout, flaky,
+		// probabilistic) were consumed before the pipe was built.
 	}
 
 	if h != nil {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/cert"
+	"repro/internal/simclock"
 )
 
 // Quirk selects a server misbehaviour observed in the wild and reflected in
@@ -79,6 +80,10 @@ type ClientConfig struct {
 	ServerName string
 	// HandshakeTimeout bounds the handshake when positive.
 	HandshakeTimeout time.Duration
+	// Clock supplies the instant the handshake deadline is measured from,
+	// so timeouts run on the same timeline as the scanner's retry/backoff
+	// machinery. nil defaults to the wall clock (simclock.Real).
+	Clock simclock.Clock
 	// ChainCache, when non-nil, deduplicates parsed certificate chains
 	// across handshakes that present the same payload (the scanner shares
 	// one cache across all probes).
@@ -170,8 +175,8 @@ func (c *Conn) SetWriteDeadline(t time.Time) error { return c.raw.SetWriteDeadli
 // ClientHandshake performs the client side of the handshake over raw.
 // On success it returns a connection ready for application data.
 func ClientHandshake(raw net.Conn, cfg *ClientConfig) (*Conn, error) {
-	if cfg.HandshakeTimeout > 0 {
-		raw.SetDeadline(time.Now().Add(cfg.HandshakeTimeout))
+	if deadline, ok := cfg.handshakeDeadline(); ok {
+		raw.SetDeadline(deadline)
 		defer raw.SetDeadline(time.Time{})
 	}
 	hello := clientHello{MinVersion: cfg.MinVersion, MaxVersion: cfg.MaxVersion, ServerName: cfg.ServerName}
@@ -243,6 +248,27 @@ func ClientHandshake(raw net.Conn, cfg *ClientConfig) (*Conn, error) {
 	}, nil
 }
 
+// handshakeDeadline computes the absolute deadline bounding the handshake,
+// measured on the configured clock rather than wall time. Virtual-clock
+// runs get no deadline at all, mirroring scanner.applyDeadline: the
+// collapsing clock is advanced by other goroutines' sleeps, so an absolute
+// deadline derived from it would expire scheduling-dependently and break
+// same-seed determinism — simulated timeouts are modeled at the dial/fault
+// layer instead.
+func (cfg *ClientConfig) handshakeDeadline() (time.Time, bool) {
+	if cfg.HandshakeTimeout <= 0 {
+		return time.Time{}, false
+	}
+	clk := cfg.Clock
+	if clk == nil {
+		clk = simclock.Real{}
+	}
+	if _, virtual := clk.(*simclock.Virtual); virtual {
+		return time.Time{}, false
+	}
+	return clk.Now().Add(cfg.HandshakeTimeout), true
+}
+
 // ServerHandshake performs the server side of the handshake over raw,
 // applying the configured quirk.
 func ServerHandshake(raw net.Conn, cfg *ServerConfig) (*Conn, error) {
@@ -269,6 +295,9 @@ func ServerHandshake(raw net.Conn, cfg *ServerConfig) (*Conn, error) {
 	case QuirkProtocolVersionAlert:
 		writeRecord(raw, recordAlert, TLS1_0, []byte{2, AlertProtocolVersion})
 		return nil, AlertError{ProtocolVersion: TLS1_0, Description: AlertProtocolVersion}
+	default:
+		// The non-alert quirks (none, SSLv2-only, wrong version number,
+		// truncation) shape the ServerHello exchange below.
 	}
 
 	version := negotiate(ch, cfg)

@@ -143,12 +143,12 @@ func (w *World) addNoise(r *rand.Rand) {
 }
 
 func (w *World) sortedCountries() []string {
-	out := make([]string, 0, len(w.ByCountry))
-	for cc := range w.ByCountry {
+	out := sortedKeys(w.ByCountry)
+	kept := out[:0]
+	for _, cc := range out {
 		if len(w.ByCountry[cc]) > 0 {
-			out = append(out, cc)
+			kept = append(kept, cc)
 		}
 	}
-	sort.Strings(out)
-	return out
+	return kept
 }

@@ -1,0 +1,15 @@
+package world
+
+import "sort"
+
+// sortedKeys returns m's string keys in sorted order, giving map-backed
+// loops the deterministic iteration order the maprange invariant
+// (cmd/govlint) requires of world construction.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

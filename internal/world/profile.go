@@ -83,8 +83,9 @@ func (c ErrorClass) IsException() bool {
 		ClassExcWrongVersion, ClassExcAlertInternal, ClassExcAlertHandshake,
 		ClassExcAlertProtoVersion:
 		return true
+	default:
+		return false
 	}
-	return false
 }
 
 // weighted is a discrete distribution over error classes.

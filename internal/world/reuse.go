@@ -2,7 +2,6 @@ package world
 
 import (
 	"math/rand"
-	"sort"
 	"time"
 
 	"repro/internal/ca"
@@ -17,12 +16,11 @@ import (
 // certificate shared by 24 countries across 58 hostnames.
 func (w *World) injectKeyReuse(r *rand.Rand) {
 	countries := make([]string, 0, len(w.ByCountry))
-	for cc, hosts := range w.ByCountry {
-		if len(hosts) >= 4 {
+	for _, cc := range sortedKeys(w.ByCountry) {
+		if len(w.ByCountry[cc]) >= 4 {
 			countries = append(countries, cc)
 		}
 	}
-	sort.Strings(countries)
 	if len(countries) < 4 {
 		return
 	}

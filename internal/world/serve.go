@@ -17,6 +17,7 @@ import (
 // Handlers are registered lazily (no goroutine per site), so a full-scale
 // world of hundreds of thousands of endpoints stays cheap.
 func (w *World) serveAll() {
+	//lint:allow maprange Network.Handle is a keyed map insert per endpoint and no RNG is drawn here, so registration order cannot leak into scan results
 	for _, s := range w.Sites {
 		w.serveSite(s)
 	}
@@ -167,6 +168,7 @@ func (w *World) injectTransientFaults() {
 	if w.Cfg.Flakiness <= 0 {
 		return
 	}
+	//lint:allow maprange selection hashes each hostname against the seed, so the injected fault set is identical under any iteration order
 	for _, s := range w.Sites {
 		if !s.IP.IsValid() || !s.Serving.HasHTTPS() || s.Fault != simnet.FaultNone {
 			continue

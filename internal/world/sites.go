@@ -211,15 +211,15 @@ func (w *World) countryCounts() map[string]int {
 		counts[cc] = n
 		used += n
 	}
-	for cc, n := range specialCounts {
-		take(cc, n, 40)
+	for _, cc := range sortedKeys(specialCounts) {
+		take(cc, specialCounts[cc], 40)
 	}
-	for cc, n := range allHTTPSCountries {
-		take(cc, n, 3)
+	for _, cc := range sortedKeys(allHTTPSCountries) {
+		take(cc, allHTTPSCountries[cc], 3)
 	}
-	for cc, n := range tinyCountries {
+	for _, cc := range sortedKeys(tinyCountries) {
 		if _, done := counts[cc]; !done {
-			counts[cc] = min(n, 10) // never scale tiny countries up
+			counts[cc] = min(tinyCountries[cc], 10) // never scale tiny countries up
 			used += counts[cc]
 		}
 	}
@@ -506,7 +506,7 @@ func (w *World) addSpoofSites(r *rand.Rand) {
 // government extensions (§4.2.3): every site of a no-convention country
 // plus the named extras.
 func (w *World) buildWhitelist(r *rand.Rand) {
-	for cc, hosts := range w.ByCountry {
+	for _, cc := range sortedKeys(w.ByCountry) {
 		c, ok := geo.ByCode(cc)
 		if !ok {
 			continue
@@ -518,7 +518,7 @@ func (w *World) buildWhitelist(r *rand.Rand) {
 		if c.Convention != geo.ConvNone || cc == "us" {
 			continue
 		}
-		for _, h := range hosts {
+		for _, h := range w.ByCountry[cc] {
 			w.Whitelist[h] = cc
 		}
 	}

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# lint.sh runs the same static checks as the CI lint job: the repo's own
+# govlint determinism/taxonomy checker, then go vet. Run it from anywhere
+# inside the repo; it operates on the module root.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== govlint ./..."
+go run ./cmd/govlint ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "lint: clean"
