@@ -25,6 +25,7 @@ import (
 	"repro/internal/crawler"
 	"repro/internal/ctlog"
 	"repro/internal/notify"
+	"repro/internal/resultset"
 	"repro/internal/scanner"
 	"repro/internal/world"
 )
@@ -207,7 +208,7 @@ func BenchmarkAblationTrustStores(b *testing.B) {
 				sc := scanner.New(s.World.Net, s.World.DNS, s.World.Class,
 					scanner.DefaultConfig(store, s.World.ScanTime))
 				results := sc.ScanAll(ctx, hosts)
-				tab := analysis.ComputeTable2(results)
+				tab := analysis.ComputeTable2(resultset.New(results, resultset.Options{}))
 				if tab.Total == 0 {
 					b.Fatal("empty scan")
 				}
@@ -308,7 +309,7 @@ func BenchmarkDisclosureCampaign(b *testing.B) {
 	results := s.Worldwide(ctx)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		reports := notify.BuildReports(results, s.CountryOf, nil)
+		reports := notify.BuildReports(results, nil)
 		c := notify.Campaign(reports, s.Rand("bench"))
 		if c.EmailsSent == 0 {
 			b.Fatal("no emails")
@@ -355,7 +356,7 @@ func BenchmarkJSONExport(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := scanner.WriteJSONL(io.Discard, results); err != nil {
+		if err := scanner.WriteJSONL(io.Discard, results.Results()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -363,3 +364,176 @@ func BenchmarkJSONExport(b *testing.B) {
 
 func BenchmarkExtensionHSTSPreload(b *testing.B) { benchExperiment(b, "E5") }
 func BenchmarkExtensionACMEPolicy(b *testing.B)  { benchExperiment(b, "E6") }
+
+// --- Aggregation benches ---
+//
+// The pair below measures the refactor's core trade: one indexed build
+// pass serving every downstream aggregate, versus the per-experiment
+// loops the analysis layer used to run over the raw slice.
+
+// BenchmarkAggregateIndexed runs the refactored pipeline: ScanStream
+// feeding the index builder (the build overlaps the scan), then the
+// aggregates every experiment consumes read straight off the Set.
+func BenchmarkAggregateIndexed(b *testing.B) {
+	s := study(b)
+	hosts := s.World.GovHosts
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bld := resultset.NewBuilder(resultset.Options{CountryOf: s.CountryOf, SizeHint: len(hosts)})
+		s.Scanner().ScanStream(ctx, hosts, bld.Add)
+		set := bld.Build()
+		n := set.Counts().Total + len(set.CountryAggs()) + len(set.Issuers()) +
+			len(set.Fingerprints()) + len(set.HostKeyCells())
+		if n == 0 {
+			b.Fatal("empty aggregates")
+		}
+	}
+	b.ReportMetric(float64(len(hosts)), "hosts/op")
+}
+
+// BenchmarkAggregateLegacy re-runs the pre-refactor pattern: ScanAll
+// collects the raw slice, then every experiment family walks it with its
+// own loop, rebuilding the same aggregates the indexed Set derives in one
+// pass — the Table 2 tally, per-country rollup, issuer breakdown,
+// fingerprint and key-ID clustering, key/signature/version cells, and the
+// disclosure host lists.
+func BenchmarkAggregateLegacy(b *testing.B) {
+	s := study(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		raw := s.Scanner().ScanAll(ctx, s.World.GovHosts)
+		// T2: taxonomy tally.
+		byCat := map[scanner.Category]int{}
+		hsts, both := 0, 0
+		for j := range raw {
+			byCat[raw[j].Category()]++
+			if raw[j].Category() == scanner.CatValid && raw[j].HSTS {
+				hsts++
+			}
+			if raw[j].ServesHTTP && raw[j].ServesHTTPS {
+				both++
+			}
+		}
+		// F1: per-country rollup.
+		type ccAgg struct{ hosts, avail, https, valid int }
+		countries := map[string]*ccAgg{}
+		for j := range raw {
+			cc := s.CountryOf(raw[j].Hostname)
+			if cc == "" {
+				continue
+			}
+			agg := countries[cc]
+			if agg == nil {
+				agg = &ccAgg{}
+				countries[cc] = agg
+			}
+			agg.hosts++
+			if raw[j].Available {
+				agg.avail++
+				if raw[j].HasHTTPS() {
+					agg.https++
+				}
+				if raw[j].ValidHTTPS() {
+					agg.valid++
+				}
+			}
+		}
+		// F2: issuer breakdown (total/valid per CA).
+		type issAgg struct{ total, valid int }
+		issuers := map[string]*issAgg{}
+		for j := range raw {
+			if len(raw[j].Chain) == 0 {
+				continue
+			}
+			cn := raw[j].Chain[0].Issuer.CommonName
+			agg := issuers[cn]
+			if agg == nil {
+				agg = &issAgg{}
+				issuers[cn] = agg
+			}
+			agg.total++
+			if raw[j].Verify.Valid() {
+				agg.valid++
+			}
+		}
+		// S533: fingerprint clustering with country spans.
+		fps := map[[32]byte][]string{}
+		fpCCs := map[[32]byte]map[string]bool{}
+		for j := range raw {
+			if len(raw[j].Chain) == 0 {
+				continue
+			}
+			fp := raw[j].Chain[0].Fingerprint()
+			fps[fp] = append(fps[fp], raw[j].Hostname)
+			if cc := s.CountryOf(raw[j].Hostname); cc != "" {
+				if fpCCs[fp] == nil {
+					fpCCs[fp] = map[string]bool{}
+				}
+				fpCCs[fp][cc] = true
+			}
+		}
+		// E3/§8: key-identity sharing.
+		keyHosts := map[string]int{}
+		for j := range raw {
+			if len(raw[j].Chain) > 0 {
+				keyHosts[string(raw[j].Chain[0].PublicKey.ID[:])]++
+			}
+		}
+		// F4: key/signature validity cells (incl. weak counts).
+		type cell struct{ total, valid int }
+		cells := map[string]*cell{}
+		weak, small := 0, 0
+		for j := range raw {
+			if len(raw[j].Chain) == 0 {
+				continue
+			}
+			leaf := raw[j].Chain[0]
+			ok := raw[j].Verify.Valid()
+			for _, label := range []string{
+				leaf.PublicKey.Label(),
+				leaf.SignatureAlgorithm.String(),
+				leaf.PublicKey.Label() + " / " + leaf.SignatureAlgorithm.String(),
+			} {
+				c := cells[label]
+				if c == nil {
+					c = &cell{}
+					cells[label] = c
+				}
+				c.total++
+				if ok {
+					c.valid++
+				}
+			}
+			if leaf.SignatureAlgorithm.IsWeak() {
+				weak++
+			}
+		}
+		// TLS version cells.
+		versions := map[string]int{}
+		for j := range raw {
+			if raw[j].HasHTTPS() && len(raw[j].Chain) > 0 {
+				versions[raw[j].TLSVersion.String()]++
+			}
+		}
+		// F13/notify: invalid hosts and failed upgrades.
+		var invalid []string
+		failed := 0
+		for j := range raw {
+			if raw[j].Category().IsInvalidHTTPS() {
+				invalid = append(invalid, raw[j].Hostname)
+			}
+			if raw[j].ServesHTTP && raw[j].ServesHTTPS && raw[j].ValidHTTPS() {
+				failed++
+			}
+		}
+		if len(byCat)+len(countries)+len(issuers)+len(fps)+len(keyHosts)+
+			len(cells)+len(versions)+len(invalid)+hsts+both+weak+small+failed == 0 {
+			b.Fatal("empty aggregates")
+		}
+	}
+	b.ReportMetric(float64(len(s.World.GovHosts)), "hosts/op")
+}

@@ -47,7 +47,7 @@ func main() {
 
 	before := study.Worldwide(ctx)
 	study.CloseCheckpoint()
-	reports := notify.BuildReports(before, study.CountryOf, nil)
+	reports := notify.BuildReports(before, nil)
 	campaign := notify.Campaign(reports, study.Rand("disclosure"))
 	fmt.Print(report.Campaign(campaign))
 	fmt.Println()
@@ -55,8 +55,7 @@ func main() {
 	invalid := study.InvalidWorldwideHosts(ctx)
 	study.World.Remediate(invalid, world.DefaultRemediationRates(), study.Rand("remediation"))
 
-	followCfg := scanner.DefaultConfig(study.Store(), world.FollowUpScanTime)
-	followCfg.Seed = *seed
+	var followJournal *scanner.Journal
 	if *journal != "" {
 		if !*resume {
 			os.Remove(*journal + ".followup")
@@ -67,10 +66,12 @@ func main() {
 			os.Exit(1)
 		}
 		defer j.Close()
-		followCfg.Journal = j
+		followJournal = j
 	}
-	follow := scanner.New(study.World.Net, study.World.DNS, study.World.Class, followCfg)
-	after := follow.ScanAll(ctx, study.World.GovHosts)
+	after := study.FollowUpScan(ctx, func(cfg *scanner.Config) {
+		cfg.Seed = *seed
+		cfg.Journal = followJournal
+	})
 	eff, err := notify.MeasureEffectiveness(before, after)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "govdisclose:", err)

@@ -3,6 +3,7 @@
 // Usage:
 //
 //	govreport -list                 # show the experiment registry
+//	govreport -datasets             # show the dataset registry
 //	govreport -exp T2               # one experiment
 //	govreport -all                  # every experiment in order
 //	govreport -all -scale 0.05      # faster, scaled-down world
@@ -24,6 +25,7 @@ func main() {
 	exp := flag.String("exp", "", "experiment ID (e.g. T2, F7, TA1)")
 	all := flag.Bool("all", false, "run every experiment")
 	list := flag.Bool("list", false, "list experiments")
+	datasets := flag.Bool("datasets", false, "list the named datasets the experiments scan")
 	flag.Parse()
 
 	if *list {
@@ -32,8 +34,8 @@ func main() {
 		}
 		return
 	}
-	if *exp == "" && !*all {
-		fmt.Fprintln(os.Stderr, "govreport: pass -exp <ID>, -all, or -list")
+	if *exp == "" && !*all && !*datasets {
+		fmt.Fprintln(os.Stderr, "govreport: pass -exp <ID>, -all, -datasets, or -list")
 		os.Exit(2)
 	}
 
@@ -42,6 +44,13 @@ func main() {
 		fatal(err)
 	}
 	ctx := context.Background()
+
+	if *datasets {
+		for _, name := range study.DatasetNames() {
+			fmt.Println(name)
+		}
+		return
+	}
 
 	if *all {
 		for _, e := range core.Experiments() {

@@ -3,8 +3,12 @@
 //
 // Usage:
 //
-//	govscan [-seed 42] [-scale 1.0] [-dataset worldwide|usa|rok] [-store apple]
+//	govscan [-seed 42] [-scale 1.0] [-dataset worldwide|usa:all|rok] [-store apple]
 //	        [-flaky 0.05] [-journal scan.jsonl [-resume]] [-breaker 5]
+//
+// -dataset takes any name in the study's dataset registry: "worldwide",
+// "usa:<key>" for one GSA dataset, "usa:all" (alias "usa") for their
+// union, or "rok". An unknown name lists the registry.
 //
 // With -journal, every completed host is checkpointed to a JSON-lines
 // journal; re-running with -resume picks up from the last completed host
@@ -30,7 +34,7 @@ import (
 func main() {
 	seed := flag.Int64("seed", 42, "world seed")
 	scale := flag.Float64("scale", 1.0, "population scale")
-	dataset := flag.String("dataset", "worldwide", "worldwide, usa, or rok")
+	dataset := flag.String("dataset", "worldwide", "registry dataset: worldwide, usa:<key>, usa:all (alias usa), rok")
 	store := flag.String("store", "apple", "trust store: apple, microsoft, nss")
 	jsonOut := flag.Bool("json", false, "emit zgrab-style JSON lines instead of Table 2")
 	flaky := flag.Float64("flaky", 0, "fraction of https sites given transient faults")
@@ -63,17 +67,14 @@ func main() {
 	}
 
 	ctx := context.Background()
+	name := *dataset
+	if name == "usa" {
+		name = "usa:all"
+	}
 	start := time.Now() //lint:allow walltime operator telemetry: reports how long the real run took, never feeds results
-	var results []scanner.Result
-	switch *dataset {
-	case "worldwide":
-		results = study.Worldwide(ctx)
-	case "usa":
-		results = study.USAAll(ctx)
-	case "rok":
-		results = study.ROK(ctx)
-	default:
-		fatal(fmt.Errorf("unknown dataset %q", *dataset))
+	set, err := study.Dataset(ctx, name)
+	if err != nil {
+		fatal(fmt.Errorf("unknown dataset %q (registry: %v)", *dataset, study.DatasetNames()))
 	}
 	took := time.Since(start) //lint:allow walltime operator telemetry: reports how long the real run took, never feeds results
 
@@ -81,15 +82,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "circuit breaker: %d trips, %d dials suppressed\n", brk.Trips(), brk.Skips())
 	}
 	if *jsonOut {
-		if err := scanner.WriteJSONL(os.Stdout, results); err != nil {
+		if err := scanner.WriteJSONL(os.Stdout, set.Results()); err != nil {
 			fatal(err)
 		}
-		fmt.Fprint(os.Stderr, report.Scan(results, took))
+		fmt.Fprint(os.Stderr, report.Scan(set, took))
 		return
 	}
-	fmt.Print(report.Scan(results, took))
+	fmt.Print(report.Scan(set, took))
 	fmt.Println()
-	fmt.Print(report.Table2(analysis.ComputeTable2(results)))
+	fmt.Print(report.Table2(analysis.ComputeTable2(set)))
 }
 
 func fatal(err error) {

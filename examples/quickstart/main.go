@@ -23,8 +23,8 @@ func main() {
 	}
 	fmt.Print(out)
 
-	// The same data is available programmatically.
-	tab := govhttps.Summarize(study.Worldwide(ctx))
+	// The same data is available programmatically from the indexed set.
+	tab := govhttps.SummarizeSet(study.Worldwide(ctx))
 	fmt.Printf("\nheadline: %.1f%% of government sites lack valid https\n",
 		100-tab.PctOfTotal(tab.Valid))
 }

@@ -25,21 +25,17 @@ func main() {
 	}
 
 	results := study.ROK(ctx)
-	tab := govhttps.Summarize(results)
+	tab := govhttps.SummarizeSet(results)
 	fmt.Printf("ROK case study: %.2f%% of https sites carry valid certificates (paper: ~38%%)\n",
 		tab.PctOfHTTPS(tab.Valid))
 
 	// The NPKI sub-CAs are structurally valid but distrusted everywhere —
-	// count how many hosts still serve them.
+	// the set's issuer index answers "how many hosts still serve them"
+	// without another pass over the results.
 	npki := 0
-	for i := range results {
-		r := &results[i]
-		if len(r.Chain) == 0 {
-			continue
-		}
-		cn := r.Chain[0].Issuer.CommonName
+	for _, cn := range results.Issuers() {
 		if strings.HasPrefix(cn, "CA1") || strings.Contains(cn, "GPKI") {
-			npki++
+			npki += len(results.ByIssuer(cn))
 		}
 	}
 	fmt.Printf("hosts still serving NPKI/GPKI-issued certificates: %d\n", npki)

@@ -24,7 +24,7 @@ func main() {
 	}
 
 	results := study.USAAll(ctx)
-	tab := govhttps.Summarize(results)
+	tab := govhttps.SummarizeSet(results)
 	fmt.Printf("USA case study: %.2f%% of https sites carry valid certificates (paper: 81.12%%)\n",
 		tab.PctOfHTTPS(tab.Valid))
 }

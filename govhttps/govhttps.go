@@ -27,6 +27,7 @@ import (
 	"repro/internal/crawler"
 	"repro/internal/notify"
 	"repro/internal/report"
+	"repro/internal/resultset"
 	"repro/internal/scanner"
 	"repro/internal/world"
 )
@@ -43,6 +44,11 @@ type Experiment = core.Experiment
 
 // ScanResult is the outcome of probing one hostname.
 type ScanResult = scanner.Result
+
+// ResultSet is an indexed scan corpus: the raw results plus the category,
+// country, issuer, key, hosting and rank indexes built in one pass. The
+// study's dataset accessors (Worldwide, USAAll, ROK, Dataset) return one.
+type ResultSet = resultset.Set
 
 // Category buckets a scan result per the paper's Table 2.
 type Category = scanner.Category
@@ -81,9 +87,15 @@ func ScanHosts(ctx context.Context, s *Study, hosts []string) []ScanResult {
 	return s.Scanner().ScanAll(ctx, hosts)
 }
 
-// Summarize computes the Table 2 aggregate for a scan.
+// Summarize computes the Table 2 aggregate for a raw result slice (it
+// indexes the slice first; prefer SummarizeSet when a ResultSet exists).
 func Summarize(results []ScanResult) analysis.Table2 {
-	return analysis.ComputeTable2(results)
+	return analysis.ComputeTable2(resultset.New(results, resultset.Options{}))
+}
+
+// SummarizeSet computes the Table 2 aggregate from an indexed scan.
+func SummarizeSet(set *ResultSet) analysis.Table2 {
+	return analysis.ComputeTable2(set)
 }
 
 // RenderSummary renders a Table 2 aggregate as text.
@@ -103,7 +115,7 @@ func Crawl(ctx context.Context, s *Study) ([]string, crawler.Stats) {
 // Disclose builds per-country vulnerability reports from a worldwide scan
 // and runs the §7.2 notification campaign.
 func Disclose(ctx context.Context, s *Study) *notify.CampaignResult {
-	reports := notify.BuildReports(s.Worldwide(ctx), s.CountryOf, nil)
+	reports := notify.BuildReports(s.Worldwide(ctx), nil)
 	return notify.Campaign(reports, s.Rand("disclosure"))
 }
 
@@ -116,8 +128,6 @@ func FollowUp(ctx context.Context, s *Study, r *rand.Rand) (notify.Effectiveness
 		r = s.Rand("remediation")
 	}
 	s.World.Remediate(invalid, world.DefaultRemediationRates(), r)
-	follow := scanner.New(s.World.Net, s.World.DNS, s.World.Class,
-		scanner.DefaultConfig(s.Store(), world.FollowUpScanTime))
-	after := follow.ScanAll(ctx, s.World.GovHosts)
+	after := s.FollowUpScan(ctx, nil)
 	return notify.MeasureEffectiveness(before, after)
 }

@@ -5,21 +5,24 @@ import (
 	"testing"
 
 	"repro/internal/govfilter"
+	"repro/internal/resultset"
 	"repro/internal/scanner"
 	"repro/internal/world"
 )
 
 var (
 	testWorld = world.MustBuild(world.TestConfig())
-	scanCache []scanner.Result
+	scanCache *resultset.Set
 )
 
-func worldScan(t *testing.T) []scanner.Result {
+func worldScan(t *testing.T) *resultset.Set {
 	t.Helper()
 	if scanCache == nil {
 		s := scanner.New(testWorld.Net, testWorld.DNS, testWorld.Class,
 			scanner.DefaultConfig(testWorld.Stores["apple"], testWorld.ScanTime))
-		scanCache = s.ScanAll(context.Background(), testWorld.GovHosts)
+		b := resultset.NewBuilder(resultset.Options{CountryOf: countryOf, SizeHint: len(testWorld.GovHosts)})
+		s.ScanStream(context.Background(), testWorld.GovHosts, b.Add)
+		scanCache = b.Build()
 	}
 	return scanCache
 }
@@ -188,7 +191,7 @@ func TestDurationStats(t *testing.T) {
 }
 
 func TestKeyReuse(t *testing.T) {
-	s := ComputeKeyReuse(worldScan(t), countryOf)
+	s := ComputeKeyReuse(worldScan(t))
 	if len(s.Clusters) == 0 {
 		t.Fatal("no reuse clusters")
 	}
@@ -209,7 +212,7 @@ func TestKeyReuse(t *testing.T) {
 }
 
 func TestWildcardViolators(t *testing.T) {
-	v := ComputeWildcardViolators(worldScan(t), countryOf)
+	v := ComputeWildcardViolators(worldScan(t))
 	if len(v) == 0 {
 		t.Fatal("no single-country wildcard violations")
 	}
@@ -259,7 +262,7 @@ func TestProviderBreakdownAWSLeadsCloud(t *testing.T) {
 }
 
 func TestCountryBreakdown(t *testing.T) {
-	rows := CountryBreakdown(worldScan(t), countryOf)
+	rows := CountryBreakdown(worldScan(t))
 	if len(rows) < 100 {
 		t.Fatalf("countries = %d", len(rows))
 	}
@@ -355,7 +358,7 @@ func TestCloudCDNShare(t *testing.T) {
 	// ROK sites sit almost entirely on private hosting (§6.2.2).
 	s := scanner.New(testWorld.Net, testWorld.DNS, testWorld.Class,
 		scanner.DefaultConfig(testWorld.Stores["apple"], testWorld.ScanTime))
-	rok := s.ScanAll(context.Background(), testWorld.ROK.Hosts)
+	rok := resultset.New(s.ScanAll(context.Background(), testWorld.ROK.Hosts), resultset.Options{})
 	if share := CloudCDNShare(rok); share > 0.05 {
 		t.Errorf("ROK cloud share = %.4f, want ~0.002", share)
 	}

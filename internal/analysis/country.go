@@ -1,9 +1,7 @@
 package analysis
 
 import (
-	"sort"
-
-	"repro/internal/scanner"
+	"repro/internal/resultset"
 )
 
 // CountryRow is one country of the Figure 1 choropleth: availability,
@@ -25,38 +23,15 @@ func (c CountryRow) HTTPSPct() float64 { return pct(c.HTTPS, c.Available) }
 // ValidPct is the share of https sites with valid certificates.
 func (c CountryRow) ValidPct() float64 { return pct(c.Valid, c.HTTPS) }
 
-// CountryBreakdown aggregates scan results per country. The countryOf
-// function attributes hostnames (the government filter provides it).
-func CountryBreakdown(results []scanner.Result, countryOf func(string) string) []CountryRow {
-	byCC := map[string]*CountryRow{}
-	for i := range results {
-		r := &results[i]
-		cc := countryOf(r.Hostname)
-		if cc == "" {
-			continue
-		}
-		row, ok := byCC[cc]
-		if !ok {
-			row = &CountryRow{Country: cc}
-			byCC[cc] = row
-		}
-		row.Hosts++
-		if !r.Available {
-			continue
-		}
-		row.Available++
-		if r.HasHTTPS() {
-			row.HTTPS++
-		}
-		if r.ValidHTTPS() {
-			row.Valid++
-		}
+// CountryBreakdown reads the per-country aggregates the set's build pass
+// accumulated (attribution comes from the set's CountryOf option), sorted
+// by country code.
+func CountryBreakdown(set *resultset.Set) []CountryRow {
+	aggs := set.CountryAggs()
+	out := make([]CountryRow, len(aggs))
+	for i, a := range aggs {
+		out[i] = CountryRow{Country: a.Country, Hosts: a.Hosts, Available: a.Available, HTTPS: a.HTTPS, Valid: a.Valid}
 	}
-	out := make([]CountryRow, 0, len(byCC))
-	for _, row := range byCC {
-		out = append(out, *row)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Country < out[j].Country })
 	return out
 }
 

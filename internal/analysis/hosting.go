@@ -4,7 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/hosting"
-	"repro/internal/scanner"
+	"repro/internal/resultset"
 )
 
 // HostingBucket aggregates validity for one hosting category or provider
@@ -27,18 +27,12 @@ func (b HostingBucket) ValidPctOfTotal() float64 { return pct(b.Valid, b.Total) 
 // ValidPctOfHTTPS is the share of https attempts that validate.
 func (b HostingBucket) ValidPctOfHTTPS() float64 { return pct(b.Valid, b.HTTPS) }
 
-// HostingBreakdown groups results by hosting kind (Cloud/CDN/Private).
-func HostingBreakdown(results []scanner.Result) []HostingBucket {
-	byKind := map[hosting.Kind]*HostingBucket{}
-	for _, k := range []hosting.Kind{hosting.Cloud, hosting.CDN, hosting.Private} {
-		byKind[k] = &HostingBucket{Label: k.String()}
-	}
-	for i := range results {
-		r := &results[i]
-		if !r.Available {
-			continue
-		}
-		b := byKind[r.HostKind]
+// fillBucket tallies one kind or provider's index entries (available
+// hosts only — the set's hosting indexes exclude unavailable hosts).
+func fillBucket(set *resultset.Set, label string, indices []int) HostingBucket {
+	b := HostingBucket{Label: label}
+	for _, i := range indices {
+		r := set.At(i)
 		b.Total++
 		switch {
 		case r.ValidHTTPS():
@@ -50,37 +44,26 @@ func HostingBreakdown(results []scanner.Result) []HostingBucket {
 			b.HTTPOnly++
 		}
 	}
-	return []HostingBucket{*byKind[hosting.Cloud], *byKind[hosting.CDN], *byKind[hosting.Private]}
+	return b
 }
 
-// ProviderBreakdown groups results by provider name (AWS, Azure, ...,
-// Private), sorted by total descending.
-func ProviderBreakdown(results []scanner.Result) []HostingBucket {
-	byName := map[string]*HostingBucket{}
-	for i := range results {
-		r := &results[i]
-		if !r.Available {
-			continue
-		}
-		b, ok := byName[r.Provider]
-		if !ok {
-			b = &HostingBucket{Label: r.Provider}
-			byName[r.Provider] = b
-		}
-		b.Total++
-		switch {
-		case r.ValidHTTPS():
-			b.HTTPS++
-			b.Valid++
-		case r.HasHTTPS():
-			b.HTTPS++
-		default:
-			b.HTTPOnly++
-		}
+// HostingBreakdown groups available hosts by hosting kind
+// (Cloud/CDN/Private) from the set's kind index.
+func HostingBreakdown(set *resultset.Set) []HostingBucket {
+	out := make([]HostingBucket, 0, 3)
+	for _, k := range []hosting.Kind{hosting.Cloud, hosting.CDN, hosting.Private} {
+		out = append(out, fillBucket(set, k.String(), set.ByKind(k)))
 	}
-	out := make([]HostingBucket, 0, len(byName))
-	for _, b := range byName {
-		out = append(out, *b)
+	return out
+}
+
+// ProviderBreakdown groups available hosts by provider name (AWS, Azure,
+// ..., Private) from the set's provider index, sorted by total descending.
+func ProviderBreakdown(set *resultset.Set) []HostingBucket {
+	providers := set.Providers()
+	out := make([]HostingBucket, 0, len(providers))
+	for _, p := range providers {
+		out = append(out, fillBucket(set, p, set.ByProvider(p)))
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Total != out[j].Total {
@@ -93,18 +76,9 @@ func ProviderBreakdown(results []scanner.Result) []HostingBucket {
 
 // CloudCDNShare returns the fraction of available hosts on public cloud or
 // CDN (§6.1.2: 13.02% for the US; §6.2.2: 0.21% for ROK).
-func CloudCDNShare(results []scanner.Result) float64 {
-	total, cloud := 0, 0
-	for i := range results {
-		r := &results[i]
-		if !r.Available {
-			continue
-		}
-		total++
-		if r.HostKind == hosting.Cloud || r.HostKind == hosting.CDN {
-			cloud++
-		}
-	}
+func CloudCDNShare(set *resultset.Set) float64 {
+	cloud := len(set.ByKind(hosting.Cloud)) + len(set.ByKind(hosting.CDN))
+	total := cloud + len(set.ByKind(hosting.Private))
 	if total == 0 {
 		return 0
 	}

@@ -3,7 +3,7 @@ package analysis
 import (
 	"sort"
 
-	"repro/internal/scanner"
+	"repro/internal/resultset"
 	"repro/internal/truststore"
 )
 
@@ -23,52 +23,48 @@ type IssuerStats struct {
 // InvalidPct is the issuer's invalidity rate.
 func (s IssuerStats) InvalidPct() float64 { return pct(s.Invalid, s.Total) }
 
-// IssuerBreakdown aggregates results by certificate issuer, sorted by
-// total descending (then name). Hosts without a retrieved chain are
-// skipped, as are the paper's 92 hosts without issuer information.
-func IssuerBreakdown(results []scanner.Result, store *truststore.Store) []IssuerStats {
-	agg := make(map[string]*IssuerStats)
-	for i := range results {
-		r := &results[i]
-		if len(r.Chain) == 0 {
-			continue
+// isEVLeaf reports whether the result's leaf carries a trusted EV policy.
+func isEVLeaf(set *resultset.Set, i int, store *truststore.Store) bool {
+	for _, oid := range set.At(i).Chain[0].PolicyOIDs {
+		if store.IsTrustedEVPolicy(oid) {
+			return true
 		}
-		leaf := r.Chain[0]
-		issuer := leaf.Issuer.CommonName
-		if issuer == "" {
-			continue // no issuer information encoded
-		}
-		s, ok := agg[issuer]
-		if !ok {
-			s = &IssuerStats{Issuer: issuer}
-			agg[issuer] = s
-		}
-		s.Total++
-		if r.Verify.Valid() {
-			s.Valid++
-		} else {
-			s.Invalid++
-		}
-		if store != nil {
-			for _, oid := range leaf.PolicyOIDs {
-				if store.IsTrustedEVPolicy(oid) {
-					s.EV++
-					break
-				}
+	}
+	return false
+}
+
+// IssuerBreakdown aggregates the set's issuer index, sorted by total
+// descending (then name). Hosts without a retrieved chain are skipped, as
+// are the paper's 92 hosts without issuer information.
+func IssuerBreakdown(set *resultset.Set, store *truststore.Store) []IssuerStats {
+	issuers := set.Issuers()
+	out := make([]IssuerStats, 0, len(issuers))
+	for _, cn := range issuers {
+		s := IssuerStats{Issuer: cn}
+		for _, i := range set.ByIssuer(cn) {
+			s.Total++
+			if set.At(i).Verify.Valid() {
+				s.Valid++
+			} else {
+				s.Invalid++
+			}
+			if store != nil && isEVLeaf(set, i, store) {
+				s.EV++
 			}
 		}
+		out = append(out, s)
 	}
-	out := make([]IssuerStats, 0, len(agg))
-	for _, s := range agg {
-		out = append(out, *s)
-	}
+	sortIssuerStats(out)
+	return out
+}
+
+func sortIssuerStats(out []IssuerStats) {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Total != out[j].Total {
 			return out[i].Total > out[j].Total
 		}
 		return out[i].Issuer < out[j].Issuer
 	})
-	return out
 }
 
 // TopIssuers truncates the breakdown to the n largest issuers, as the
@@ -82,21 +78,28 @@ func TopIssuers(stats []IssuerStats, n int) []IssuerStats {
 
 // EVIssuerBreakdown restricts the breakdown to EV certificates (Figures
 // A.2, A.3, A.6): only hosts whose leaf carries a trusted EV policy.
-func EVIssuerBreakdown(results []scanner.Result, store *truststore.Store) []IssuerStats {
-	var evResults []scanner.Result
-	for i := range results {
-		r := &results[i]
-		if len(r.Chain) == 0 {
-			continue
-		}
-		for _, oid := range r.Chain[0].PolicyOIDs {
-			if store.IsTrustedEVPolicy(oid) {
-				evResults = append(evResults, *r)
-				break
+func EVIssuerBreakdown(set *resultset.Set, store *truststore.Store) []IssuerStats {
+	var out []IssuerStats
+	for _, cn := range set.Issuers() {
+		s := IssuerStats{Issuer: cn}
+		for _, i := range set.ByIssuer(cn) {
+			if !isEVLeaf(set, i, store) {
+				continue
+			}
+			s.Total++
+			s.EV++
+			if set.At(i).Verify.Valid() {
+				s.Valid++
+			} else {
+				s.Invalid++
 			}
 		}
+		if s.Total > 0 {
+			out = append(out, s)
+		}
 	}
-	return IssuerBreakdown(evResults, store)
+	sortIssuerStats(out)
+	return out
 }
 
 // EVStats summarizes EV usage across the scan (§5.3: 2,145 hostnames,
@@ -110,28 +113,18 @@ type EVStats struct {
 	Valid int
 }
 
-// ComputeEVStats counts EV hosts.
-func ComputeEVStats(results []scanner.Result, store *truststore.Store) EVStats {
-	var s EVStats
-	for i := range results {
-		r := &results[i]
-		if len(r.Chain) == 0 || r.Chain[0].Issuer.CommonName == "" {
-			continue
-		}
-		s.Analyzed++
-		isEV := false
-		for _, oid := range r.Chain[0].PolicyOIDs {
-			if store.IsTrustedEVPolicy(oid) {
-				isEV = true
-				break
+// ComputeEVStats counts EV hosts over the issuer index.
+func ComputeEVStats(set *resultset.Set, store *truststore.Store) EVStats {
+	s := EVStats{Analyzed: set.IssuerAnalyzed()}
+	for _, cn := range set.Issuers() {
+		for _, i := range set.ByIssuer(cn) {
+			if !isEVLeaf(set, i, store) {
+				continue
 			}
-		}
-		if !isEV {
-			continue
-		}
-		s.Hosts++
-		if r.Verify.Valid() {
-			s.Valid++
+			s.Hosts++
+			if set.At(i).Verify.Valid() {
+				s.Valid++
+			}
 		}
 	}
 	return s
@@ -145,15 +138,12 @@ type WildcardStats struct {
 	WildcardInvalid int
 }
 
-// ComputeWildcardStats counts wildcard certificates.
-func ComputeWildcardStats(results []scanner.Result) WildcardStats {
-	var s WildcardStats
-	for i := range results {
-		r := &results[i]
-		if len(r.Chain) == 0 {
-			continue
-		}
-		s.Analyzed++
+// ComputeWildcardStats counts wildcard certificates over the chained
+// index.
+func ComputeWildcardStats(set *resultset.Set) WildcardStats {
+	s := WildcardStats{Analyzed: len(set.Chained())}
+	for _, i := range set.Chained() {
+		r := set.At(i)
 		if !r.Chain[0].HasWildcard() {
 			continue
 		}

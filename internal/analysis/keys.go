@@ -4,8 +4,7 @@ import (
 	"sort"
 	"time"
 
-	"repro/internal/cert"
-	"repro/internal/scanner"
+	"repro/internal/resultset"
 )
 
 // KeyCell is one bar of Figures 4/9/12: hosts grouped by host key or CA
@@ -31,46 +30,20 @@ type KeyAlgoMatrix struct {
 	Combined []KeyCell
 }
 
-// ComputeKeyAlgoMatrix aggregates chain-bearing results.
-func ComputeKeyAlgoMatrix(results []scanner.Result) KeyAlgoMatrix {
-	hostKey := map[string]*KeyCell{}
-	sigAlgo := map[string]*KeyCell{}
-	combined := map[string]*KeyCell{}
-	bump := func(m map[string]*KeyCell, label string, valid bool) {
-		c, ok := m[label]
-		if !ok {
-			c = &KeyCell{Label: label}
-			m[label] = c
-		}
-		c.Total++
-		if valid {
-			c.Valid++
-		}
-	}
-	for i := range results {
-		r := &results[i]
-		if len(r.Chain) == 0 {
-			continue
-		}
-		leaf := r.Chain[0]
-		valid := r.Verify.Valid()
-		key := leaf.PublicKey.Label()
-		alg := leaf.SignatureAlgorithm.String()
-		bump(hostKey, key, valid)
-		bump(sigAlgo, alg, valid)
-		bump(combined, key+" / "+alg, valid)
-	}
+// ComputeKeyAlgoMatrix reads the set's chain cells, sorted by total
+// descending (then label) for rendering.
+func ComputeKeyAlgoMatrix(set *resultset.Set) KeyAlgoMatrix {
 	return KeyAlgoMatrix{
-		ByHostKey: sortCells(hostKey),
-		BySigAlgo: sortCells(sigAlgo),
-		Combined:  sortCells(combined),
+		ByHostKey: sortCells(set.HostKeyCells()),
+		BySigAlgo: sortCells(set.SigAlgoCells()),
+		Combined:  sortCells(set.CombinedCells()),
 	}
 }
 
-func sortCells(m map[string]*KeyCell) []KeyCell {
-	out := make([]KeyCell, 0, len(m))
-	for _, c := range m {
-		out = append(out, *c)
+func sortCells(cells []resultset.Cell) []KeyCell {
+	out := make([]KeyCell, len(cells))
+	for i, c := range cells {
+		out[i] = KeyCell{Label: c.Label, Total: c.Total, Valid: c.Valid}
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Total != out[j].Total {
@@ -93,33 +66,11 @@ func Cell(cells []KeyCell, label string) (KeyCell, bool) {
 
 // WeakSignatureHosts counts hosts whose certificates are signed with MD5 or
 // SHA1 (§5.3.2's 920 sites).
-func WeakSignatureHosts(results []scanner.Result) int {
-	n := 0
-	for i := range results {
-		r := &results[i]
-		if len(r.Chain) > 0 && r.Chain[0].SignatureAlgorithm.IsWeak() {
-			n++
-		}
-	}
-	return n
-}
+func WeakSignatureHosts(set *resultset.Set) int { return set.WeakSignatureHosts() }
 
 // SmallRSAHosts counts hosts using RSA keys below 2048 bits (§5.3.2's 520
 // sites on 1024-bit RSA).
-func SmallRSAHosts(results []scanner.Result) int {
-	n := 0
-	for i := range results {
-		r := &results[i]
-		if len(r.Chain) == 0 {
-			continue
-		}
-		k := r.Chain[0].PublicKey
-		if k.Type == cert.KeyRSA && k.Bits < 2048 {
-			n++
-		}
-	}
-	return n
-}
+func SmallRSAHosts(set *resultset.Set) int { return set.SmallRSAHosts() }
 
 // DurationStats reproduces §5.3.1 and Figures 3/10: certificate lifetimes
 // for valid vs invalid certificates.
@@ -146,15 +97,13 @@ type DurationStats struct {
 	InvalidIssueDates []time.Time
 }
 
-// ComputeDurationStats aggregates certificate lifetimes.
-func ComputeDurationStats(results []scanner.Result) DurationStats {
+// ComputeDurationStats aggregates certificate lifetimes over the chained
+// index, in scan input order.
+func ComputeDurationStats(set *resultset.Set) DurationStats {
 	s := DurationStats{Decades: make(map[int]int)}
 	const day = 24 * time.Hour
-	for i := range results {
-		r := &results[i]
-		if len(r.Chain) == 0 {
-			continue
-		}
+	for _, i := range set.Chained() {
+		r := set.At(i)
 		leaf := r.Chain[0]
 		life := leaf.ValidityDuration()
 		if r.Verify.Valid() {
@@ -205,36 +154,14 @@ type VersionCell struct {
 	Valid   int
 }
 
-// ComputeVersionBreakdown groups handshake-completing hosts by negotiated
-// protocol version, plus an entry for hosts that failed at the protocol
-// layer ("none").
-func ComputeVersionBreakdown(results []scanner.Result) []VersionCell {
-	cells := map[string]*VersionCell{}
-	bump := func(label string, valid bool) {
-		c, ok := cells[label]
-		if !ok {
-			c = &VersionCell{Version: label}
-			cells[label] = c
-		}
-		c.Total++
-		if valid {
-			c.Valid++
-		}
-	}
-	for i := range results {
-		r := &results[i]
-		if !r.HasHTTPS() {
-			continue
-		}
-		if len(r.Chain) == 0 {
-			bump("(no handshake)", false)
-			continue
-		}
-		bump(r.TLSVersion.String(), r.Verify.Valid())
-	}
-	out := make([]VersionCell, 0, len(cells))
-	for _, c := range cells {
-		out = append(out, *c)
+// ComputeVersionBreakdown reads the set's per-version cells (https
+// attempts only, with "(no handshake)" for protocol-layer failures),
+// sorted by total descending then version.
+func ComputeVersionBreakdown(set *resultset.Set) []VersionCell {
+	cells := set.VersionCells()
+	out := make([]VersionCell, len(cells))
+	for i, c := range cells {
+		out[i] = VersionCell{Version: c.Label, Total: c.Total, Valid: c.Valid}
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Total != out[j].Total {

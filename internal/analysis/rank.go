@@ -4,7 +4,7 @@ import (
 	"math/rand"
 
 	"repro/internal/hosting"
-	"repro/internal/scanner"
+	"repro/internal/resultset"
 	"repro/internal/stats"
 	"repro/internal/world"
 )
@@ -76,18 +76,15 @@ type rankedSample struct {
 // ComputeRankComparison reproduces §5.5: the Tranco-ranked government
 // hosts against (1) a uniform non-government sample of equal size and (2) a
 // rank-distribution-matched sample, with 50-bin rates and linear fits.
-// govValid reports scan-measured validity for government hostnames.
-func ComputeRankComparison(tl *world.TopLists, results []scanner.Result, seed int64, nBins int) RankComparison {
+// Government validity comes from the set's host index; the list is still
+// walked in Tranco order so the float accumulation is unchanged.
+func ComputeRankComparison(tl *world.TopLists, set *resultset.Set, seed int64, nBins int) RankComparison {
 	r := rand.New(rand.NewSource(seed))
-	byHost := make(map[string]*scanner.Result, len(results))
-	for i := range results {
-		byHost[results[i].Hostname] = &results[i]
-	}
 
 	var gov []rankedSample
 	var govRanks []int
 	for _, rh := range tl.TrancoGov {
-		res, ok := byHost[rh.Host]
+		res, ok := set.Lookup(rh.Host)
 		if !ok {
 			continue
 		}

@@ -1,0 +1,45 @@
+package analysis
+
+import (
+	"repro/internal/acme"
+	"repro/internal/resultset"
+)
+
+// ReuseReplay summarizes replaying a scan's issuance history through the
+// §8.1 key-reuse policy: how many of the §5.3.3 shared-key certifications
+// a CA enforcing the rule would have refused.
+type ReuseReplay struct {
+	// Issuances counts the replayed issuance events (one per chain-bearing
+	// host).
+	Issuances int
+	// Blocked counts events the policy refused.
+	Blocked int
+	// BlockedCountries counts the distinct governments with at least one
+	// refused event.
+	BlockedCountries int
+}
+
+// ReplayReusePolicy replays the chained results, in scan input order,
+// through a fresh acme.ReusePolicy. The §8.1 check happens at issuance:
+// each host requests a certificate for *itself* with the key it actually
+// serves, so a key already bound to an unrelated hostname is refused.
+func ReplayReusePolicy(set *resultset.Set) ReuseReplay {
+	policy := acme.NewReusePolicy()
+	var out ReuseReplay
+	blocked := map[string]bool{}
+	for _, i := range set.Chained() {
+		r := set.At(i)
+		leaf := r.Chain[0]
+		out.Issuances++
+		if err := policy.Check(leaf.PublicKey.ID, []string{r.Hostname}); err != nil {
+			out.Blocked++
+			if cc := set.CountryOf(r.Hostname); cc != "" {
+				blocked[cc] = true
+			}
+			continue
+		}
+		policy.Record(leaf.PublicKey.ID, []string{r.Hostname})
+	}
+	out.BlockedCountries = len(blocked)
+	return out
+}

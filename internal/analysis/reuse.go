@@ -3,7 +3,7 @@ package analysis
 import (
 	"sort"
 
-	"repro/internal/scanner"
+	"repro/internal/resultset"
 )
 
 // ReuseCluster is one certificate served by multiple hostnames (§5.3.3).
@@ -40,60 +40,46 @@ type KeyReuseStats struct {
 	ValidCrossCountry int
 }
 
-// ComputeKeyReuse clusters scan results by exact certificate.
-func ComputeKeyReuse(results []scanner.Result, countryOf func(string) string) KeyReuseStats {
-	type agg struct {
-		hosts      []string
-		countries  map[string]bool
-		selfSigned bool
-		allValid   bool
-		seen       bool
-	}
-	byFP := map[[32]byte]*agg{}
-	for i := range results {
-		r := &results[i]
-		if len(r.Chain) == 0 {
-			continue
-		}
-		fp := r.Chain[0].Fingerprint()
-		a, ok := byFP[fp]
-		if !ok {
-			a = &agg{countries: map[string]bool{}, allValid: true, selfSigned: r.Chain[0].SelfSigned()}
-			byFP[fp] = a
-		}
-		a.hosts = append(a.hosts, r.Hostname)
-		if cc := countryOf(r.Hostname); cc != "" {
-			a.countries[cc] = true
-		}
-		if !r.Verify.Valid() {
-			a.allValid = false
-		}
-	}
-
+// ComputeKeyReuse clusters scan results by exact certificate, walking the
+// set's fingerprint index.
+func ComputeKeyReuse(set *resultset.Set) KeyReuseStats {
 	s := KeyReuseStats{ByCountrySpan: map[int]int{}}
-	for fp, a := range byFP {
-		if len(a.hosts) < 2 {
+	for _, fp := range set.Fingerprints() {
+		indices := set.ByFingerprint(fp)
+		if len(indices) < 2 {
 			continue
 		}
-		countries := make([]string, 0, len(a.countries))
-		for cc := range a.countries {
-			countries = append(countries, cc)
+		hosts := make([]string, 0, len(indices))
+		ccSet := map[string]bool{}
+		var countries []string
+		allValid := true
+		selfSigned := set.At(indices[0]).Chain[0].SelfSigned()
+		for _, i := range indices {
+			r := set.At(i)
+			hosts = append(hosts, r.Hostname)
+			if cc := set.CountryOf(r.Hostname); cc != "" && !ccSet[cc] {
+				ccSet[cc] = true
+				countries = append(countries, cc)
+			}
+			if !r.Verify.Valid() {
+				allValid = false
+			}
 		}
 		sort.Strings(countries)
-		sort.Strings(a.hosts)
+		sort.Strings(hosts)
 		cl := ReuseCluster{
 			Fingerprint: fp,
-			Hosts:       a.hosts,
+			Hosts:       hosts,
 			Countries:   countries,
-			SelfSigned:  a.selfSigned,
-			Valid:       a.allValid,
+			SelfSigned:  selfSigned,
+			Valid:       allValid,
 		}
 		s.Clusters = append(s.Clusters, cl)
 		if len(countries) >= 2 {
 			s.CrossCountry = append(s.CrossCountry, cl)
-			s.CrossCountryHosts += len(a.hosts)
+			s.CrossCountryHosts += len(hosts)
 			s.ByCountrySpan[len(countries)]++
-			if a.allValid {
+			if allValid {
 				s.ValidCrossCountry++
 			}
 		}
@@ -135,44 +121,47 @@ type WildcardViolation struct {
 	Hosts   int
 }
 
-// ComputeWildcardViolators finds single-country invalid sharing.
-func ComputeWildcardViolators(results []scanner.Result, countryOf func(string) string) []WildcardViolation {
-	type key struct {
-		fp [32]byte
-		cc string
-	}
-	counts := map[key]int{}
-	allInvalid := map[key]bool{}
-	for i := range results {
-		r := &results[i]
-		if len(r.Chain) == 0 || !r.Chain[0].HasWildcard() {
-			continue
-		}
-		cc := countryOf(r.Hostname)
-		if cc == "" {
-			continue
-		}
-		k := key{r.Chain[0].Fingerprint(), cc}
-		if _, ok := counts[k]; !ok {
-			allInvalid[k] = true
-		}
-		counts[k]++
-		if r.Verify.Valid() {
-			allInvalid[k] = false
-		}
-	}
+// ComputeWildcardViolators finds single-country invalid sharing over the
+// fingerprint index.
+func ComputeWildcardViolators(set *resultset.Set) []WildcardViolation {
 	perCountry := map[string]*WildcardViolation{}
-	for k, n := range counts {
-		if n < 2 || !allInvalid[k] {
+	for _, fp := range set.Fingerprints() {
+		indices := set.ByFingerprint(fp)
+		if !set.At(indices[0]).Chain[0].HasWildcard() {
 			continue
 		}
-		v, ok := perCountry[k.cc]
-		if !ok {
-			v = &WildcardViolation{Country: k.cc}
-			perCountry[k.cc] = v
+		// One fingerprint can span countries; tally per-country uses and
+		// validity separately.
+		uses := map[string]int{}
+		var ccs []string
+		invalid := map[string]bool{}
+		for _, i := range indices {
+			r := set.At(i)
+			cc := set.CountryOf(r.Hostname)
+			if cc == "" {
+				continue
+			}
+			if _, seen := uses[cc]; !seen {
+				ccs = append(ccs, cc)
+				invalid[cc] = true
+			}
+			uses[cc]++
+			if r.Verify.Valid() {
+				invalid[cc] = false
+			}
 		}
-		v.Certs++
-		v.Hosts += n
+		for _, cc := range ccs {
+			if uses[cc] < 2 || !invalid[cc] {
+				continue
+			}
+			v, ok := perCountry[cc]
+			if !ok {
+				v = &WildcardViolation{Country: cc}
+				perCountry[cc] = v
+			}
+			v.Certs++
+			v.Hosts += uses[cc]
+		}
 	}
 	out := make([]WildcardViolation, 0, len(perCountry))
 	for _, v := range perCountry {

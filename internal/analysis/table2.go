@@ -1,15 +1,19 @@
-// Package analysis computes every result the paper reports from raw scan
-// results: the Table 2 validity/error taxonomy, CA breakdowns (Figures 2, 8,
-// 11 and the EV appendix figures), key/signature validity matrices (Figures
-// 4, 9, 12), certificate-duration statistics (§5.3.1, Figures 3 and 10),
-// key-reuse clusters (§5.3.3), CAA coverage (§5.3.4), hosting breakdowns
-// (Figures 5, 6, A.1), the rank-vs-validity comparison (Figure 7) and the
-// cross-government link graph (Figure A.5).
+// Package analysis computes every result the paper reports from an
+// indexed scan corpus (resultset.Set): the Table 2 validity/error
+// taxonomy, CA breakdowns (Figures 2, 8, 11 and the EV appendix figures),
+// key/signature validity matrices (Figures 4, 9, 12), certificate-duration
+// statistics (§5.3.1, Figures 3 and 10), key-reuse clusters (§5.3.3), CAA
+// coverage (§5.3.4), hosting breakdowns (Figures 5, 6, A.1), the
+// rank-vs-validity comparison (Figure 7) and the cross-government link
+// graph (Figure A.5). Aggregation over the raw result slice happens once,
+// in the resultset build pass; every function here derives its table or
+// figure from the set's indexes and counts.
 package analysis
 
 import (
 	"sort"
 
+	"repro/internal/resultset"
 	"repro/internal/scanner"
 )
 
@@ -32,38 +36,27 @@ type Table2 struct {
 	HSTS int
 }
 
-// ComputeTable2 classifies every result.
-func ComputeTable2(results []scanner.Result) Table2 {
-	t := Table2{ByCategory: make(map[scanner.Category]int)}
-	for i := range results {
-		r := &results[i]
-		cat := r.Category()
-		if cat == scanner.CatUnavailable {
-			t.Unavailable++
+// ComputeTable2 assembles the taxonomy from the set's build-pass counts
+// and category index — no walk over the results.
+func ComputeTable2(set *resultset.Set) Table2 {
+	c := set.Counts()
+	t := Table2{
+		Total:       c.Total,
+		Unavailable: c.Unavailable,
+		HTTPOnly:    c.HTTPOnly,
+		HTTPS:       c.HTTPS,
+		Valid:       c.Valid,
+		Invalid:     c.Invalid,
+		Exceptions:  c.Exceptions,
+		BothSchemes: c.BothSchemes,
+		HSTS:        c.HSTS,
+		ByCategory:  make(map[scanner.Category]int),
+	}
+	for _, cat := range set.Categories() {
+		if cat == scanner.CatUnavailable || cat == scanner.CatHTTPOnly || cat == scanner.CatValid {
 			continue
 		}
-		t.Total++
-		switch {
-		case cat == scanner.CatHTTPOnly:
-			t.HTTPOnly++
-			continue
-		case cat == scanner.CatValid:
-			t.HTTPS++
-			t.Valid++
-			if r.HSTS {
-				t.HSTS++
-			}
-		default:
-			t.HTTPS++
-			t.Invalid++
-			t.ByCategory[cat]++
-			if cat.IsException() {
-				t.Exceptions++
-			}
-		}
-		if r.ServesHTTP && r.ServesHTTPS {
-			t.BothSchemes++
-		}
+		t.ByCategory[cat] = set.CategoryCount(cat)
 	}
 	return t
 }

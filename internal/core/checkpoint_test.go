@@ -36,14 +36,14 @@ func TestStudyCheckpointResume(t *testing.T) {
 	if d := s2.World.Net.DialCount() - before; d != 0 {
 		t.Errorf("resume made %d dials, want 0 (everything journaled)", d)
 	}
-	if len(resumed) != len(full) {
-		t.Fatalf("resumed %d results, want %d", len(resumed), len(full))
+	if resumed.Len() != full.Len() {
+		t.Fatalf("resumed %d results, want %d", resumed.Len(), full.Len())
 	}
-	for i := range resumed {
-		if resumed[i].Hostname != full[i].Hostname || resumed[i].Category() != full[i].Category() {
+	for i := 0; i < resumed.Len(); i++ {
+		if resumed.At(i).Hostname != full.At(i).Hostname || resumed.At(i).Category() != full.At(i).Category() {
 			t.Errorf("host %d: resumed %q/%v, original %q/%v", i,
-				resumed[i].Hostname, resumed[i].Category(),
-				full[i].Hostname, full[i].Category())
+				resumed.At(i).Hostname, resumed.At(i).Category(),
+				full.At(i).Hostname, full.At(i).Category())
 		}
 	}
 }

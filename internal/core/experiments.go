@@ -6,7 +6,6 @@ import (
 	"sort"
 	"strings"
 
-	"repro/internal/acme"
 	"repro/internal/analysis"
 	"repro/internal/certwatch"
 	"repro/internal/crawler"
@@ -16,7 +15,6 @@ import (
 	"repro/internal/notify"
 	"repro/internal/recommend"
 	"repro/internal/report"
-	"repro/internal/scanner"
 	"repro/internal/world"
 )
 
@@ -89,7 +87,7 @@ func runT2(ctx context.Context, s *Study) (string, error) {
 }
 
 func runF1(ctx context.Context, s *Study) (string, error) {
-	rows := analysis.CountryBreakdown(s.Worldwide(ctx), s.CountryOf)
+	rows := analysis.CountryBreakdown(s.Worldwide(ctx))
 	return report.Figure1(rows, 40), nil
 }
 
@@ -169,7 +167,7 @@ func runF12(ctx context.Context, s *Study) (string, error) {
 }
 
 func runF13(ctx context.Context, s *Study) (string, error) {
-	reports := notify.BuildReports(s.Worldwide(ctx), s.CountryOf, s.deadLinked())
+	reports := notify.BuildReports(s.Worldwide(ctx), s.deadLinked())
 	campaign := notify.Campaign(reports, s.Rand("disclosure"))
 	return report.Campaign(campaign), nil
 }
@@ -249,10 +247,10 @@ func runFA6(ctx context.Context, s *Study) (string, error) {
 }
 
 func runS533(ctx context.Context, s *Study) (string, error) {
-	reuse := analysis.ComputeKeyReuse(s.Worldwide(ctx), s.CountryOf)
+	reuse := analysis.ComputeKeyReuse(s.Worldwide(ctx))
 	var b strings.Builder
 	b.WriteString(report.KeyReuse(reuse))
-	violators := analysis.ComputeWildcardViolators(s.Worldwide(ctx), s.CountryOf)
+	violators := analysis.ComputeWildcardViolators(s.Worldwide(ctx))
 	if len(violators) > 0 {
 		b.WriteString("\nTop single-country wildcard violators:\n")
 		max := 5
@@ -275,17 +273,13 @@ func runS722(ctx context.Context, s *Study) (string, error) {
 	before := s.Worldwide(ctx)
 	invalid := s.InvalidWorldwideHosts(ctx)
 	s.World.Remediate(invalid, world.DefaultRemediationRates(), s.Rand("remediation"))
-	follow := scanner.New(s.World.Net, s.World.DNS, s.World.Class,
-		scanner.DefaultConfig(s.Store(), world.FollowUpScanTime))
-	after := follow.ScanAll(ctx, s.World.GovHosts)
+	after := s.FollowUpScan(ctx, nil)
 	eff, err := notify.MeasureEffectiveness(before, after)
 	if err != nil {
 		return "", err
 	}
-	// The remediation mutated the world; invalidate cached scans.
-	s.mu.Lock()
-	s.worldwide = nil
-	s.mu.Unlock()
+	// The remediation mutated the world; invalidate the cached dataset.
+	s.InvalidateDataset("worldwide")
 	return report.Effectiveness(eff), nil
 }
 
@@ -371,11 +365,16 @@ func runE2(_ context.Context, s *Study) (string, error) {
 	fmt.Fprintf(&b, "log entries scanned: %d\n", s.World.CT.Size())
 	fmt.Fprintf(&b, "lookalike certificates flagged: %d\n", len(matches))
 	byRule := map[string]int{}
+	var rules []string
 	for _, m := range matches {
+		if _, seen := byRule[m.Rule.String()]; !seen {
+			rules = append(rules, m.Rule.String())
+		}
 		byRule[m.Rule.String()]++
 	}
-	for rule, n := range byRule {
-		fmt.Fprintf(&b, "  %-20s %d\n", rule, n)
+	sort.Strings(rules)
+	for _, rule := range rules {
+		fmt.Fprintf(&b, "  %-20s %d\n", rule, byRule[rule])
 	}
 	max := 8
 	if len(matches) < max {
@@ -402,13 +401,8 @@ func runE4(ctx context.Context, s *Study) (string, error) {
 	before := longitudinal.Capture(s.World.ScanTime, s.Worldwide(ctx))
 	invalid := s.InvalidWorldwideHosts(ctx)
 	s.World.Remediate(invalid, world.DefaultRemediationRates(), s.Rand("longitudinal"))
-	follow := scanner.New(s.World.Net, s.World.DNS, s.World.Class,
-		scanner.DefaultConfig(s.Store(), world.FollowUpScanTime))
-	afterResults := follow.ScanAll(ctx, s.World.GovHosts)
-	after := longitudinal.Capture(world.FollowUpScanTime, afterResults)
-	s.mu.Lock()
-	s.worldwide = nil // the world changed under the cache
-	s.mu.Unlock()
+	after := longitudinal.Capture(world.FollowUpScanTime, s.FollowUpScan(ctx, nil))
+	s.InvalidateDataset("worldwide") // the world changed under the cache
 
 	c := longitudinal.Diff(before, after)
 	var b strings.Builder
@@ -430,7 +424,7 @@ func runE5(ctx context.Context, s *Study) (string, error) {
 	b.WriteString("Extension E5: HSTS preload impact (§8.2, the 2020 DotGov mandate)\n")
 	b.WriteString("==================================================================\n")
 	eligible := hstspreload.EligibleHosts(results)
-	fmt.Fprintf(&b, "hosts meeting the preload submission bar today: %d of %d\n\n", len(eligible), len(results))
+	fmt.Fprintf(&b, "hosts meeting the preload submission bar today: %d of %d\n\n", len(eligible), results.Len())
 	for _, suffix := range []string{"gov", "go.kr", "gov.cn", "gov.uk"} {
 		imp := hstspreload.SimulateImpact(suffix, results)
 		if imp.Covered == 0 {
@@ -446,37 +440,13 @@ func runE5(ctx context.Context, s *Study) (string, error) {
 }
 
 func runE6(ctx context.Context, s *Study) (string, error) {
-	// Replay the worldwide issuance history through the §8.1 key-reuse
-	// policy: how many of the §5.3.3 shared-key certifications would a CA
-	// enforcing the rule have refused?
-	results := s.Worldwide(ctx)
-	policy := acme.NewReusePolicy()
-	issuances, blocked := 0, 0
-	blockedCountries := map[string]bool{}
-	for i := range results {
-		r := &results[i]
-		if len(r.Chain) == 0 {
-			continue
-		}
-		leaf := r.Chain[0]
-		issuances++
-		// The §8.1 check happens at issuance: each host requests a
-		// certificate for *itself* with the key it actually serves.
-		if err := policy.Check(leaf.PublicKey.ID, []string{r.Hostname}); err != nil {
-			blocked++
-			if cc := s.CountryOf(r.Hostname); cc != "" {
-				blockedCountries[cc] = true
-			}
-			continue
-		}
-		policy.Record(leaf.PublicKey.ID, []string{r.Hostname})
-	}
+	replay := analysis.ReplayReusePolicy(s.Worldwide(ctx))
 	var b strings.Builder
 	b.WriteString("Extension E6: the §8.1 key-reuse issuance policy, replayed\n")
 	b.WriteString("===========================================================\n")
-	fmt.Fprintf(&b, "issuance events replayed:        %d\n", issuances)
-	fmt.Fprintf(&b, "refused by the policy:           %d\n", blocked)
-	fmt.Fprintf(&b, "governments with refused events: %d\n", len(blockedCountries))
+	fmt.Fprintf(&b, "issuance events replayed:        %d\n", replay.Issuances)
+	fmt.Fprintf(&b, "refused by the policy:           %d\n", replay.Blocked)
+	fmt.Fprintf(&b, "governments with refused events: %d\n", replay.BlockedCountries)
 	b.WriteString("(each refusal is a certification of a public key already bound to an\n")
 	b.WriteString(" unrelated hostname — the cross-government private-key sharing §5.3.3\n")
 	b.WriteString(" warns about. Same-zone wildcard reuse passes the subdomain carve-out.)\n")

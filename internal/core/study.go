@@ -1,6 +1,7 @@
 // Package core orchestrates the full reproduction: it builds the synthetic
-// world, runs the scans (worldwide, USA GSA, ROK Government24), and exposes
-// an experiment registry with one entry per table and figure of the paper.
+// world, runs the scans (worldwide, USA GSA, ROK Government24) through the
+// named-dataset registry, and exposes an experiment registry with one entry
+// per table and figure of the paper.
 package core
 
 import (
@@ -11,24 +12,37 @@ import (
 	"sync"
 
 	"repro/internal/cert"
+	"repro/internal/dataset"
+	"repro/internal/resultset"
 	"repro/internal/scanner"
 	"repro/internal/truststore"
 	"repro/internal/verify"
 	"repro/internal/world"
 )
 
-// Study is a fully built world plus cached scan results.
+// RankBins is the bucket count of the Figure 7 rank comparison; the
+// worldwide dataset's rank index uses the same framing.
+const RankBins = 50
+
+// Study is a fully built world plus the dataset registry that lazily
+// scans and indexes each named corpus.
 type Study struct {
 	World *world.World
 
 	mu         sync.Mutex
-	worldwide  []scanner.Result
-	usa        map[string][]scanner.Result
-	usaAll     []scanner.Result
-	rok        []scanner.Result
 	storeInUse string
 	journal    *scanner.Journal
 	breaker    *scanner.Breaker
+	linkGraph  map[string][]string
+
+	// datasets memoizes one indexed resultset.Set per named corpus
+	// (worldwide, usa:<key>, usa:all, rok); UseStore invalidates every
+	// entry atomically.
+	datasets *dataset.Registry
+
+	// rankOf maps worldwide hostnames to their Tranco rank for the
+	// resultset rank index.
+	rankOf map[string]int
 
 	// verifyCache and chainCache persist across every scanner this study
 	// builds, so the worldwide, USA and ROK datasets — and repeat scans
@@ -39,19 +53,78 @@ type Study struct {
 	chainCache  *cert.ChainCache
 }
 
-// NewStudy builds the world for the configuration.
+// NewStudy builds the world for the configuration and registers the named
+// datasets.
 func NewStudy(cfg world.Config) (*Study, error) {
 	w, err := world.Build(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Study{
+	s := &Study{
 		World:       w,
-		usa:         make(map[string][]scanner.Result),
 		storeInUse:  "apple",
 		verifyCache: verify.NewCache(),
 		chainCache:  cert.NewChainCache(),
-	}, nil
+	}
+	s.rankOf = make(map[string]int, len(w.TopLists.TrancoGov))
+	for _, rh := range w.TopLists.TrancoGov {
+		s.rankOf[rh.Host] = rh.Rank
+	}
+	s.datasets = dataset.NewRegistry(s.scanDataset)
+	s.datasets.Register(dataset.Source{
+		Name:  "worldwide",
+		Hosts: func() []string { return s.World.GovHosts },
+		Opts:  func() resultset.Options { return s.worldwideOptions() },
+	})
+	for _, ds := range w.USA.Datasets {
+		hosts := ds.Hosts
+		s.datasets.Register(dataset.Source{
+			Name:  "usa:" + ds.Key,
+			Hosts: func() []string { return hosts },
+			Opts:  func() resultset.Options { return s.caseStudyOptions() },
+		})
+	}
+	s.datasets.Register(dataset.Source{
+		Name:  "usa:all",
+		Hosts: func() []string { return s.World.USA.AllHosts() },
+		Opts:  func() resultset.Options { return s.caseStudyOptions() },
+	})
+	s.datasets.Register(dataset.Source{
+		Name:  "rok",
+		Hosts: func() []string { return s.World.ROK.Hosts },
+		Opts:  func() resultset.Options { return s.caseStudyOptions() },
+	})
+	return s, nil
+}
+
+// worldwideOptions is the index framing of the worldwide corpus: country
+// attribution plus the Figure 7 rank buckets.
+func (s *Study) worldwideOptions() resultset.Options {
+	return resultset.Options{
+		CountryOf: s.World.CountryOf,
+		RankOf: func(h string) (int, bool) {
+			r, ok := s.rankOf[h]
+			return r, ok
+		},
+		RankBuckets: RankBins,
+		RankMax:     s.World.TopLists.Max,
+	}
+}
+
+// caseStudyOptions is the index framing of the USA/ROK corpora: country
+// attribution only (their hosts carry no top-million rank).
+func (s *Study) caseStudyOptions() resultset.Options {
+	return resultset.Options{CountryOf: s.World.CountryOf}
+}
+
+// scanDataset is the registry's scan function: probe the hosts with the
+// study's current scanner posture, streaming results straight into the
+// index builder.
+func (s *Study) scanDataset(ctx context.Context, hosts []string, opts resultset.Options) *resultset.Set {
+	opts.SizeHint = len(hosts)
+	b := resultset.NewBuilder(opts)
+	s.Scanner().ScanStream(ctx, hosts, b.Add)
+	return b.Build()
 }
 
 // MustNewStudy is NewStudy for known-valid configurations.
@@ -64,7 +137,9 @@ func MustNewStudy(cfg world.Config) *Study {
 }
 
 // UseStore selects the trust store for subsequent scans ("apple",
-// "microsoft", "nss") and clears cached results. The paper's default is the
+// "microsoft", "nss") and invalidates every registered dataset — each
+// exactly once, atomically with the switch, so a scan racing the switch
+// can never be cached under the wrong store. The paper's default is the
 // most restrictive store, Apple's (§4.3).
 func (s *Study) UseStore(name string) error {
 	s.mu.Lock()
@@ -74,16 +149,15 @@ func (s *Study) UseStore(name string) error {
 	}
 	if s.storeInUse != name {
 		s.storeInUse = name
-		s.worldwide = nil
-		s.usa = make(map[string][]scanner.Result)
-		s.usaAll = nil
-		s.rok = nil
+		s.datasets.InvalidateAll()
 	}
 	return nil
 }
 
 // Store returns the active trust store.
 func (s *Study) Store() *truststore.Store {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.World.Stores[s.storeInUse]
 }
 
@@ -138,13 +212,16 @@ func (s *Study) SetBreaker(b *scanner.Breaker) {
 	s.breaker = b
 }
 
-// Scanner builds a scanner bound to the study's world and active store.
+// Scanner builds a scanner bound to the study's world and current posture
+// (store, journal, breaker, shared caches), snapshotted atomically.
 func (s *Study) Scanner() *scanner.Scanner {
-	cfg := scanner.DefaultConfig(s.Store(), s.World.ScanTime)
-	cfg.Seed = s.World.Cfg.Seed
-	cfg.Clock = s.World.Clock
+	s.mu.Lock()
+	cfg := scanner.DefaultConfig(s.World.Stores[s.storeInUse], s.World.ScanTime)
 	cfg.Journal = s.journal
 	cfg.Breaker = s.breaker
+	s.mu.Unlock()
+	cfg.Seed = s.World.Cfg.Seed
+	cfg.Clock = s.World.Clock
 	cfg.VerifyCache = s.verifyCache
 	cfg.ChainCache = s.chainCache
 	return scanner.New(s.World.Net, s.World.DNS, s.World.Class, cfg)
@@ -153,67 +230,77 @@ func (s *Study) Scanner() *scanner.Scanner {
 // CountryOf attributes a hostname to a country.
 func (s *Study) CountryOf(hostname string) string { return s.World.CountryOf(hostname) }
 
-// Worldwide scans (once) the worldwide government host list.
-func (s *Study) Worldwide(ctx context.Context) []scanner.Result {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.worldwide == nil {
-		s.worldwide = s.Scanner().ScanAll(ctx, s.World.GovHosts)
+// Dataset returns the named dataset's indexed scan results, scanning
+// lazily on first use. Names: "worldwide", "usa:<key>", "usa:all", "rok"
+// (see DatasetNames).
+func (s *Study) Dataset(ctx context.Context, name string) (*resultset.Set, error) {
+	return s.datasets.Get(ctx, name)
+}
+
+// DatasetNames lists the registered datasets in registration order.
+func (s *Study) DatasetNames() []string { return s.datasets.Names() }
+
+// InvalidateDataset drops one dataset's cached results, forcing a rescan
+// on next use — the hook the world-mutating experiments (S722, E4) use
+// after remediation changes the world under the cache.
+func (s *Study) InvalidateDataset(name string) bool { return s.datasets.Invalidate(name) }
+
+// DatasetInvalidations reports how many times the named dataset has been
+// invalidated (test hook).
+func (s *Study) DatasetInvalidations(name string) int { return s.datasets.Invalidations(name) }
+
+// mustDataset resolves a name registered at construction; a miss is a
+// programming error, not a runtime condition.
+func (s *Study) mustDataset(ctx context.Context, name string) *resultset.Set {
+	set, err := s.datasets.Get(ctx, name)
+	if err != nil {
+		panic(err)
 	}
-	return s.worldwide
+	return set
+}
+
+// Worldwide scans (once) the worldwide government host list.
+func (s *Study) Worldwide(ctx context.Context) *resultset.Set {
+	return s.mustDataset(ctx, "worldwide")
 }
 
 // USADataset scans (once) one GSA dataset by key.
-func (s *Study) USADataset(ctx context.Context, key string) ([]scanner.Result, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if cached, ok := s.usa[key]; ok {
-		return cached, nil
-	}
-	ds, ok := s.World.USA.Dataset(key)
-	if !ok {
-		return nil, fmt.Errorf("core: unknown GSA dataset %q", key)
-	}
-	res := s.Scanner().ScanAll(ctx, ds.Hosts)
-	s.usa[key] = res
-	return res, nil
+func (s *Study) USADataset(ctx context.Context, key string) (*resultset.Set, error) {
+	return s.datasets.Get(ctx, "usa:"+key)
 }
 
 // USAAll scans (once) the union of the GSA datasets.
-func (s *Study) USAAll(ctx context.Context) []scanner.Result {
-	s.mu.Lock()
-	if s.usaAll != nil {
-		defer s.mu.Unlock()
-		return s.usaAll
-	}
-	s.mu.Unlock()
-	res := s.Scanner().ScanAll(ctx, s.World.USA.AllHosts())
-	s.mu.Lock()
-	s.usaAll = res
-	s.mu.Unlock()
-	return res
+func (s *Study) USAAll(ctx context.Context) *resultset.Set {
+	return s.mustDataset(ctx, "usa:all")
 }
 
 // ROK scans (once) the Government24 dataset.
-func (s *Study) ROK(ctx context.Context) []scanner.Result {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.rok == nil {
-		s.rok = s.Scanner().ScanAll(ctx, s.World.ROK.Hosts)
-	}
-	return s.rok
+func (s *Study) ROK(ctx context.Context) *resultset.Set {
+	return s.mustDataset(ctx, "rok")
 }
 
-// InvalidWorldwideHosts lists worldwide hostnames measured invalid.
-func (s *Study) InvalidWorldwideHosts(ctx context.Context) []string {
-	var out []string
-	results := s.Worldwide(ctx)
-	for i := range results {
-		if results[i].Category().IsInvalidHTTPS() {
-			out = append(out, results[i].Hostname)
-		}
+// FollowUpScan re-probes the worldwide host list with a fresh scanner at
+// the §7.2.2 follow-up time, streaming into a worldwide-shaped index. The
+// result is not cached — it reflects the world as mutated by remediation.
+// configure, when non-nil, adjusts the scanner config (journal, seed)
+// before the scan.
+func (s *Study) FollowUpScan(ctx context.Context, configure func(*scanner.Config)) *resultset.Set {
+	cfg := scanner.DefaultConfig(s.Store(), world.FollowUpScanTime)
+	if configure != nil {
+		configure(&cfg)
 	}
-	return out
+	follow := scanner.New(s.World.Net, s.World.DNS, s.World.Class, cfg)
+	opts := s.worldwideOptions()
+	opts.SizeHint = len(s.World.GovHosts)
+	b := resultset.NewBuilder(opts)
+	follow.ScanStream(ctx, s.World.GovHosts, b.Add)
+	return b.Build()
+}
+
+// InvalidWorldwideHosts lists worldwide hostnames measured invalid, in
+// scan input order (a read-only view of the dataset index).
+func (s *Study) InvalidWorldwideHosts(ctx context.Context) []string {
+	return s.Worldwide(ctx).InvalidHosts()
 }
 
 // Rand derives a deterministic source from the study seed and a label.
@@ -227,13 +314,26 @@ func (s *Study) Rand(label string) *rand.Rand {
 }
 
 // LinkGraph extracts the world's hyperlink graph for the cross-government
-// analysis.
+// analysis. The graph is built once and memoized; each call returns a
+// fresh map so callers can add or drop entries without corrupting the
+// cache (the link slices are shared and must be treated as read-only).
 func (s *Study) LinkGraph() map[string][]string {
-	links := map[string][]string{}
-	for _, h := range s.World.GovHosts {
-		if l := s.World.Sites[h].Links; len(l) > 0 {
-			links[h] = l
+	s.mu.Lock()
+	if s.linkGraph == nil {
+		links := map[string][]string{}
+		for _, h := range s.World.GovHosts {
+			if l := s.World.Sites[h].Links; len(l) > 0 {
+				links[h] = l
+			}
 		}
+		s.linkGraph = links
 	}
-	return links
+	cached := s.linkGraph
+	s.mu.Unlock()
+
+	out := make(map[string][]string, len(cached))
+	for h, l := range cached {
+		out[h] = l
+	}
+	return out
 }

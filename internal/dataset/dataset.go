@@ -1,0 +1,197 @@
+// Package dataset is the named-dataset registry behind core.Study: every
+// scan corpus the paper uses — `worldwide`, the GSA lists (`usa:<key>`,
+// `usa:all`), `rok` — is registered once under a stable name and scanned
+// lazily into an indexed resultset.Set on first Get. Results are
+// memoized per dataset; a trust-store switch invalidates every dataset
+// atomically (generation counters), so a scan that raced the switch is
+// discarded and redone under the new store instead of being cached under
+// the wrong one.
+//
+// Concurrency contract: Get is safe from any number of goroutines.
+// Exactly one scan runs per (dataset, generation) — concurrent callers
+// wait on the in-flight scan. Invalidate/InvalidateAll may be called at
+// any time, including mid-scan: the generation captured at scan start no
+// longer matches, so the stale result is dropped and the winning caller
+// rescans. Scans themselves run without any registry lock held.
+package dataset
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/resultset"
+)
+
+// Source describes one registered dataset.
+type Source struct {
+	// Name is the registry key, e.g. "worldwide" or "usa:currentfed".
+	Name string
+	// Hosts returns the dataset's hostname list (called at scan time, so
+	// it observes world mutations).
+	Hosts func() []string
+	// Opts returns the index options for the dataset's result sets.
+	Opts func() resultset.Options
+}
+
+// ScanFunc performs one scan: probe hosts and build the indexed set.
+// The registry calls it without holding any lock.
+type ScanFunc func(ctx context.Context, hosts []string, opts resultset.Options) *resultset.Set
+
+// entry is one dataset's cache slot.
+type entry struct {
+	src Source
+	// gen counts invalidations; a scan started under one generation may
+	// only install its result while the generation is unchanged.
+	gen int
+	// invalidations counts Invalidate calls that actually dropped state
+	// (test hook for the exactly-once invalidation contract).
+	invalidations int
+	set           *resultset.Set
+	// inflight is non-nil while a scan runs; waiters block on it.
+	inflight chan struct{}
+}
+
+// Registry holds the named datasets.
+type Registry struct {
+	scan ScanFunc
+
+	mu      sync.Mutex
+	names   []string // registration order
+	entries map[string]*entry
+}
+
+// NewRegistry creates an empty registry scanning through fn.
+func NewRegistry(fn ScanFunc) *Registry {
+	return &Registry{scan: fn, entries: map[string]*entry{}}
+}
+
+// Register adds a dataset. Registering a name twice panics: dataset names
+// are a fixed vocabulary established at study construction.
+func (r *Registry) Register(src Source) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.entries[src.Name]; dup {
+		panic(fmt.Sprintf("dataset: %q registered twice", src.Name))
+	}
+	r.names = append(r.names, src.Name)
+	r.entries[src.Name] = &entry{src: src}
+}
+
+// Names lists the registered datasets in registration order.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, len(r.names))
+	copy(out, r.names)
+	return out
+}
+
+// Has reports whether name is registered.
+func (r *Registry) Has(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.entries[name]
+	return ok
+}
+
+// Get returns the dataset's indexed results, scanning on first use (or
+// after invalidation). Concurrent callers share one scan; a scan whose
+// generation was invalidated mid-flight is discarded and redone.
+func (r *Registry) Get(ctx context.Context, name string) (*resultset.Set, error) {
+	r.mu.Lock()
+	e, ok := r.entries[name]
+	if !ok {
+		known := make([]string, len(r.names))
+		copy(known, r.names)
+		r.mu.Unlock()
+		return nil, fmt.Errorf("dataset: unknown dataset %q (have %v)", name, known)
+	}
+	for {
+		if e.set != nil {
+			set := e.set
+			r.mu.Unlock()
+			return set, nil
+		}
+		if e.inflight != nil {
+			// Another goroutine is scanning this generation: wait for it,
+			// then re-check (it may have been invalidated mid-scan).
+			done := e.inflight
+			r.mu.Unlock()
+			<-done
+			r.mu.Lock()
+			continue
+		}
+		// Claim the scan for the current generation.
+		e.inflight = make(chan struct{})
+		gen := e.gen
+		done := e.inflight
+		r.mu.Unlock()
+
+		set := r.scan(ctx, e.src.Hosts(), e.src.Opts())
+
+		r.mu.Lock()
+		e.inflight = nil
+		close(done)
+		if e.gen == gen {
+			e.set = set
+			r.mu.Unlock()
+			return set, nil
+		}
+		// The dataset was invalidated (store switch, world mutation) while
+		// we scanned: the result reflects stale state. Drop it and retry
+		// under the new generation.
+	}
+}
+
+// Invalidate drops one dataset's cached results (and dooms any in-flight
+// scan of it). Returns false for unknown names.
+func (r *Registry) Invalidate(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[name]
+	if !ok {
+		return false
+	}
+	r.invalidateLocked(e)
+	return true
+}
+
+// InvalidateAll drops every dataset's cached results — the trust-store
+// switch path. Each registered dataset is invalidated exactly once, under
+// one lock acquisition, so no Get can observe a half-invalidated registry.
+func (r *Registry) InvalidateAll() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range r.names {
+		r.invalidateLocked(r.entries[name])
+	}
+}
+
+func (r *Registry) invalidateLocked(e *entry) {
+	e.gen++
+	e.set = nil
+	e.invalidations++
+}
+
+// Invalidations reports how many times the named dataset has been
+// invalidated — the test hook behind the exactly-once UseStore contract.
+// Unknown names report zero.
+func (r *Registry) Invalidations(name string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[name]
+	if !ok {
+		return 0
+	}
+	return e.invalidations
+}
+
+// Cached reports whether the named dataset currently holds memoized
+// results (no scan would run on Get).
+func (r *Registry) Cached(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[name]
+	return ok && e.set != nil
+}

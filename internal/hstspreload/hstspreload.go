@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/resultset"
 	"repro/internal/scanner"
 )
 
@@ -96,13 +97,13 @@ func (i Impact) ReadyPct() float64 {
 	return 100 * float64(i.Ready) / float64(i.Covered)
 }
 
-// SimulateImpact evaluates preloading one suffix over scan results.
-func SimulateImpact(suffix string, results []scanner.Result) Impact {
+// SimulateImpact evaluates preloading one suffix over an indexed scan.
+func SimulateImpact(suffix string, set *resultset.Set) Impact {
 	l := NewList()
 	l.Add(suffix)
 	imp := Impact{Suffix: suffix}
-	for i := range results {
-		r := &results[i]
+	for i := 0; i < set.Len(); i++ {
+		r := set.At(i)
 		if !l.Covers(r.Hostname) {
 			continue
 		}
@@ -118,12 +119,12 @@ func SimulateImpact(suffix string, results []scanner.Result) Impact {
 	return imp
 }
 
-// EligibleHosts filters results to those meeting the submission bar.
-func EligibleHosts(results []scanner.Result) []string {
+// EligibleHosts filters the set to hosts meeting the submission bar.
+func EligibleHosts(set *resultset.Set) []string {
 	var out []string
-	for i := range results {
-		if CheckEligibility(&results[i]).Eligible {
-			out = append(out, results[i].Hostname)
+	for i := 0; i < set.Len(); i++ {
+		if CheckEligibility(set.At(i)).Eligible {
+			out = append(out, set.At(i).Hostname)
 		}
 	}
 	sort.Strings(out)

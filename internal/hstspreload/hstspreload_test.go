@@ -6,21 +6,22 @@ import (
 	"testing"
 
 	"repro/internal/hstspreload"
+	"repro/internal/resultset"
 	"repro/internal/scanner"
 	"repro/internal/world"
 )
 
 var (
 	testWorld = world.MustBuild(world.TestConfig())
-	cached    []scanner.Result
+	cached    *resultset.Set
 )
 
-func results(t *testing.T) []scanner.Result {
+func results(t *testing.T) *resultset.Set {
 	t.Helper()
 	if cached == nil {
 		s := scanner.New(testWorld.Net, testWorld.DNS, testWorld.Class,
 			scanner.DefaultConfig(testWorld.Stores["apple"], testWorld.ScanTime))
-		cached = s.ScanAll(context.Background(), testWorld.GovHosts)
+		cached = resultset.New(s.ScanAll(context.Background(), testWorld.GovHosts), resultset.Options{})
 	}
 	return cached
 }
@@ -49,8 +50,9 @@ func TestListCoverage(t *testing.T) {
 
 func TestEligibility(t *testing.T) {
 	found := map[bool]bool{}
-	for i := range results(t) {
-		r := &results(t)[i]
+	set := results(t)
+	for i := 0; i < set.Len(); i++ {
+		r := set.At(i)
 		e := hstspreload.CheckEligibility(r)
 		if e.Eligible {
 			if !r.ValidHTTPS() || !r.HSTS {

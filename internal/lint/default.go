@@ -3,12 +3,15 @@ package lint
 // DeterministicPackages are the packages whose output feeds the paper's
 // tables and must be bit-identical across same-seed runs; maprange
 // enforces ordered iteration inside them. World generation, scanning,
-// verification, and the reporting/statistics layers all qualify: a single
-// unordered map walk in any of them reorders RNG draws or report rows.
+// verification, the dataset/result-set aggregation layer, and the
+// reporting/statistics layers all qualify: a single unordered map walk in
+// any of them reorders RNG draws, index buckets, or report rows.
 var DeterministicPackages = []string{
 	"repro/internal/world",
 	"repro/internal/scanner",
 	"repro/internal/verify",
+	"repro/internal/dataset",
+	"repro/internal/resultset",
 	"repro/internal/report",
 	"repro/internal/stats",
 }

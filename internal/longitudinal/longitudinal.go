@@ -10,7 +10,7 @@ import (
 	"sort"
 	"time"
 
-	"repro/internal/scanner"
+	"repro/internal/resultset"
 )
 
 // State is the per-host condition recorded in a snapshot.
@@ -46,11 +46,11 @@ type Snapshot struct {
 	States map[string]State
 }
 
-// Capture reduces scan results to a snapshot.
-func Capture(taken time.Time, results []scanner.Result) Snapshot {
-	s := Snapshot{Taken: taken, States: make(map[string]State, len(results))}
-	for i := range results {
-		r := &results[i]
+// Capture reduces an indexed scan to a snapshot.
+func Capture(taken time.Time, set *resultset.Set) Snapshot {
+	s := Snapshot{Taken: taken, States: make(map[string]State, set.Len())}
+	for i := 0; i < set.Len(); i++ {
+		r := set.At(i)
 		switch {
 		case !r.Available:
 			s.States[r.Hostname] = Gone

@@ -7,13 +7,14 @@ import (
 	"testing"
 
 	"repro/internal/longitudinal"
+	"repro/internal/resultset"
 	"repro/internal/scanner"
 	"repro/internal/world"
 )
 
-func scanAll(w *world.World, at interface{ IsZero() bool }) []scanner.Result {
+func scanAll(w *world.World, at interface{ IsZero() bool }) *resultset.Set {
 	s := scanner.New(w.Net, w.DNS, w.Class, scanner.DefaultConfig(w.Stores["apple"], w.ScanTime))
-	return s.ScanAll(context.Background(), w.GovHosts)
+	return resultset.New(s.ScanAll(context.Background(), w.GovHosts), resultset.Options{})
 }
 
 func TestCaptureStates(t *testing.T) {

@@ -11,7 +11,7 @@ import (
 	"sort"
 
 	"repro/internal/geo"
-	"repro/internal/scanner"
+	"repro/internal/resultset"
 )
 
 // ResponseKind classifies a registrar's reaction to the report.
@@ -70,10 +70,10 @@ func (r Report) Empty() bool {
 	return len(r.InvalidHTTPS) == 0 && len(r.FailedUpgrades) == 0 && len(r.DeadLinked) == 0
 }
 
-// BuildReports assembles per-country reports from scan results.
-// countryOf attributes hostnames; deadLinked lists known dead-but-linked
+// BuildReports assembles per-country reports from an indexed scan; country
+// attribution comes from the set. deadLinked lists known dead-but-linked
 // hostnames per country.
-func BuildReports(results []scanner.Result, countryOf func(string) string, deadLinked map[string][]string) []Report {
+func BuildReports(set *resultset.Set, deadLinked map[string][]string) []Report {
 	byCC := map[string]*Report{}
 	get := func(cc string) *Report {
 		rep, ok := byCC[cc]
@@ -83,18 +83,15 @@ func BuildReports(results []scanner.Result, countryOf func(string) string, deadL
 		}
 		return rep
 	}
-	for i := range results {
-		r := &results[i]
-		cc := countryOf(r.Hostname)
-		if cc == "" {
-			continue
+	for _, h := range set.InvalidHosts() {
+		if cc := set.CountryOf(h); cc != "" {
+			get(cc).InvalidHTTPS = append(get(cc).InvalidHTTPS, h)
 		}
-		cat := r.Category()
-		if cat.IsInvalidHTTPS() {
-			get(cc).InvalidHTTPS = append(get(cc).InvalidHTTPS, r.Hostname)
-		}
-		if r.ServesHTTP && r.ServesHTTPS && r.ValidHTTPS() {
-			get(cc).FailedUpgrades = append(get(cc).FailedUpgrades, r.Hostname)
+	}
+	for _, i := range set.FailedUpgrades() {
+		h := set.At(i).Hostname
+		if cc := set.CountryOf(h); cc != "" {
+			get(cc).FailedUpgrades = append(get(cc).FailedUpgrades, h)
 		}
 	}
 	for cc, hosts := range deadLinked {
@@ -286,21 +283,22 @@ func (e Effectiveness) ImprovementConservative() float64 {
 }
 
 // MeasureEffectiveness compares the follow-up scan of the previously
-// invalid hosts with their earlier state.
-func MeasureEffectiveness(before, after []scanner.Result) (Effectiveness, error) {
-	if len(before) != len(after) {
-		return Effectiveness{}, fmt.Errorf("notify: scan lengths differ: %d vs %d", len(before), len(after))
+// invalid hosts with their earlier state. Both sets must cover the same
+// host list in the same order.
+func MeasureEffectiveness(before, after *resultset.Set) (Effectiveness, error) {
+	if before.Len() != after.Len() {
+		return Effectiveness{}, fmt.Errorf("notify: scan lengths differ: %d vs %d", before.Len(), after.Len())
 	}
 	var e Effectiveness
-	for i := range before {
-		if !before[i].Category().IsInvalidHTTPS() {
+	for i := 0; i < before.Len(); i++ {
+		if !before.At(i).Category().IsInvalidHTTPS() {
 			continue
 		}
 		e.PreviouslyInvalid++
 		switch {
-		case !after[i].Available:
+		case !after.At(i).Available:
 			e.Unreachable++
-		case after[i].ValidHTTPS():
+		case after.At(i).ValidHTTPS():
 			e.Fixed++
 		default:
 			e.StillInvalid++

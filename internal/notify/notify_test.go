@@ -6,22 +6,24 @@ import (
 	"testing"
 
 	"repro/internal/geo"
+	"repro/internal/resultset"
 	"repro/internal/scanner"
 	"repro/internal/world"
 )
 
 var testWorld = world.MustBuild(world.TestConfig())
 
-func scanWorld(t *testing.T, hosts []string) []scanner.Result {
+func scanWorld(t *testing.T, hosts []string) *resultset.Set {
 	t.Helper()
 	s := scanner.New(testWorld.Net, testWorld.DNS, testWorld.Class,
 		scanner.DefaultConfig(testWorld.Stores["apple"], testWorld.ScanTime))
-	return s.ScanAll(context.Background(), hosts)
+	return resultset.New(s.ScanAll(context.Background(), hosts),
+		resultset.Options{CountryOf: testWorld.CountryOf})
 }
 
 func TestBuildReports(t *testing.T) {
 	results := scanWorld(t, testWorld.GovHosts)
-	reports := BuildReports(results, testWorld.CountryOf, nil)
+	reports := BuildReports(results, nil)
 	if len(reports) < 50 {
 		t.Fatalf("reports for %d countries", len(reports))
 	}
@@ -41,7 +43,7 @@ func TestBuildReports(t *testing.T) {
 
 func TestCampaignAccounting(t *testing.T) {
 	results := scanWorld(t, testWorld.GovHosts)
-	reports := BuildReports(results, testWorld.CountryOf, nil)
+	reports := BuildReports(results, nil)
 	c := Campaign(reports, rand.New(rand.NewSource(1)))
 	if c.EmailsSent == 0 {
 		t.Fatal("no emails sent")
@@ -114,21 +116,16 @@ func TestEffectivenessEndToEnd(t *testing.T) {
 	// fixture.
 	w := world.MustBuild(world.Config{Seed: 11, Scale: 0.01})
 	s := scanner.New(w.Net, w.DNS, w.Class, scanner.DefaultConfig(w.Stores["apple"], w.ScanTime))
-	before := s.ScanAll(context.Background(), w.GovHosts)
+	before := resultset.New(s.ScanAll(context.Background(), w.GovHosts), resultset.Options{})
 
-	var invalid []string
-	for i := range before {
-		if before[i].Category().IsInvalidHTTPS() {
-			invalid = append(invalid, before[i].Hostname)
-		}
-	}
+	invalid := before.InvalidHosts()
 	if len(invalid) < 20 {
 		t.Skip("too few invalid hosts at this scale")
 	}
 	w.Remediate(invalid, world.DefaultRemediationRates(), rand.New(rand.NewSource(5)))
 
 	s2 := scanner.New(w.Net, w.DNS, w.Class, scanner.DefaultConfig(w.Stores["apple"], world.FollowUpScanTime))
-	after := s2.ScanAll(context.Background(), w.GovHosts)
+	after := resultset.New(s2.ScanAll(context.Background(), w.GovHosts), resultset.Options{})
 	eff, err := MeasureEffectiveness(before, after)
 	if err != nil {
 		t.Fatal(err)
@@ -152,7 +149,9 @@ func TestEffectivenessEndToEnd(t *testing.T) {
 }
 
 func TestMeasureEffectivenessLengthMismatch(t *testing.T) {
-	if _, err := MeasureEffectiveness(make([]scanner.Result, 2), make([]scanner.Result, 3)); err == nil {
+	two := resultset.New(make([]scanner.Result, 2), resultset.Options{})
+	three := resultset.New(make([]scanner.Result, 3), resultset.Options{})
+	if _, err := MeasureEffectiveness(two, three); err == nil {
 		t.Error("length mismatch accepted")
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"repro/internal/cert"
+	"repro/internal/resultset"
 	"repro/internal/scanner"
 )
 
@@ -74,15 +75,16 @@ type Finding struct {
 // a closure over dnssim.Zone.LookupCAA.
 type CAAChecker func(hostname string) bool
 
-// Evaluate runs the checklist over scan results. sharedKeys marks key IDs
-// used by more than one host (precomputed by SharedKeyIDs).
-func Evaluate(results []scanner.Result, hasCAA CAAChecker, sharedKeys map[cert.KeyID]bool) []Finding {
+// Evaluate runs the checklist over every host in the set, in scan input
+// order. sharedKeys marks key IDs used by more than one host (precomputed
+// by SharedKeyIDs).
+func Evaluate(set *resultset.Set, hasCAA CAAChecker, sharedKeys map[cert.KeyID]bool) []Finding {
 	var out []Finding
 	add := func(host string, rule Rule, format string, args ...any) {
 		out = append(out, Finding{Hostname: host, Rule: rule, Detail: fmt.Sprintf(format, args...)})
 	}
-	for i := range results {
-		r := &results[i]
+	for i := 0; i < set.Len(); i++ {
+		r := set.At(i)
 		if !r.Available {
 			continue
 		}
@@ -123,24 +125,13 @@ func Evaluate(results []scanner.Result, hasCAA CAAChecker, sharedKeys map[cert.K
 	return out
 }
 
-// SharedKeyIDs returns the key identities served by more than one distinct
-// hostname.
-func SharedKeyIDs(results []scanner.Result) map[cert.KeyID]bool {
-	count := map[cert.KeyID]map[string]bool{}
-	for i := range results {
-		r := &results[i]
-		if len(r.Chain) == 0 {
-			continue
-		}
-		id := r.Chain[0].PublicKey.ID
-		if count[id] == nil {
-			count[id] = map[string]bool{}
-		}
-		count[id][r.Hostname] = true
-	}
+// SharedKeyIDs returns the key identities served by more than one host,
+// straight from the set's key index (a scan holds one result per
+// hostname, so the bucket length is the distinct-host count).
+func SharedKeyIDs(set *resultset.Set) map[cert.KeyID]bool {
 	out := map[cert.KeyID]bool{}
-	for id, hosts := range count {
-		if len(hosts) > 1 {
+	for _, id := range set.KeyIDs() {
+		if len(set.ByKeyID(id)) > 1 {
 			out[id] = true
 		}
 	}

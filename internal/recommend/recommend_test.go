@@ -6,21 +6,22 @@ import (
 	"testing"
 
 	"repro/internal/recommend"
+	"repro/internal/resultset"
 	"repro/internal/scanner"
 	"repro/internal/world"
 )
 
 var (
 	testWorld = world.MustBuild(world.TestConfig())
-	cached    []scanner.Result
+	cached    *resultset.Set
 )
 
-func results(t *testing.T) []scanner.Result {
+func results(t *testing.T) *resultset.Set {
 	t.Helper()
 	if cached == nil {
 		s := scanner.New(testWorld.Net, testWorld.DNS, testWorld.Class,
 			scanner.DefaultConfig(testWorld.Stores["apple"], testWorld.ScanTime))
-		cached = s.ScanAll(context.Background(), testWorld.GovHosts)
+		cached = resultset.New(s.ScanAll(context.Background(), testWorld.GovHosts), resultset.Options{})
 	}
 	return cached
 }
@@ -74,13 +75,9 @@ func TestAdoptHTTPSDominates(t *testing.T) {
 func TestFindingsConsistentWithScan(t *testing.T) {
 	fs := findings(t)
 	res := results(t)
-	byHost := map[string]*scanner.Result{}
-	for i := range res {
-		byHost[res[i].Hostname] = &res[i]
-	}
 	for _, f := range fs {
-		r := byHost[f.Hostname]
-		if r == nil {
+		r, ok := res.Lookup(f.Hostname)
+		if !ok {
 			t.Fatalf("finding for unscanned host %q", f.Hostname)
 		}
 		switch f.Rule {

@@ -10,7 +10,7 @@ import (
 	"repro/internal/crawler"
 	"repro/internal/geo"
 	"repro/internal/notify"
-	"repro/internal/scanner"
+	"repro/internal/resultset"
 )
 
 // Table1 renders the top-million overlap table.
@@ -315,10 +315,10 @@ func Datasets(title string, rows []DatasetBreakdown) string {
 }
 
 // Scan renders a one-line summary of a scan run (operational output).
-func Scan(results []scanner.Result, took time.Duration) string {
-	tab := analysis.ComputeTable2(results)
+func Scan(set *resultset.Set, took time.Duration) string {
+	tab := analysis.ComputeTable2(set)
 	return fmt.Sprintf("scanned %d hosts in %v: %d available, %d http-only, %d https (%d valid, %d invalid)\n",
-		len(results), took.Round(time.Millisecond), tab.Total, tab.HTTPOnly, tab.HTTPS, tab.Valid, tab.Invalid)
+		set.Len(), took.Round(time.Millisecond), tab.Total, tab.HTTPOnly, tab.HTTPS, tab.Valid, tab.Invalid)
 }
 
 // Table2WithTitle renders a Table 2-style breakdown under a custom title,

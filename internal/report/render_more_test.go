@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/notify"
+	"repro/internal/resultset"
 	"repro/internal/scanner"
 	"repro/internal/stats"
 )
@@ -174,9 +175,9 @@ func TestEVRendering(t *testing.T) {
 }
 
 func TestScanSummaryLine(t *testing.T) {
-	results := []scanner.Result{
+	results := resultset.New([]scanner.Result{
 		{Hostname: "a.gov", Available: true, ServesHTTP: true},
-	}
+	}, resultset.Options{})
 	out := Scan(results, 1500*time.Millisecond)
 	if !strings.Contains(out, "scanned 1 hosts") || !strings.Contains(out, "1.5s") {
 		t.Errorf("Scan line: %q", out)

@@ -1,0 +1,509 @@
+// Package resultset wraps a scan's results with indexes built in one
+// deterministic pass: by Table 2 category and exception kind, by country,
+// by issuing CA, by certificate fingerprint and key identity, by hosting
+// provider and kind, and by top-list rank bucket — plus the cheap derived
+// counts (the Table 2 tallies, key/signature/version cells) every
+// experiment used to recompute with its own loop over the raw slice.
+//
+// A Set is built either incrementally, feeding a Builder from
+// scanner.ScanStream so the indexes grow concurrently with the scan, or
+// in one shot with New. Once built, a Set is immutable: every analysis,
+// report and disclosure pass serves itself from the same indexes, so the
+// corpus is walked exactly once no matter how many tables and figures are
+// derived from it.
+//
+// Determinism contract: results are added in scan input order, every
+// index bucket stores ascending result indices, and every key list
+// (Countries, Issuers, Providers, ...) has a defined order — sorted for
+// countries, first-seen for the rest. Nothing in this package iterates a
+// map (enforced by govlint's maprange analyzer).
+package resultset
+
+import (
+	"sort"
+
+	"repro/internal/cert"
+	"repro/internal/hosting"
+	"repro/internal/scanner"
+	"repro/internal/stats"
+)
+
+// Options configures the index build.
+type Options struct {
+	// CountryOf attributes a hostname to a country; hosts mapping to ""
+	// are left out of the country index. Nil disables the country index.
+	CountryOf func(hostname string) string
+	// RankOf reports a hostname's public-top-list rank, when it has one.
+	// Nil disables the rank-bucket index.
+	RankOf func(hostname string) (int, bool)
+	// RankBuckets is the number of equal-width rank buckets (Figure 7
+	// uses 50); RankMax is the highest rank on the list. Both must be
+	// positive for the rank index to build.
+	RankBuckets int
+	RankMax     int
+	// SizeHint pre-sizes the result slice and host index.
+	SizeHint int
+}
+
+// Counts carries the Table 2 tallies derived during the build pass.
+type Counts struct {
+	// Total counts available hosts (the paper's "websites considered").
+	Total       int
+	Unavailable int
+	HTTPOnly    int
+	HTTPS       int
+	Valid       int
+	Invalid     int
+	// Exceptions totals the exception block of the invalid categories.
+	Exceptions int
+	// BothSchemes counts hosts serving full content on http and https.
+	BothSchemes int
+	// HSTS counts valid hosts sending Strict-Transport-Security.
+	HSTS int
+}
+
+// Cell is one label's aggregate: hosts carrying the label and how many of
+// them validate (the bars of Figures 4/9/12 and the version table).
+type Cell struct {
+	Label string
+	Total int
+	Valid int
+}
+
+// CountryAgg is one country's availability/https/validity tally.
+type CountryAgg struct {
+	Country   string
+	Hosts     int
+	Available int
+	HTTPS     int
+	Valid     int
+}
+
+// cells aggregates label → Cell with first-seen ordering, so derived
+// tables never depend on map iteration order.
+type cells struct {
+	byLabel map[string]int // label → position in order
+	order   []Cell
+}
+
+func newCells() *cells { return &cells{byLabel: map[string]int{}} }
+
+func (c *cells) bump(label string, valid bool) {
+	i, ok := c.byLabel[label]
+	if !ok {
+		i = len(c.order)
+		c.byLabel[label] = i
+		c.order = append(c.order, Cell{Label: label})
+	}
+	c.order[i].Total++
+	if valid {
+		c.order[i].Valid++
+	}
+}
+
+// Set is an immutable scan corpus plus its indexes. Accessors return
+// internal slices; callers must treat them as read-only.
+type Set struct {
+	opts    Options
+	results []scanner.Result
+
+	byHost map[string]int
+
+	counts Counts
+
+	categories []scanner.Category // first-seen
+	byCategory map[scanner.Category][]int
+
+	exceptions  []scanner.Exception // first-seen, ExcNone excluded
+	byException map[scanner.Exception][]int
+
+	countries []string // sorted at Build
+	byCountry map[string][]int
+	ccAggs    map[string]*CountryAgg
+
+	issuers  []string // first-seen; leaf issuer CN, "" excluded
+	byIssuer map[string][]int
+
+	fingerprints  [][32]byte // first-seen
+	byFingerprint map[[32]byte][]int
+
+	keyIDs  []cert.KeyID // first-seen
+	byKeyID map[cert.KeyID][]int
+
+	providers  []string // first-seen
+	byProvider map[string][]int
+	byKind     map[hosting.Kind][]int
+
+	chained        []int    // indices with a retrieved chain
+	invalidHosts   []string // hostnames measured invalid https, input order
+	failedUpgrades []int    // valid https but full content still on http
+
+	ranked      []int
+	rankBuckets [][]int
+
+	hostKeyCells  *cells
+	sigAlgoCells  *cells
+	combinedCells *cells
+	versionCells  *cells
+	weakSigHosts  int
+	smallRSAHosts int
+	issuerDomain  int // chain-bearing results with a non-empty issuer CN
+}
+
+// Builder accumulates results into a Set. Add must be called from a
+// single goroutine, in scan input order; Build finalizes and the Builder
+// must not be reused.
+type Builder struct {
+	set *Set
+}
+
+// NewBuilder starts an index build.
+func NewBuilder(opts Options) *Builder {
+	hint := opts.SizeHint
+	if hint < 0 {
+		hint = 0
+	}
+	s := &Set{
+		opts:          opts,
+		results:       make([]scanner.Result, 0, hint),
+		byHost:        make(map[string]int, hint),
+		byCategory:    map[scanner.Category][]int{},
+		byException:   map[scanner.Exception][]int{},
+		byCountry:     map[string][]int{},
+		ccAggs:        map[string]*CountryAgg{},
+		byIssuer:      map[string][]int{},
+		byFingerprint: map[[32]byte][]int{},
+		byKeyID:       map[cert.KeyID][]int{},
+		byProvider:    map[string][]int{},
+		byKind:        map[hosting.Kind][]int{},
+		hostKeyCells:  newCells(),
+		sigAlgoCells:  newCells(),
+		combinedCells: newCells(),
+		versionCells:  newCells(),
+	}
+	if opts.RankOf != nil && opts.RankBuckets > 0 && opts.RankMax > 0 {
+		s.rankBuckets = make([][]int, opts.RankBuckets)
+	}
+	return &Builder{set: s}
+}
+
+// New builds a Set from an already-collected result slice (the slice is
+// retained; the caller must not mutate it afterwards).
+func New(results []scanner.Result, opts Options) *Set {
+	if opts.SizeHint == 0 {
+		opts.SizeHint = len(results)
+	}
+	b := NewBuilder(opts)
+	for i := range results {
+		b.Add(results[i])
+	}
+	return b.Build()
+}
+
+// Add indexes one result.
+func (b *Builder) Add(r scanner.Result) {
+	s := b.set
+	i := len(s.results)
+	s.results = append(s.results, r)
+	s.byHost[r.Hostname] = i
+
+	cat := r.Category()
+	if _, seen := s.byCategory[cat]; !seen {
+		s.categories = append(s.categories, cat)
+	}
+	s.byCategory[cat] = append(s.byCategory[cat], i)
+	s.tally(&r, cat)
+
+	if r.Exception != scanner.ExcNone {
+		if _, seen := s.byException[r.Exception]; !seen {
+			s.exceptions = append(s.exceptions, r.Exception)
+		}
+		s.byException[r.Exception] = append(s.byException[r.Exception], i)
+	}
+
+	if s.opts.CountryOf != nil {
+		if cc := s.opts.CountryOf(r.Hostname); cc != "" {
+			agg, seen := s.ccAggs[cc]
+			if !seen {
+				agg = &CountryAgg{Country: cc}
+				s.ccAggs[cc] = agg
+				s.countries = append(s.countries, cc)
+			}
+			s.byCountry[cc] = append(s.byCountry[cc], i)
+			agg.Hosts++
+			if r.Available {
+				agg.Available++
+				if r.HasHTTPS() {
+					agg.HTTPS++
+				}
+				if r.ValidHTTPS() {
+					agg.Valid++
+				}
+			}
+		}
+	}
+
+	if r.Available {
+		if _, seen := s.byProvider[r.Provider]; !seen {
+			s.providers = append(s.providers, r.Provider)
+		}
+		s.byProvider[r.Provider] = append(s.byProvider[r.Provider], i)
+		s.byKind[r.HostKind] = append(s.byKind[r.HostKind], i)
+	}
+
+	if cat.IsInvalidHTTPS() {
+		s.invalidHosts = append(s.invalidHosts, r.Hostname)
+	}
+	if r.ServesHTTP && r.ServesHTTPS && r.ValidHTTPS() {
+		s.failedUpgrades = append(s.failedUpgrades, i)
+	}
+
+	if r.HasHTTPS() {
+		if len(r.Chain) == 0 {
+			s.versionCells.bump("(no handshake)", false)
+		} else {
+			s.versionCells.bump(r.TLSVersion.String(), r.Verify.Valid())
+		}
+	}
+
+	if len(r.Chain) > 0 {
+		s.indexChain(&r, i)
+	}
+
+	if s.rankBuckets != nil {
+		if rank, ok := s.opts.RankOf(r.Hostname); ok {
+			s.ranked = append(s.ranked, i)
+			if bkt, ok := s.rankBucket(rank); ok {
+				s.rankBuckets[bkt] = append(s.rankBuckets[bkt], i)
+			}
+		}
+	}
+}
+
+// tally updates the Table 2 counts, mirroring the taxonomy walk the
+// analysis layer used to run per experiment.
+func (s *Set) tally(r *scanner.Result, cat scanner.Category) {
+	c := &s.counts
+	if cat == scanner.CatUnavailable {
+		c.Unavailable++
+		return
+	}
+	c.Total++
+	switch {
+	case cat == scanner.CatHTTPOnly:
+		c.HTTPOnly++
+		return
+	case cat == scanner.CatValid:
+		c.HTTPS++
+		c.Valid++
+		if r.HSTS {
+			c.HSTS++
+		}
+	default:
+		c.HTTPS++
+		c.Invalid++
+		if cat.IsException() {
+			c.Exceptions++
+		}
+	}
+	if r.ServesHTTP && r.ServesHTTPS {
+		c.BothSchemes++
+	}
+}
+
+// indexChain indexes the certificate-bearing facets of one result.
+func (s *Set) indexChain(r *scanner.Result, i int) {
+	leaf := r.Chain[0]
+
+	fp := leaf.Fingerprint()
+	if _, seen := s.byFingerprint[fp]; !seen {
+		s.fingerprints = append(s.fingerprints, fp)
+	}
+	s.byFingerprint[fp] = append(s.byFingerprint[fp], i)
+
+	id := leaf.PublicKey.ID
+	if _, seen := s.byKeyID[id]; !seen {
+		s.keyIDs = append(s.keyIDs, id)
+	}
+	s.byKeyID[id] = append(s.byKeyID[id], i)
+
+	if cn := leaf.Issuer.CommonName; cn != "" {
+		s.issuerDomain++
+		if _, seen := s.byIssuer[cn]; !seen {
+			s.issuers = append(s.issuers, cn)
+		}
+		s.byIssuer[cn] = append(s.byIssuer[cn], i)
+	}
+
+	s.chained = append(s.chained, i)
+
+	valid := r.Verify.Valid()
+	key := leaf.PublicKey.Label()
+	alg := leaf.SignatureAlgorithm.String()
+	s.hostKeyCells.bump(key, valid)
+	s.sigAlgoCells.bump(alg, valid)
+	s.combinedCells.bump(key+" / "+alg, valid)
+	if leaf.SignatureAlgorithm.IsWeak() {
+		s.weakSigHosts++
+	}
+	if leaf.PublicKey.Type == cert.KeyRSA && leaf.PublicKey.Bits < 2048 {
+		s.smallRSAHosts++
+	}
+}
+
+// rankBucket maps a rank onto its Figure 7 bucket via stats.BucketIndex
+// over [1, RankMax+1), so bucket membership matches the binned rates bit
+// for bit.
+func (s *Set) rankBucket(rank int) (int, bool) {
+	return stats.BucketIndex(float64(rank), 1, float64(s.opts.RankMax)+1, s.opts.RankBuckets)
+}
+
+// Build finalizes the Set.
+func (b *Builder) Build() *Set {
+	s := b.set
+	b.set = nil
+	sort.Strings(s.countries)
+	return s
+}
+
+// --- accessors ---
+
+// Len returns the number of results.
+func (s *Set) Len() int { return len(s.results) }
+
+// Results returns the underlying results in scan input order (read-only).
+func (s *Set) Results() []scanner.Result { return s.results }
+
+// At returns the i-th result.
+func (s *Set) At(i int) *scanner.Result { return &s.results[i] }
+
+// Lookup finds a hostname's result.
+func (s *Set) Lookup(hostname string) (*scanner.Result, bool) {
+	i, ok := s.byHost[hostname]
+	if !ok {
+		return nil, false
+	}
+	return &s.results[i], true
+}
+
+// CountryOf attributes a hostname using the builder's attribution
+// function ("" when none was configured).
+func (s *Set) CountryOf(hostname string) string {
+	if s.opts.CountryOf == nil {
+		return ""
+	}
+	return s.opts.CountryOf(hostname)
+}
+
+// Counts returns the Table 2 tallies.
+func (s *Set) Counts() Counts { return s.counts }
+
+// CategoryCount returns the number of results in one Table 2 category.
+func (s *Set) CategoryCount(cat scanner.Category) int { return len(s.byCategory[cat]) }
+
+// Categories lists the categories present, in first-seen order.
+func (s *Set) Categories() []scanner.Category { return s.categories }
+
+// ByCategory returns the result indices in one category.
+func (s *Set) ByCategory(cat scanner.Category) []int { return s.byCategory[cat] }
+
+// Exceptions lists the exception kinds present (ExcNone excluded), in
+// first-seen order.
+func (s *Set) Exceptions() []scanner.Exception { return s.exceptions }
+
+// ByException returns the result indices carrying one exception kind.
+func (s *Set) ByException(e scanner.Exception) []int { return s.byException[e] }
+
+// Countries lists the countries present, sorted.
+func (s *Set) Countries() []string { return s.countries }
+
+// ByCountry returns the result indices attributed to one country.
+func (s *Set) ByCountry(cc string) []int { return s.byCountry[cc] }
+
+// CountryAggs returns per-country availability tallies, sorted by country.
+func (s *Set) CountryAggs() []CountryAgg {
+	out := make([]CountryAgg, len(s.countries))
+	for i, cc := range s.countries {
+		out[i] = *s.ccAggs[cc]
+	}
+	return out
+}
+
+// Issuers lists the issuing-CA common names present, in first-seen order
+// (certificates without issuer information are not indexed).
+func (s *Set) Issuers() []string { return s.issuers }
+
+// ByIssuer returns the chain-bearing result indices for one issuer CN.
+func (s *Set) ByIssuer(cn string) []int { return s.byIssuer[cn] }
+
+// IssuerAnalyzed counts chain-bearing results with issuer information —
+// the denominator of the EV statistics.
+func (s *Set) IssuerAnalyzed() int { return s.issuerDomain }
+
+// Fingerprints lists the distinct leaf-certificate fingerprints, in
+// first-seen order.
+func (s *Set) Fingerprints() [][32]byte { return s.fingerprints }
+
+// ByFingerprint returns the result indices serving one exact certificate.
+func (s *Set) ByFingerprint(fp [32]byte) []int { return s.byFingerprint[fp] }
+
+// KeyIDs lists the distinct leaf public-key identities, in first-seen
+// order.
+func (s *Set) KeyIDs() []cert.KeyID { return s.keyIDs }
+
+// ByKeyID returns the result indices serving one public key.
+func (s *Set) ByKeyID(id cert.KeyID) []int { return s.byKeyID[id] }
+
+// Providers lists the hosting providers of available hosts, first-seen.
+func (s *Set) Providers() []string { return s.providers }
+
+// ByProvider returns the available result indices on one provider.
+func (s *Set) ByProvider(p string) []int { return s.byProvider[p] }
+
+// ByKind returns the available result indices in one hosting kind.
+func (s *Set) ByKind(k hosting.Kind) []int { return s.byKind[k] }
+
+// Chained returns the indices of results with a retrieved chain.
+func (s *Set) Chained() []int { return s.chained }
+
+// InvalidHosts lists hostnames measured invalid https, in input order.
+func (s *Set) InvalidHosts() []string { return s.invalidHosts }
+
+// FailedUpgrades returns the indices of hosts with valid https that still
+// serve full content over plain http without an upgrade (§5.1).
+func (s *Set) FailedUpgrades() []int { return s.failedUpgrades }
+
+// Ranked returns the indices of results carrying a top-list rank.
+func (s *Set) Ranked() []int { return s.ranked }
+
+// RankBuckets returns the rank-bucket index (nil when no ranker was
+// configured): bucket b holds the indices of ranked results in the b-th
+// equal-width bucket over [1, RankMax].
+func (s *Set) RankBuckets() [][]int { return s.rankBuckets }
+
+// RankOf reports a hostname's rank via the builder's ranker.
+func (s *Set) RankOf(hostname string) (int, bool) {
+	if s.opts.RankOf == nil {
+		return 0, false
+	}
+	return s.opts.RankOf(hostname)
+}
+
+// HostKeyCells returns per-host-key-type validity cells (first-seen).
+func (s *Set) HostKeyCells() []Cell { return s.hostKeyCells.order }
+
+// SigAlgoCells returns per-signing-algorithm validity cells (first-seen).
+func (s *Set) SigAlgoCells() []Cell { return s.sigAlgoCells.order }
+
+// CombinedCells returns key-type × signing-algorithm cells (first-seen).
+func (s *Set) CombinedCells() []Cell { return s.combinedCells.order }
+
+// VersionCells returns per-negotiated-TLS-version cells over hosts that
+// attempt https, with "(no handshake)" for protocol-layer failures.
+func (s *Set) VersionCells() []Cell { return s.versionCells.order }
+
+// WeakSignatureHosts counts hosts whose leaf is signed with MD5 or SHA1.
+func (s *Set) WeakSignatureHosts() int { return s.weakSigHosts }
+
+// SmallRSAHosts counts hosts with RSA keys below 2048 bits.
+func (s *Set) SmallRSAHosts() int { return s.smallRSAHosts }

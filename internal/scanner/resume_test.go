@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/report"
+	"repro/internal/resultset"
 	"repro/internal/scanner"
 	"repro/internal/world"
 )
@@ -24,7 +25,7 @@ func extScanner(w *world.World) *scanner.Scanner {
 }
 
 func table2(rs []scanner.Result) string {
-	return report.Table2(analysis.ComputeTable2(rs))
+	return report.Table2(analysis.ComputeTable2(resultset.New(rs, resultset.Options{})))
 }
 
 // TestResumeMatchesUninterrupted is the headline checkpoint criterion: a

@@ -584,11 +584,35 @@ func classifyTLSErr(err error) (Exception, string) {
 // rows. When a Journal is configured, hosts it already holds are restored
 // without re-scanning and every newly completed host is checkpointed, so
 // an interrupted run resumes from the last completed host.
+//
+// ScanAll is a thin collector over ScanStream; callers that aggregate as
+// they go (resultset.Builder) should use ScanStream directly and skip the
+// O(hosts) slice.
 func (s *Scanner) ScanAll(ctx context.Context, hostnames []string) []Result {
-	results := make([]Result, len(hostnames))
-	for i, h := range hostnames {
-		results[i].Hostname = h
-	}
+	results := make([]Result, 0, len(hostnames))
+	s.ScanStream(ctx, hostnames, func(r Result) { results = append(results, r) })
+	return results
+}
+
+// streamItem carries one completed scan to the in-order emitter.
+type streamItem struct {
+	i int
+	r Result
+}
+
+// ScanStream probes every hostname with bounded concurrency and delivers
+// each result to fn in input order, as soon as it and all of its
+// predecessors have finished — so an aggregation layer builds indexes
+// concurrently with the scan instead of buffering the whole corpus.
+// fn runs on the calling goroutine and needs no locking.
+//
+// Semantics match ScanAll exactly: journaled hosts are restored without
+// re-scanning, newly completed hosts are checkpointed, and after context
+// cancellation the remaining unscanned hosts are delivered as
+// hostname-only placeholder results. Out-of-order completions are held in
+// a reorder window bounded by a small multiple of the worker count, so
+// memory stays O(workers), not O(hosts).
+func (s *Scanner) ScanStream(ctx context.Context, hostnames []string, fn func(Result)) {
 	journal := s.Cfg.Journal
 
 	// A fixed pool of workers drains an index channel — no goroutine churn
@@ -598,7 +622,13 @@ func (s *Scanner) ScanAll(ctx context.Context, hostnames []string) []Result {
 	if workers < 1 {
 		workers = 1
 	}
+	// window caps how many results may be in flight past the emitter: the
+	// feeder blocks once the reorder buffer is this full.
+	window := workers * 4
 	idx := make(chan int)
+	out := make(chan streamItem, window)
+	sem := make(chan struct{}, window)
+
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for range workers {
@@ -606,28 +636,56 @@ func (s *Scanner) ScanAll(ctx context.Context, hostnames []string) []Result {
 			defer wg.Done()
 			for i := range idx {
 				r := s.Scan(ctx, hostnames[i])
-				results[i] = r
 				if journal != nil && ctx.Err() == nil {
 					// Only completed scans are checkpointed; a scan degraded
 					// by cancellation must be redone on resume.
 					journal.Append(r)
 				}
+				out <- streamItem{i, r}
 			}
 		}()
 	}
-	for i, h := range hostnames {
-		if journal != nil {
-			if prev, ok := journal.Lookup(h); ok {
-				results[i] = prev
-				continue
+
+	// The feeder mirrors ScanAll's dispatch loop: restore journaled hosts
+	// inline, stop dispatching at the first non-journaled host after
+	// cancellation, and emit the rest as placeholders.
+	go func() {
+		for i, h := range hostnames {
+			if journal != nil {
+				if prev, ok := journal.Lookup(h); ok {
+					sem <- struct{}{}
+					out <- streamItem{i, prev}
+					continue
+				}
 			}
+			if ctx.Err() != nil {
+				for j := i; j < len(hostnames); j++ {
+					sem <- struct{}{}
+					out <- streamItem{j, Result{Hostname: hostnames[j]}}
+				}
+				break
+			}
+			sem <- struct{}{}
+			idx <- i
 		}
-		if ctx.Err() != nil {
-			break
+		close(idx)
+	}()
+
+	// Emit in input order from the reorder buffer, on this goroutine.
+	pending := make(map[int]Result, window)
+	for next := 0; next < len(hostnames); {
+		item := <-out
+		pending[item.i] = item.r
+		for {
+			r, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			<-sem
+			fn(r)
+			next++
 		}
-		idx <- i
 	}
-	close(idx)
 	wg.Wait()
-	return results
 }

@@ -1,0 +1,93 @@
+package scanner_test
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/scanner"
+)
+
+// TestScanStreamInputOrder: results reach the callback in input order, one
+// per hostname, equal to what ScanAll collects.
+func TestScanStreamInputOrder(t *testing.T) {
+	hosts := extWorld.GovHosts
+	baseline := extScanner(extWorld).ScanAll(context.Background(), hosts)
+
+	var streamed []scanner.Result
+	extScanner(extWorld).ScanStream(context.Background(), hosts, func(r scanner.Result) {
+		streamed = append(streamed, r)
+	})
+
+	if len(streamed) != len(hosts) {
+		t.Fatalf("streamed %d results for %d hosts", len(streamed), len(hosts))
+	}
+	for i := range streamed {
+		if streamed[i].Hostname != hosts[i] {
+			t.Fatalf("result %d is %q, want input-order %q", i, streamed[i].Hostname, hosts[i])
+		}
+		if streamed[i].Category() != baseline[i].Category() {
+			t.Fatalf("host %q: streamed %v, ScanAll %v", hosts[i],
+				streamed[i].Category(), baseline[i].Category())
+		}
+	}
+}
+
+// TestScanStreamSerialCallback: fn runs on the calling goroutine with no
+// overlap, so aggregation needs no locking.
+func TestScanStreamSerialCallback(t *testing.T) {
+	var inFn atomic.Int32
+	var calls int
+	extScanner(extWorld).ScanStream(context.Background(), extWorld.GovHosts, func(scanner.Result) {
+		if inFn.Add(1) != 1 {
+			t.Error("callback invoked concurrently")
+		}
+		calls++
+		inFn.Add(-1)
+	})
+	if calls != len(extWorld.GovHosts) {
+		t.Errorf("callback ran %d times for %d hosts", calls, len(extWorld.GovHosts))
+	}
+}
+
+// TestScanStreamCancelled: with the context already cancelled, every host
+// still produces a placeholder row carrying its hostname, in order.
+func TestScanStreamCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	hosts := extWorld.GovHosts[:min(64, len(extWorld.GovHosts))]
+	var got []string
+	extScanner(extWorld).ScanStream(ctx, hosts, func(r scanner.Result) {
+		got = append(got, r.Hostname)
+		if r.Available {
+			t.Errorf("host %q scanned after cancellation", r.Hostname)
+		}
+	})
+	if len(got) != len(hosts) {
+		t.Fatalf("emitted %d placeholders for %d hosts", len(got), len(hosts))
+	}
+	for i, h := range hosts {
+		if got[i] != h {
+			t.Fatalf("placeholder %d is %q, want %q", i, got[i], h)
+		}
+	}
+}
+
+// TestScanStreamDeterministic: two same-seed streams are identical — the
+// reorder window must not leak completion-order nondeterminism.
+func TestScanStreamDeterministic(t *testing.T) {
+	hosts := extWorld.GovHosts
+	run := func() []scanner.Category {
+		var cats []scanner.Category
+		extScanner(extWorld).ScanStream(context.Background(), hosts, func(r scanner.Result) {
+			cats = append(cats, r.Category())
+		})
+		return cats
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("host %q: %v then %v across same-seed runs", hosts[i], a[i], b[i])
+		}
+	}
+}

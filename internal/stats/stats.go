@@ -101,6 +101,21 @@ type Bin struct {
 	Rate float64
 }
 
+// BucketIndex maps x onto its equal-width bucket over [lo, hi): the
+// bucket arithmetic of BinRate, exported so index structures (the
+// resultset rank index) bucket observations bit-identically to the
+// binned-rate figures. Returns false when x falls outside [lo, hi).
+func BucketIndex(x, lo, hi float64, n int) (int, bool) {
+	if n <= 0 || hi <= lo || x < lo || x >= hi {
+		return 0, false
+	}
+	b := int((x - lo) / ((hi - lo) / float64(n)))
+	if b >= n {
+		b = n - 1
+	}
+	return b, true
+}
+
 // BinRate groups (x, ok) observations into n equal-width buckets over
 // [lo, hi) and computes the success rate per bucket, as Figure 7 does with
 // 50 rank bins.
@@ -118,12 +133,9 @@ func BinRate(xs []float64, oks []bool, n int, lo, hi float64) []Bin {
 		bins[i].Center = bins[i].Lo + width/2
 	}
 	for i, x := range xs {
-		if x < lo || x >= hi {
+		b, ok := BucketIndex(x, lo, hi, n)
+		if !ok {
 			continue
-		}
-		b := int((x - lo) / width)
-		if b >= n {
-			b = n - 1
 		}
 		counts[b]++
 		if oks[i] {

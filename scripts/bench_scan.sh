@@ -16,8 +16,13 @@ out="${1:-BENCH_scan.json}"
 # One `go test` process per benchmark: heap state left behind by one
 # benchmark (a worldwide scan leaves ~70 MB of results) skews the GC
 # behaviour of the next, and the baselines were recorded per-benchmark.
+#
+# AggregateIndexed/AggregateLegacy measure the aggregation layer itself:
+# one indexed result-set build serving every experiment, versus the
+# per-experiment loops over the raw slice that the analysis layer ran
+# before the dataset-registry refactor.
 raw=""
-for b in ScanWorldwide WorldBuild ScanSingleHost JSONExport; do
+for b in ScanWorldwide WorldBuild ScanSingleHost JSONExport AggregateIndexed AggregateLegacy; do
     raw+="$(go test -run '^$' -bench "^Benchmark${b}\$" -benchmem -count "${BENCH_COUNT:-3}" .)"
     raw+=$'\n'
 done
@@ -52,7 +57,13 @@ END {
     for (i = 1; i <= 4; i++)
         printf "%s\n    \"%s\": %.2f", (i > 1 ? "," : ""), order[i],
             (cur[order[i]] > 0 ? base[order[i]] / cur[order[i]] : 0) > out
-    printf "\n  }\n}\n" > out
+    # Aggregation pair: the legacy per-experiment loops are the baseline,
+    # measured live in the same run rather than hard-coded.
+    printf "\n  },\n  \"aggregation\": {\n" > out
+    printf "    \"indexed_ns_per_op\": %d,\n", cur["AggregateIndexed"] > out
+    printf "    \"legacy_ns_per_op\": %d,\n", cur["AggregateLegacy"] > out
+    printf "    \"speedup\": %.2f\n", (cur["AggregateIndexed"] > 0 ? cur["AggregateLegacy"] / cur["AggregateIndexed"] : 0) > out
+    printf "  }\n}\n" > out
 }
 '
 echo "wrote $out"
