@@ -349,7 +349,42 @@ func BenchmarkCTInclusionProof(b *testing.B) {
 	}
 }
 
+// --- Report-suite benches ---
+//
+// The pair measures the full 34-experiment pipeline (govreport -all) end to
+// end on a private study per iteration: sequentially, and through the
+// dependency-aware scheduler. The outputs are byte-identical; the scheduled
+// run pre-warms datasets and shares caches across experiments.
+
+func benchReportSuite(b *testing.B, jobs int) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := core.MustNewStudy(world.Config{Seed: 42, Scale: benchScale() / 5})
+		b.StartTimer()
+		results, err := core.RunAllExperiments(ctx, s, core.SuiteOptions{Jobs: jobs})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) != len(core.Experiments()) {
+			b.Fatal("short suite")
+		}
+	}
+}
+
+// BenchmarkReportSuite is the scheduled full-report pipeline; its ns/op is
+// tracked against the recorded pre-scheduler baseline in BENCH_scan.json.
+func BenchmarkReportSuite(b *testing.B) { benchReportSuite(b, 4) }
+
+// BenchmarkReportSuiteSequential is the plain registry-order loop, for the
+// live sequential-vs-scheduled comparison.
+func BenchmarkReportSuiteSequential(b *testing.B) { benchReportSuite(b, 1) }
+
 // BenchmarkJSONExport measures the zgrab-style JSON-lines serialization.
+// Its allocs/op is gated in scripts/bench_scan.sh: the zero-copy exporter
+// runs allocation-free at steady state, and a regression fails the bench job.
 func BenchmarkJSONExport(b *testing.B) {
 	s := study(b)
 	results := s.Worldwide(context.Background())

@@ -82,7 +82,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "circuit breaker: %d trips, %d dials suppressed\n", brk.Trips(), brk.Skips())
 	}
 	if *jsonOut {
-		if err := scanner.WriteJSONL(os.Stdout, set.Results()); err != nil {
+		if err := set.WriteJSONL(os.Stdout); err != nil {
 			fatal(err)
 		}
 		fmt.Fprint(os.Stderr, report.Scan(set, took))

@@ -41,6 +41,26 @@ func TestExperimentsListed(t *testing.T) {
 	}
 }
 
+func TestRunAllExperimentsViaFacade(t *testing.T) {
+	// Use a private study: the suite includes world-mutating experiments.
+	s := MustNewStudy(SmallConfig())
+	results, err := RunAllExperiments(context.Background(), s, SuiteOptions{Jobs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(Experiments()) {
+		t.Fatalf("results = %d, want %d", len(results), len(Experiments()))
+	}
+	for i, e := range Experiments() {
+		if results[i].ID != e.ID {
+			t.Fatalf("result %d = %s, want %s (registry order)", i, results[i].ID, e.ID)
+		}
+		if results[i].Output == "" {
+			t.Errorf("%s rendered empty", e.ID)
+		}
+	}
+}
+
 func TestCrawlViaFacade(t *testing.T) {
 	hosts, stats := Crawl(context.Background(), study)
 	if len(hosts) <= len(study.World.SeedHosts) {

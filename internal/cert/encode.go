@@ -2,7 +2,9 @@ package cert
 
 import (
 	"crypto/sha256"
+	"encoding/base64"
 	"encoding/binary"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"time"
@@ -135,6 +137,21 @@ func parseOne(data []byte) (*Certificate, []byte, error) {
 		return nil, nil, p.err
 	}
 	return &c, p.buf, nil
+}
+
+// AppendFingerprintHex appends the certificate's SHA-256 fingerprint in
+// lowercase hex to dst and returns the extended slice. On a frozen
+// certificate this costs one append — the digest is cached.
+func (c *Certificate) AppendFingerprintHex(dst []byte) []byte {
+	fp := c.Fingerprint()
+	return hex.AppendEncode(dst, fp[:])
+}
+
+// AppendEncodeBase64 appends the certificate's wire encoding in standard
+// base64 to dst and returns the extended slice. On a frozen certificate the
+// cached encoding is reused, so nothing is re-serialized.
+func (c *Certificate) AppendEncodeBase64(dst []byte) []byte {
+	return base64.StdEncoding.AppendEncode(dst, c.Encode())
 }
 
 // EncodeChain serializes a certificate chain, leaf first.

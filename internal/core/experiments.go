@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/analysis"
 	"repro/internal/certwatch"
@@ -24,58 +25,104 @@ type Experiment struct {
 	ID string
 	// Title describes the artifact.
 	Title string
+	// Datasets names the inputs the experiment reads: registry datasets
+	// ("worldwide", "usa:all", "rok", "usa:*" for every GSA list) plus the
+	// pseudo-resources "linkgraph" (the memoized hyperlink graph), "crawl"
+	// (a fresh BFS is the measured workload itself) and "ct" (the world's
+	// CT log, built with the world). The scheduler pre-warms the warmable
+	// ones concurrently before the experiment runs.
+	Datasets []string
+	// MutatesWorld marks experiments that remediate the world and rescan
+	// (S722, E4). The scheduler runs them alone, as barriers: nothing else
+	// may scan while the world changes underneath.
+	MutatesWorld bool
 	// Run computes and renders the artifact.
 	Run func(ctx context.Context, s *Study) (string, error)
 }
 
-// Experiments returns the full registry, ordered as in DESIGN.md.
+var (
+	registryOnce sync.Once
+	registryExps []Experiment
+	registryIdx  map[string]int // lower-cased ID -> registryExps index
+)
+
+// registry builds the experiment table and its case-insensitive ID index
+// once; callers must not mutate the returned slice.
+func registry() ([]Experiment, map[string]int) {
+	registryOnce.Do(func() {
+		ww := []string{"worldwide"}
+		registryExps = []Experiment{
+			{ID: "T1", Title: "Table 1: Overlap with public top millions", Run: runT1},
+			{ID: "T2", Title: "Table 2: Worldwide validity and error taxonomy", Datasets: ww, Run: runT2},
+			{ID: "F1", Title: "Figure 1: Worldwide per-country view", Datasets: ww, Run: runF1},
+			{ID: "F2", Title: "Figure 2: Top 40 cert issuers worldwide", Datasets: ww, Run: runF2},
+			{ID: "F3", Title: "Figure 3: Certificates by issue and expiry date", Datasets: ww, Run: runF3},
+			{ID: "F4", Title: "Figure 4: Validity by key type and signing algorithm", Datasets: ww, Run: runF4},
+			{ID: "F5", Title: "Figure 5: Validity by hosting type (USA/ROK/world)", Datasets: []string{"usa:all", "rok", "worldwide"}, Run: runF5},
+			{ID: "F6", Title: "Figure 6: Validity and hosting, gov vs non-gov top million", Datasets: ww, Run: runF6},
+			{ID: "F7", Title: "Figure 7: Valid https rate by top-million rank", Datasets: ww, Run: runF7},
+			{ID: "F8", Title: "Figure 8: USA cert issuers", Datasets: []string{"usa:all"}, Run: runF8},
+			{ID: "F9", Title: "Figure 9: USA key/signing validity", Datasets: []string{"usa:all"}, Run: runF9},
+			{ID: "F10", Title: "Figure 10: USA & ROK validity by issue date", Datasets: []string{"usa:all", "rok"}, Run: runF10},
+			{ID: "F11", Title: "Figure 11: ROK cert issuers", Datasets: []string{"rok"}, Run: runF11},
+			{ID: "F12", Title: "Figure 12: ROK key/signing validity", Datasets: []string{"rok"}, Run: runF12},
+			{ID: "F13", Title: "Figure 13: Disclosure response by population rank", Datasets: ww, Run: runF13},
+			{ID: "TA1", Title: "Table A.1: US GSA dataset breakdown", Datasets: []string{"usa:*"}, Run: runTA1},
+			{ID: "TA2", Title: "Table A.2: US per-dataset vulnerability breakdown", Datasets: []string{"usa:*"}, Run: runTA2},
+			{ID: "TA3", Title: "Table A.3: South Korea dataset breakdown", Datasets: []string{"rok"}, Run: runTA3},
+			{ID: "TA4", Title: "Table A.4: South Korea vulnerability breakdown", Datasets: []string{"rok"}, Run: runTA4},
+			{ID: "FA1", Title: "Figure A.1: USA validity by hosting per dataset", Datasets: []string{"usa:*"}, Run: runFA1},
+			{ID: "FA2", Title: "Figure A.2: Top EV CAs (USA)", Datasets: []string{"usa:all"}, Run: runFA2},
+			{ID: "FA3", Title: "Figure A.3: Top EV CAs (ROK)", Datasets: []string{"rok"}, Run: runFA3},
+			{ID: "FA4", Title: "Figure A.4: Crawler effectiveness", Datasets: []string{"crawl"}, Run: runFA4},
+			{ID: "FA5", Title: "Figure A.5: Cross-government links", Datasets: []string{"linkgraph"}, Run: runFA5},
+			{ID: "FA6", Title: "Figure A.6: Top EV CAs (worldwide)", Datasets: ww, Run: runFA6},
+			{ID: "S533", Title: "Section 5.3.3: Key pair reuse", Datasets: ww, Run: runS533},
+			{ID: "S534", Title: "Section 5.3.4: CAA record adoption", Run: runS534},
+			{ID: "S722", Title: "Section 7.2.2: Notification effectiveness", Datasets: ww, MutatesWorld: true, Run: runS722},
+			{ID: "E1", Title: "Extension: CT coverage of government certificates (§2.2)", Datasets: []string{"ct"}, Run: runE1},
+			{ID: "E2", Title: "Extension: CT lookalike monitoring (§7.3.2)", Datasets: []string{"ct"}, Run: runE2},
+			{ID: "E3", Title: "Extension: Recommendations checklist (§8)", Datasets: ww, Run: runE3},
+			{ID: "E4", Title: "Extension: Longitudinal monitoring (future work)", Datasets: ww, MutatesWorld: true, Run: runE4},
+			{ID: "E5", Title: "Extension: HSTS preload impact (§8.2)", Datasets: ww, Run: runE5},
+			{ID: "E6", Title: "Extension: §8.1 key-reuse issuance policy replay", Datasets: ww, Run: runE6},
+		}
+		registryIdx = make(map[string]int, len(registryExps))
+		for i := range registryExps {
+			registryIdx[strings.ToLower(registryExps[i].ID)] = i
+		}
+	})
+	return registryExps, registryIdx
+}
+
+// Experiments returns the full registry, ordered as in DESIGN.md. The
+// slice is a copy; the Experiment values (including Datasets slices) are
+// shared and read-only.
 func Experiments() []Experiment {
-	return []Experiment{
-		{"T1", "Table 1: Overlap with public top millions", runT1},
-		{"T2", "Table 2: Worldwide validity and error taxonomy", runT2},
-		{"F1", "Figure 1: Worldwide per-country view", runF1},
-		{"F2", "Figure 2: Top 40 cert issuers worldwide", runF2},
-		{"F3", "Figure 3: Certificates by issue and expiry date", runF3},
-		{"F4", "Figure 4: Validity by key type and signing algorithm", runF4},
-		{"F5", "Figure 5: Validity by hosting type (USA/ROK/world)", runF5},
-		{"F6", "Figure 6: Validity and hosting, gov vs non-gov top million", runF6},
-		{"F7", "Figure 7: Valid https rate by top-million rank", runF7},
-		{"F8", "Figure 8: USA cert issuers", runF8},
-		{"F9", "Figure 9: USA key/signing validity", runF9},
-		{"F10", "Figure 10: USA & ROK validity by issue date", runF10},
-		{"F11", "Figure 11: ROK cert issuers", runF11},
-		{"F12", "Figure 12: ROK key/signing validity", runF12},
-		{"F13", "Figure 13: Disclosure response by population rank", runF13},
-		{"TA1", "Table A.1: US GSA dataset breakdown", runTA1},
-		{"TA2", "Table A.2: US per-dataset vulnerability breakdown", runTA2},
-		{"TA3", "Table A.3: South Korea dataset breakdown", runTA3},
-		{"TA4", "Table A.4: South Korea vulnerability breakdown", runTA4},
-		{"FA1", "Figure A.1: USA validity by hosting per dataset", runFA1},
-		{"FA2", "Figure A.2: Top EV CAs (USA)", runFA2},
-		{"FA3", "Figure A.3: Top EV CAs (ROK)", runFA3},
-		{"FA4", "Figure A.4: Crawler effectiveness", runFA4},
-		{"FA5", "Figure A.5: Cross-government links", runFA5},
-		{"FA6", "Figure A.6: Top EV CAs (worldwide)", runFA6},
-		{"S533", "Section 5.3.3: Key pair reuse", runS533},
-		{"S534", "Section 5.3.4: CAA record adoption", runS534},
-		{"S722", "Section 7.2.2: Notification effectiveness", runS722},
-		{"E1", "Extension: CT coverage of government certificates (§2.2)", runE1},
-		{"E2", "Extension: CT lookalike monitoring (§7.3.2)", runE2},
-		{"E3", "Extension: Recommendations checklist (§8)", runE3},
-		{"E4", "Extension: Longitudinal monitoring (future work)", runE4},
-		{"E5", "Extension: HSTS preload impact (§8.2)", runE5},
-		{"E6", "Extension: §8.1 key-reuse issuance policy replay", runE6},
+	exps, _ := registry()
+	out := make([]Experiment, len(exps))
+	copy(out, exps)
+	return out
+}
+
+// LookupExperiment resolves an experiment by ID, case-insensitively,
+// through the lazily-built registry index.
+func LookupExperiment(id string) (Experiment, bool) {
+	exps, idx := registry()
+	i, ok := idx[strings.ToLower(id)]
+	if !ok {
+		return Experiment{}, false
 	}
+	return exps[i], true
 }
 
 // RunExperiment executes the experiment with the given ID.
 func RunExperiment(ctx context.Context, s *Study, id string) (string, error) {
-	for _, e := range Experiments() {
-		if strings.EqualFold(e.ID, id) {
-			return e.Run(ctx, s)
-		}
+	e, ok := LookupExperiment(id)
+	if !ok {
+		return "", fmt.Errorf("core: unknown experiment %q", id)
 	}
-	return "", fmt.Errorf("core: unknown experiment %q", id)
+	return e.Run(ctx, s)
 }
 
 func runT1(_ context.Context, s *Study) (string, error) {
@@ -129,12 +176,11 @@ func runF5(ctx context.Context, s *Study) (string, error) {
 }
 
 func runF6(ctx context.Context, s *Study) (string, error) {
-	rc := analysis.ComputeRankComparison(s.World.TopLists, s.Worldwide(ctx), s.World.Cfg.Seed, 50)
-	return report.RankComparison(rc), nil
+	return report.RankComparison(s.RankComparison(ctx)), nil
 }
 
 func runF7(ctx context.Context, s *Study) (string, error) {
-	rc := analysis.ComputeRankComparison(s.World.TopLists, s.Worldwide(ctx), s.World.Cfg.Seed, 50)
+	rc := s.RankComparison(ctx)
 	return report.RankComparison(rc) + "\n" + report.RankBins(rc), nil
 }
 
@@ -272,14 +318,16 @@ func runS534(_ context.Context, s *Study) (string, error) {
 func runS722(ctx context.Context, s *Study) (string, error) {
 	before := s.Worldwide(ctx)
 	invalid := s.InvalidWorldwideHosts(ctx)
-	s.World.Remediate(invalid, world.DefaultRemediationRates(), s.Rand("remediation"))
+	changed := s.World.Remediate(invalid, world.DefaultRemediationRates(), s.Rand("remediation"))
 	after := s.FollowUpScan(ctx, nil)
 	eff, err := notify.MeasureEffectiveness(before, after)
 	if err != nil {
 		return "", err
 	}
-	// The remediation mutated the world; invalidate the cached dataset.
-	s.InvalidateDataset("worldwide")
+	// The remediation mutated the world under the cache: mark exactly the
+	// changed hosts stale so the next worldwide Get patches the set
+	// instead of rescanning the whole corpus.
+	s.MarkDatasetDirty("worldwide", changed.ChangedHosts())
 	return report.Effectiveness(eff), nil
 }
 
@@ -400,9 +448,9 @@ func runE3(ctx context.Context, s *Study) (string, error) {
 func runE4(ctx context.Context, s *Study) (string, error) {
 	before := longitudinal.Capture(s.World.ScanTime, s.Worldwide(ctx))
 	invalid := s.InvalidWorldwideHosts(ctx)
-	s.World.Remediate(invalid, world.DefaultRemediationRates(), s.Rand("longitudinal"))
+	changed := s.World.Remediate(invalid, world.DefaultRemediationRates(), s.Rand("longitudinal"))
 	after := longitudinal.Capture(world.FollowUpScanTime, s.FollowUpScan(ctx, nil))
-	s.InvalidateDataset("worldwide") // the world changed under the cache
+	s.MarkDatasetDirty("worldwide", changed.ChangedHosts()) // the world changed under the cache
 
 	c := longitudinal.Diff(before, after)
 	var b strings.Builder

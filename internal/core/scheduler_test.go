@@ -1,0 +1,99 @@
+package core
+
+import (
+	"context"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/report"
+	"repro/internal/world"
+)
+
+// suiteTranscript renders a full suite the way govreport -all does.
+func suiteTranscript(t *testing.T, jobs int) string {
+	t.Helper()
+	s := MustNewStudy(world.TestConfig())
+	results, err := RunAllExperiments(context.Background(), s, SuiteOptions{Jobs: jobs})
+	if err != nil {
+		t.Fatalf("jobs=%d: %v", jobs, err)
+	}
+	var b strings.Builder
+	for _, r := range results {
+		if err := report.WriteArtifact(&b, r.ID, r.Title, r.Output); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.String()
+}
+
+// TestSchedulerMatchesSequential is the scheduler's differential proof: the
+// full suite run through the parallel scheduler must be byte-identical to
+// the sequential loop, and both must match the committed golden transcript.
+func TestSchedulerMatchesSequential(t *testing.T) {
+	golden, err := os.ReadFile("../../results/golden_experiments_seed74.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sequential := suiteTranscript(t, 1)
+	if sequential != string(golden) {
+		t.Fatal("sequential suite diverges from golden transcript")
+	}
+	for _, jobs := range []int{0, 2, 8} {
+		if got := suiteTranscript(t, jobs); got != sequential {
+			diffAt := 0
+			for diffAt < len(got) && diffAt < len(sequential) && got[diffAt] == sequential[diffAt] {
+				diffAt++
+			}
+			t.Fatalf("jobs=%d diverges from sequential at byte %d", jobs, diffAt)
+		}
+	}
+}
+
+// TestSchedulerColdRegistryRace drives the scheduler at aggressive
+// concurrency against a study whose dataset registry has never been
+// touched, so dataset warming, experiment execution and the single-flight
+// registry all contend at once. Run under -race in CI.
+func TestSchedulerColdRegistryRace(t *testing.T) {
+	s := MustNewStudy(world.TestConfig())
+	results, err := RunAllExperiments(context.Background(), s, SuiteOptions{Jobs: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exps := Experiments()
+	if len(results) != len(exps) {
+		t.Fatalf("results = %d, want %d", len(results), len(exps))
+	}
+	for i := range results {
+		if results[i].ID != exps[i].ID {
+			t.Fatalf("result %d = %s, want %s (registry order)", i, results[i].ID, exps[i].ID)
+		}
+	}
+}
+
+// TestSchedulerCancellation checks a cancelled context aborts the suite
+// with an error instead of hanging the worker pool.
+func TestSchedulerCancellation(t *testing.T) {
+	s := MustNewStudy(world.TestConfig())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunAllExperiments(ctx, s, SuiteOptions{Jobs: 4}); err == nil {
+		t.Fatal("cancelled suite returned no error")
+	}
+}
+
+// TestLookupExperiment covers the lazily-built case-insensitive ID index.
+func TestLookupExperiment(t *testing.T) {
+	for _, id := range []string{"T2", "t2", "fa6", "S722", "e4"} {
+		e, ok := LookupExperiment(id)
+		if !ok {
+			t.Fatalf("LookupExperiment(%q) missed", id)
+		}
+		if !strings.EqualFold(e.ID, id) {
+			t.Fatalf("LookupExperiment(%q) = %s", id, e.ID)
+		}
+	}
+	if _, ok := LookupExperiment("nope"); ok {
+		t.Fatal("unknown ID resolved")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"os"
 	"sync"
 
+	"repro/internal/analysis"
 	"repro/internal/cert"
 	"repro/internal/dataset"
 	"repro/internal/resultset"
@@ -34,6 +35,12 @@ type Study struct {
 	journal    *scanner.Journal
 	breaker    *scanner.Breaker
 	linkGraph  map[string][]string
+
+	// rankCmp memoizes the §5.5 rank comparison Figures 6 and 7 share,
+	// keyed by the worldwide snapshot it was computed from — dataset
+	// invalidation swaps the Set pointer and so invalidates the memo.
+	rankCmpFor *resultset.Set
+	rankCmp    analysis.RankComparison
 
 	// datasets memoizes one indexed resultset.Set per named corpus
 	// (worldwide, usa:<key>, usa:all, rok); UseStore invalidates every
@@ -88,6 +95,7 @@ func NewStudy(cfg world.Config) (*Study, error) {
 		Name:  "usa:all",
 		Hosts: func() []string { return s.World.USA.AllHosts() },
 		Opts:  func() resultset.Options { return s.caseStudyOptions() },
+		Build: func(ctx context.Context) (*resultset.Set, error) { return s.assembleUSAAll(ctx) },
 	})
 	s.datasets.Register(dataset.Source{
 		Name:  "rok",
@@ -125,6 +133,42 @@ func (s *Study) scanDataset(ctx context.Context, hosts []string, opts resultset.
 	b := resultset.NewBuilder(opts)
 	s.Scanner().ScanStream(ctx, hosts, b.Add)
 	return b.Build()
+}
+
+// assembleUSAAll builds the usa:all set from the cached per-key GSA
+// datasets instead of rescanning their union: AllHosts() is the sorted
+// distinct union of the per-key lists, so every member host is already
+// scanned under some key, and per-host results are scan-order independent
+// on fault-free worlds — splicing the per-key results in AllHosts() order
+// is bit-identical to a direct scan at zero scan cost once the per-key
+// tables (TA1/TA2/FA1) are warm. Hosts in several datasets take their
+// result from the first registered dataset that lists them.
+func (s *Study) assembleUSAAll(ctx context.Context) (*resultset.Set, error) {
+	byHost := make(map[string]*scanner.Result)
+	for _, ds := range s.World.USA.Datasets {
+		set, err := s.USADataset(ctx, ds.Key)
+		if err != nil {
+			return nil, err
+		}
+		results := set.Results()
+		for i := range results {
+			if _, dup := byHost[results[i].Hostname]; !dup {
+				byHost[results[i].Hostname] = &results[i]
+			}
+		}
+	}
+	hosts := s.World.USA.AllHosts()
+	opts := s.caseStudyOptions()
+	opts.SizeHint = len(hosts)
+	b := resultset.NewBuilder(opts)
+	for _, h := range hosts {
+		r, ok := byHost[h]
+		if !ok {
+			return nil, fmt.Errorf("core: usa:all host %q missing from every GSA dataset", h)
+		}
+		b.Add(*r)
+	}
+	return b.Build(), nil
 }
 
 // MustNewStudy is NewStudy for known-valid configurations.
@@ -240,10 +284,18 @@ func (s *Study) Dataset(ctx context.Context, name string) (*resultset.Set, error
 // DatasetNames lists the registered datasets in registration order.
 func (s *Study) DatasetNames() []string { return s.datasets.Names() }
 
-// InvalidateDataset drops one dataset's cached results, forcing a rescan
-// on next use — the hook the world-mutating experiments (S722, E4) use
-// after remediation changes the world under the cache.
+// InvalidateDataset drops one dataset's cached results, forcing a full
+// rescan on next use.
 func (s *Study) InvalidateDataset(name string) bool { return s.datasets.Invalidate(name) }
+
+// MarkDatasetDirty records hosts whose cached results are stale after a
+// world mutation — the hook the remediation experiments (S722, E4) use.
+// The next Get patches the cached set, rescanning only the named hosts
+// (plus corpus newcomers) instead of the full corpus; on fault-free
+// worlds the patched set is bit-identical to a full rescan.
+func (s *Study) MarkDatasetDirty(name string, hosts []string) bool {
+	return s.datasets.MarkDirty(name, hosts)
+}
 
 // DatasetInvalidations reports how many times the named dataset has been
 // invalidated (test hook).
@@ -286,6 +338,12 @@ func (s *Study) ROK(ctx context.Context) *resultset.Set {
 // before the scan.
 func (s *Study) FollowUpScan(ctx context.Context, configure func(*scanner.Config)) *resultset.Set {
 	cfg := scanner.DefaultConfig(s.Store(), world.FollowUpScanTime)
+	// Share the study's verification and chain caches: the follow-up scan
+	// revisits the same chains, and cache hits never change results (the
+	// cache keys on chain digest + store; hostname and expiry checks stay
+	// outside it).
+	cfg.VerifyCache = s.verifyCache
+	cfg.ChainCache = s.chainCache
 	if configure != nil {
 		configure(&cfg)
 	}
@@ -295,6 +353,24 @@ func (s *Study) FollowUpScan(ctx context.Context, configure func(*scanner.Config
 	b := resultset.NewBuilder(opts)
 	follow.ScanStream(ctx, s.World.GovHosts, b.Add)
 	return b.Build()
+}
+
+// RankComparison computes (once per worldwide snapshot) the rank-matched
+// government vs non-government comparison Figures 6 and 7 both render.
+func (s *Study) RankComparison(ctx context.Context) analysis.RankComparison {
+	ww := s.Worldwide(ctx)
+	s.mu.Lock()
+	if s.rankCmpFor == ww {
+		rc := s.rankCmp
+		s.mu.Unlock()
+		return rc
+	}
+	s.mu.Unlock()
+	rc := analysis.ComputeRankComparison(s.World.TopLists, ww, s.World.Cfg.Seed, RankBins)
+	s.mu.Lock()
+	s.rankCmpFor, s.rankCmp = ww, rc
+	s.mu.Unlock()
+	return rc
 }
 
 // InvalidWorldwideHosts lists worldwide hostnames measured invalid, in
@@ -332,7 +408,7 @@ func (s *Study) LinkGraph() map[string][]string {
 	s.mu.Unlock()
 
 	out := make(map[string][]string, len(cached))
-	for h, l := range cached {
+	for h, l := range cached { //lint:allow maprange defensive map copy; iteration order never escapes — callers receive an unordered map either way
 		out[h] = l
 	}
 	return out

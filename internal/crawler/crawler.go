@@ -153,11 +153,15 @@ func (c *Crawler) fetchLevel(ctx context.Context, frontier []string) []string {
 	sem := make(chan struct{}, conc)
 	var wg sync.WaitGroup
 	for i, h := range frontier {
+		sem <- struct{}{}
+		// Re-check after the (possibly long) semaphore wait: a context
+		// cancelled while we blocked must stop the level here rather than
+		// keep issuing fetches as slots free up.
 		if ctx.Err() != nil {
+			<-sem
 			break
 		}
 		wg.Add(1)
-		sem <- struct{}{}
 		go func(i int, h string) {
 			defer wg.Done()
 			defer func() { <-sem }()
@@ -197,11 +201,10 @@ type WebFetcher struct {
 
 // FetchLinks implements Fetcher.
 func (f *WebFetcher) FetchLinks(ctx context.Context, hostname string) ([]string, error) {
-	addrs, err := f.Resolver.LookupA(hostname)
-	if err != nil || len(addrs) == 0 {
+	ip, err := scanner.FirstA(f.Resolver, hostname)
+	if err != nil || !ip.IsValid() {
 		return nil, err
 	}
-	ip := addrs[0]
 
 	body, redirected, err := f.getHTTP(ctx, ip, hostname)
 	if err == nil && !redirected {

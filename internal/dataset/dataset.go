@@ -32,6 +32,11 @@ type Source struct {
 	Hosts func() []string
 	// Opts returns the index options for the dataset's result sets.
 	Opts func() resultset.Options
+	// Build, when non-nil, replaces the registry's ScanFunc for full
+	// builds of this dataset — the hook composite datasets (usa:all) use
+	// to assemble themselves from other cached datasets instead of
+	// rescanning. Partial rebuilds after MarkDirty still scan.
+	Build func(ctx context.Context) (*resultset.Set, error)
 }
 
 // ScanFunc performs one scan: probe hosts and build the indexed set.
@@ -48,6 +53,10 @@ type entry struct {
 	// (test hook for the exactly-once invalidation contract).
 	invalidations int
 	set           *resultset.Set
+	// dirty records hosts whose cached results are stale (MarkDirty): the
+	// next Get patches the set by rescanning only these (plus corpus
+	// newcomers) instead of the full host list.
+	dirty map[string]struct{}
 	// inflight is non-nil while a scan runs; waiters block on it.
 	inflight chan struct{}
 }
@@ -108,7 +117,7 @@ func (r *Registry) Get(ctx context.Context, name string) (*resultset.Set, error)
 		return nil, fmt.Errorf("dataset: unknown dataset %q (have %v)", name, known)
 	}
 	for {
-		if e.set != nil {
+		if e.set != nil && len(e.dirty) == 0 {
 			set := e.set
 			r.mu.Unlock()
 			return set, nil
@@ -122,17 +131,35 @@ func (r *Registry) Get(ctx context.Context, name string) (*resultset.Set, error)
 			r.mu.Lock()
 			continue
 		}
-		// Claim the scan for the current generation.
+		// Claim the build for the current generation, consuming any dirty
+		// set: base+dirty patch in place of a full rescan. The slot is
+		// cleared so concurrent Gets wait on the in-flight build instead
+		// of reading the stale base.
 		e.inflight = make(chan struct{})
 		gen := e.gen
+		base, dirty := e.set, e.dirty
+		e.set, e.dirty = nil, nil
 		done := e.inflight
 		r.mu.Unlock()
 
-		set := r.scan(ctx, e.src.Hosts(), e.src.Opts())
+		var set *resultset.Set
+		var err error
+		switch {
+		case base != nil && len(dirty) > 0:
+			set = r.patch(ctx, e.src, base, dirty)
+		case e.src.Build != nil:
+			set, err = e.src.Build(ctx)
+		default:
+			set = r.scan(ctx, e.src.Hosts(), e.src.Opts())
+		}
 
 		r.mu.Lock()
 		e.inflight = nil
 		close(done)
+		if err != nil {
+			r.mu.Unlock()
+			return nil, fmt.Errorf("dataset: building %s: %w", name, err)
+		}
 		if e.gen == gen {
 			e.set = set
 			r.mu.Unlock()
@@ -142,6 +169,81 @@ func (r *Registry) Get(ctx context.Context, name string) (*resultset.Set, error)
 		// we scanned: the result reflects stale state. Drop it and retry
 		// under the new generation.
 	}
+}
+
+// patch rebuilds a dataset from its cached base: only dirty hosts and
+// hosts absent from the base are rescanned, and the set is reassembled
+// in the source's current host order. Per-host results are scan-order
+// independent on fault-free worlds, so the patched set is bit-identical
+// to a full rescan at a fraction of the cost; flaky worlds should use
+// Invalidate instead (dial-ordinal fault draws depend on scan makeup).
+func (r *Registry) patch(ctx context.Context, src Source, base *resultset.Set, dirty map[string]struct{}) *resultset.Set {
+	hosts := src.Hosts()
+	baseResults := base.Results()
+	baseIdx := make(map[string]int, len(baseResults))
+	for i := range baseResults {
+		baseIdx[baseResults[i].Hostname] = i
+	}
+	var toScan []string
+	for _, h := range hosts {
+		if _, stale := dirty[h]; stale {
+			toScan = append(toScan, h)
+			continue
+		}
+		if _, have := baseIdx[h]; !have {
+			toScan = append(toScan, h)
+		}
+	}
+	opts := src.Opts()
+	sub := r.scan(ctx, toScan, opts)
+	subResults := sub.Results()
+	subIdx := make(map[string]int, len(subResults))
+	for i := range subResults {
+		subIdx[subResults[i].Hostname] = i
+	}
+	opts.SizeHint = len(hosts)
+	b := resultset.NewBuilder(opts)
+	for _, h := range hosts {
+		if i, ok := subIdx[h]; ok {
+			b.Add(subResults[i])
+		} else {
+			b.Add(baseResults[baseIdx[h]])
+		}
+	}
+	return b.Build()
+}
+
+// MarkDirty records hosts whose cached results in the named dataset are
+// stale — the partial-invalidation hook the remediation experiments use.
+// Unlike Invalidate, the next Get patches the cached set (see patch)
+// instead of rescanning the whole corpus. Marking while a build is in
+// flight dooms the build (it may or may not have observed the mutation);
+// marking an empty slot is a no-op, since the next Get scans fresh.
+// Returns false for unknown names.
+func (r *Registry) MarkDirty(name string, hosts []string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[name]
+	if !ok {
+		return false
+	}
+	if len(hosts) == 0 {
+		return true
+	}
+	if e.inflight != nil {
+		r.invalidateLocked(e)
+		return true
+	}
+	if e.set == nil {
+		return true
+	}
+	if e.dirty == nil {
+		e.dirty = make(map[string]struct{}, len(hosts))
+	}
+	for _, h := range hosts {
+		e.dirty[h] = struct{}{}
+	}
+	return true
 }
 
 // Invalidate drops one dataset's cached results (and dooms any in-flight
@@ -171,6 +273,7 @@ func (r *Registry) InvalidateAll() {
 func (r *Registry) invalidateLocked(e *entry) {
 	e.gen++
 	e.set = nil
+	e.dirty = nil
 	e.invalidations++
 }
 
@@ -187,11 +290,12 @@ func (r *Registry) Invalidations(name string) int {
 	return e.invalidations
 }
 
-// Cached reports whether the named dataset currently holds memoized
-// results (no scan would run on Get).
+// Cached reports whether the named dataset currently holds clean
+// memoized results (no scan at all would run on Get — a dirty set still
+// needs a patch scan and reports false).
 func (r *Registry) Cached(name string) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	e, ok := r.entries[name]
-	return ok && e.set != nil
+	return ok && e.set != nil && len(e.dirty) == 0
 }

@@ -127,6 +127,24 @@ func (z *Zone) LookupA(hostname string) ([]netip.Addr, error) {
 	return out, nil
 }
 
+// LookupFirstA resolves the hostname to its first A record — the address
+// the pipeline dials (§5.4) — without allocating the full record set.
+func (z *Zone) LookupFirstA(hostname string) (netip.Addr, error) {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	rec, ok := z.records[strings.ToLower(hostname)]
+	if !ok {
+		return netip.Addr{}, fmt.Errorf("lookup %s: %w", hostname, ErrNXDomain)
+	}
+	if rec.servfail {
+		return netip.Addr{}, fmt.Errorf("lookup %s: %w", hostname, ErrServFail)
+	}
+	if !rec.addr0.IsValid() {
+		return netip.Addr{}, fmt.Errorf("lookup %s: %w", hostname, ErrNXDomain)
+	}
+	return rec.addr0, nil
+}
+
 // LookupCAA walks up the DNS tree from hostname (RFC 6844 §4) and returns
 // the CAA record set of the closest ancestor that has one.
 func (z *Zone) LookupCAA(hostname string) []CAARecord {

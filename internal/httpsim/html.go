@@ -1,7 +1,6 @@
 package httpsim
 
 import (
-	"fmt"
 	"strings"
 )
 
@@ -9,17 +8,25 @@ import (
 // title and an anchor per outbound link. The crawler extracts the anchors
 // with ExtractLinks.
 func RenderPage(title string, links []string) []byte {
-	var b strings.Builder
-	b.WriteString("<!DOCTYPE html>\n<html>\n<head><title>")
-	b.WriteString(escapeHTML(title))
-	b.WriteString("</title></head>\n<body>\n<h1>")
-	b.WriteString(escapeHTML(title))
-	b.WriteString("</h1>\n<ul>\n")
+	size := 128 + 2*len(title)
 	for _, l := range links {
-		fmt.Fprintf(&b, "  <li><a href=\"%s\">%s</a></li>\n", l, escapeHTML(l))
+		size += 32 + 2*len(l)
 	}
-	b.WriteString("</ul>\n</body>\n</html>\n")
-	return []byte(b.String())
+	b := make([]byte, 0, size)
+	b = append(b, "<!DOCTYPE html>\n<html>\n<head><title>"...)
+	b = append(b, escapeHTML(title)...)
+	b = append(b, "</title></head>\n<body>\n<h1>"...)
+	b = append(b, escapeHTML(title)...)
+	b = append(b, "</h1>\n<ul>\n"...)
+	for _, l := range links {
+		b = append(b, "  <li><a href=\""...)
+		b = append(b, l...)
+		b = append(b, "\">"...)
+		b = append(b, escapeHTML(l)...)
+		b = append(b, "</a></li>\n"...)
+	}
+	b = append(b, "</ul>\n</body>\n</html>\n"...)
+	return b
 }
 
 // ExtractLinks pulls every href target out of an HTML document. It accepts

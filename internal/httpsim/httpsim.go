@@ -7,6 +7,7 @@ package httpsim
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -14,6 +15,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"unicode/utf8"
 )
 
 // Protocol limits.
@@ -61,6 +63,16 @@ func (r *Response) IsRedirect() bool {
 	return r.StatusCode == 301 || r.StatusCode == 302 || r.StatusCode == 307 || r.StatusCode == 308
 }
 
+// bufPool recycles the serialization buffers WriteRequestBody and
+// WriteResponse build wire bytes in: the buffer is fully written to the
+// connection before the call returns, so it holds no live state.
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
 // WriteRequest sends a body-less request over the connection.
 func WriteRequest(w io.Writer, method, host, path string) error {
 	return WriteRequestBody(w, method, host, path, "", nil)
@@ -71,16 +83,29 @@ func WriteRequestBody(w io.Writer, method, host, path, contentType string, body 
 	if path == "" {
 		path = "/"
 	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s %s HTTP/1.1\r\nHost: %s\r\nUser-Agent: govhttps-scanner/1.0\r\nConnection: close\r\n", method, path, host)
+	bp := bufPool.Get().(*[]byte)
+	b := (*bp)[:0]
+	b = append(b, method...)
+	b = append(b, ' ')
+	b = append(b, path...)
+	b = append(b, " HTTP/1.1\r\nHost: "...)
+	b = append(b, host...)
+	b = append(b, "\r\nUser-Agent: govhttps-scanner/1.0\r\nConnection: close\r\n"...)
 	if contentType != "" {
-		fmt.Fprintf(&b, "Content-Type: %s\r\n", contentType)
+		b = append(b, "Content-Type: "...)
+		b = append(b, contentType...)
+		b = append(b, "\r\n"...)
 	}
 	if len(body) > 0 {
-		fmt.Fprintf(&b, "Content-Length: %d\r\n", len(body))
+		b = append(b, "Content-Length: "...)
+		b = strconv.AppendInt(b, int64(len(body)), 10)
+		b = append(b, "\r\n"...)
 	}
-	b.WriteString("\r\n")
-	if _, err := io.WriteString(w, b.String()); err != nil {
+	b = append(b, "\r\n"...)
+	_, err := w.Write(b)
+	*bp = b
+	bufPool.Put(bp)
+	if err != nil {
 		return err
 	}
 	if len(body) > 0 {
@@ -91,17 +116,28 @@ func WriteRequestBody(w io.Writer, method, host, path, contentType string, body 
 	return nil
 }
 
+// httpProto is the protocol prefix both start-line parsers check for.
+var httpProto = []byte("HTTP/1.")
+
 // ReadRequest parses a request from the connection.
 func ReadRequest(br *bufio.Reader) (*Request, error) {
 	line, err := readLine(br)
 	if err != nil {
 		return nil, err
 	}
-	parts := strings.SplitN(line, " ", 3)
-	if len(parts) != 3 || !strings.HasPrefix(parts[2], "HTTP/1.") {
+	i1 := bytes.IndexByte(line, ' ')
+	i2 := -1
+	if i1 >= 0 {
+		i2 = bytes.IndexByte(line[i1+1:], ' ')
+	}
+	if i1 < 0 || i2 < 0 || !bytes.HasPrefix(line[i1+1+i2+1:], httpProto) {
 		return nil, fmt.Errorf("%w: bad request line %q", ErrMalformedRequest, line)
 	}
-	req := &Request{Method: parts[0], Path: parts[1], Header: map[string]string{}}
+	req := &Request{
+		Method: internToken(line[:i1]),
+		Path:   string(line[i1+1 : i1+1+i2]),
+		Header: make(map[string]string, 4),
+	}
 	if err := readHeaders(br, req.Header); err != nil {
 		return nil, err
 	}
@@ -162,16 +198,29 @@ func Post(conn net.Conn, host, path, contentType string, body []byte) (*Response
 // WriteResponse sends a response with the given status, headers and body.
 // Content-Length and Connection are managed automatically.
 func WriteResponse(w io.Writer, status int, header map[string]string, body []byte) error {
-	var b strings.Builder
-	fmt.Fprintf(&b, "HTTP/1.1 %d %s\r\n", status, StatusText(status))
+	bp := bufPool.Get().(*[]byte)
+	b := (*bp)[:0]
+	b = append(b, "HTTP/1.1 "...)
+	b = strconv.AppendInt(b, int64(status), 10)
+	b = append(b, ' ')
+	b = append(b, StatusText(status)...)
+	b = append(b, "\r\n"...)
 	for k, v := range header {
-		fmt.Fprintf(&b, "%s: %s\r\n", k, v)
+		b = append(b, k...)
+		b = append(b, ": "...)
+		b = append(b, v...)
+		b = append(b, "\r\n"...)
 	}
-	fmt.Fprintf(&b, "Content-Length: %d\r\nConnection: close\r\n\r\n", len(body))
-	if _, err := io.WriteString(w, b.String()); err != nil {
+	b = append(b, "Content-Length: "...)
+	b = strconv.AppendInt(b, int64(len(body)), 10)
+	b = append(b, "\r\nConnection: close\r\n\r\n"...)
+	_, err := w.Write(b)
+	*bp = b
+	bufPool.Put(bp)
+	if err != nil {
 		return err
 	}
-	_, err := w.Write(body)
+	_, err = w.Write(body)
 	return err
 }
 
@@ -181,15 +230,19 @@ func ReadResponse(br *bufio.Reader) (*Response, error) {
 	if err != nil {
 		return nil, err
 	}
-	parts := strings.SplitN(line, " ", 3)
-	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/1.") {
+	i1 := bytes.IndexByte(line, ' ')
+	if i1 < 0 || !bytes.HasPrefix(line, httpProto) {
 		return nil, fmt.Errorf("%w: bad status line %q", ErrMalformedResponse, line)
 	}
-	status, err := strconv.Atoi(parts[1])
-	if err != nil {
-		return nil, fmt.Errorf("%w: bad status code %q", ErrMalformedResponse, parts[1])
+	sb := line[i1+1:]
+	if i2 := bytes.IndexByte(sb, ' '); i2 >= 0 {
+		sb = sb[:i2]
 	}
-	resp := &Response{StatusCode: status, Header: map[string]string{}}
+	status, err := atoiBytes(sb)
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad status code %q", ErrMalformedResponse, sb)
+	}
+	resp := &Response{StatusCode: status, Header: make(map[string]string, 4)}
 	if err := readHeaders(br, resp.Header); err != nil {
 		return nil, err
 	}
@@ -210,15 +263,33 @@ func ReadResponse(br *bufio.Reader) (*Response, error) {
 	return resp, nil
 }
 
-func readLine(br *bufio.Reader) (string, error) {
-	line, err := br.ReadString('\n')
+// readLine reads one CRLF-terminated line and returns it without the
+// trailing "\r\n" chars, as a slice into the reader's buffer — valid only
+// until the next read, so callers copy what they keep. Lines longer than
+// the buffer are accumulated (rare; protocol lines are short).
+func readLine(br *bufio.Reader) ([]byte, error) {
+	line, err := br.ReadSlice('\n')
+	if err == bufio.ErrBufferFull {
+		acc := append([]byte(nil), line...)
+		for err == bufio.ErrBufferFull {
+			if len(acc) > maxLineLen {
+				return nil, ErrMalformedRequest
+			}
+			line, err = br.ReadSlice('\n')
+			acc = append(acc, line...)
+		}
+		line = acc
+	}
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	if len(line) > maxLineLen {
-		return "", ErrMalformedRequest
+		return nil, ErrMalformedRequest
 	}
-	return strings.TrimRight(line, "\r\n"), nil
+	for len(line) > 0 && (line[len(line)-1] == '\n' || line[len(line)-1] == '\r') {
+		line = line[:len(line)-1]
+	}
+	return line, nil
 }
 
 func readHeaders(br *bufio.Reader, into map[string]string) error {
@@ -227,16 +298,103 @@ func readHeaders(br *bufio.Reader, into map[string]string) error {
 		if err != nil {
 			return err
 		}
-		if line == "" {
+		if len(line) == 0 {
 			return nil
 		}
-		k, v, ok := strings.Cut(line, ":")
-		if !ok {
+		c := bytes.IndexByte(line, ':')
+		if c < 0 {
 			return fmt.Errorf("%w: bad header line %q", ErrMalformedRequest, line)
 		}
-		into[strings.ToLower(strings.TrimSpace(k))] = strings.TrimSpace(v)
+		into[headerKey(bytes.TrimSpace(line[:c]))] = internToken(bytes.TrimSpace(line[c+1:]))
 	}
 	return fmt.Errorf("%w: too many header lines", ErrMalformedRequest)
+}
+
+// headerKey lower-cases a header name, returning the canonical string for
+// the protocol's well-known headers without allocating.
+func headerKey(k []byte) string {
+	lower, ascii := true, true
+	for _, c := range k {
+		if c >= utf8.RuneSelf {
+			ascii = false
+			break
+		}
+		if 'A' <= c && c <= 'Z' {
+			lower = false
+		}
+	}
+	if !ascii {
+		return strings.ToLower(string(k))
+	}
+	if !lower {
+		var buf [64]byte
+		if len(k) > len(buf) {
+			return strings.ToLower(string(k))
+		}
+		for i, c := range k {
+			if 'A' <= c && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			buf[i] = c
+		}
+		k = buf[:len(k)]
+	}
+	switch string(k) {
+	case "host":
+		return "host"
+	case "user-agent":
+		return "user-agent"
+	case "connection":
+		return "connection"
+	case "content-type":
+		return "content-type"
+	case "content-length":
+		return "content-length"
+	case "location":
+		return "location"
+	case "strict-transport-security":
+		return "strict-transport-security"
+	}
+	return string(k)
+}
+
+// internToken returns canonical strings for the dialect's fixed tokens
+// (methods and the header values every simulated peer sends), avoiding a
+// per-message allocation.
+func internToken(b []byte) string {
+	switch string(b) {
+	case "GET":
+		return "GET"
+	case "POST":
+		return "POST"
+	case "close":
+		return "close"
+	case "text/html":
+		return "text/html"
+	case "govhttps-scanner/1.0":
+		return "govhttps-scanner/1.0"
+	}
+	return string(b)
+}
+
+// atoiBytes is strconv.Atoi for a byte slice: an allocation-free
+// all-digits fast path, falling back to Atoi (and its exact error
+// semantics) for anything else.
+func atoiBytes(b []byte) (int, error) {
+	if n := len(b); n > 0 && n <= 9 {
+		v, ok := 0, true
+		for _, c := range b {
+			if c < '0' || c > '9' {
+				ok = false
+				break
+			}
+			v = v*10 + int(c-'0')
+		}
+		if ok {
+			return v, nil
+		}
+	}
+	return strconv.Atoi(string(b))
 }
 
 // StatusText returns the reason phrase for the status codes the study uses.

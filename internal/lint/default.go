@@ -10,6 +10,7 @@ var DeterministicPackages = []string{
 	"repro/internal/world",
 	"repro/internal/scanner",
 	"repro/internal/verify",
+	"repro/internal/core",
 	"repro/internal/dataset",
 	"repro/internal/resultset",
 	"repro/internal/report",

@@ -20,6 +20,7 @@
 package resultset
 
 import (
+	"io"
 	"sort"
 
 	"repro/internal/cert"
@@ -373,6 +374,10 @@ func (s *Set) Len() int { return len(s.results) }
 
 // Results returns the underlying results in scan input order (read-only).
 func (s *Set) Results() []scanner.Result { return s.results }
+
+// WriteJSONL streams the set's results as JSON lines through the zero-copy
+// exporter, in scan input order.
+func (s *Set) WriteJSONL(w io.Writer) error { return scanner.WriteJSONL(w, s.results) }
 
 // At returns the i-th result.
 func (s *Set) At(i int) *scanner.Result { return &s.results[i] }

@@ -1,36 +1,45 @@
 package scanner
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
+	"sync"
 	"time"
+	"unicode/utf8"
 )
 
 // Record is the flat, zgrab-style JSON export of a scan result, one object
 // per host, suitable for JSON-lines pipelines.
+//
+// The struct is the schema of record: AppendRecord emits the same fields in
+// the same order with the same omitempty semantics, byte-for-byte identical
+// to encoding/json over this struct (TestAppendRecordMatchesEncoder holds
+// the two in lockstep).
 type Record struct {
-	Hostname         string `json:"hostname"`
-	IP               string `json:"ip,omitempty"`
-	Available        bool   `json:"available"`
-	Category         string `json:"category"`
-	ServesHTTP       bool   `json:"serves_http"`
-	ServesHTTPS      bool   `json:"serves_https"`
-	RedirectsToHTTPS bool   `json:"redirects_to_https"`
-	HSTS             bool   `json:"hsts,omitempty"`
-	TLSVersion       string `json:"tls_version,omitempty"`
-	Issuer           string `json:"issuer,omitempty"`
-	Subject          string `json:"subject,omitempty"`
-	KeyType          string `json:"key_type,omitempty"`
-	KeyBits          int    `json:"key_bits,omitempty"`
-	SigAlgorithm     string `json:"sig_algorithm,omitempty"`
-	NotBefore        string `json:"not_before,omitempty"`
-	NotAfter         string `json:"not_after,omitempty"`
-	ValidationError  string `json:"validation_error,omitempty"`
-	Exception        string `json:"exception,omitempty"`
-	Provider         string `json:"provider,omitempty"`
-	HostKind         string `json:"hosting,omitempty"`
-	Attempts         int    `json:"attempts,omitempty"`
+	Hostname          string `json:"hostname"`
+	IP                string `json:"ip,omitempty"`
+	Available         bool   `json:"available"`
+	Category          string `json:"category"`
+	ServesHTTP        bool   `json:"serves_http"`
+	ServesHTTPS       bool   `json:"serves_https"`
+	RedirectsToHTTPS  bool   `json:"redirects_to_https"`
+	HSTS              bool   `json:"hsts,omitempty"`
+	TLSVersion        string `json:"tls_version,omitempty"`
+	Issuer            string `json:"issuer,omitempty"`
+	Subject           string `json:"subject,omitempty"`
+	KeyType           string `json:"key_type,omitempty"`
+	KeyBits           int    `json:"key_bits,omitempty"`
+	SigAlgorithm      string `json:"sig_algorithm,omitempty"`
+	NotBefore         string `json:"not_before,omitempty"`
+	NotAfter          string `json:"not_after,omitempty"`
+	ValidationError   string `json:"validation_error,omitempty"`
+	Exception         string `json:"exception,omitempty"`
+	Provider          string `json:"provider,omitempty"`
+	HostKind          string `json:"hosting,omitempty"`
+	Attempts          int    `json:"attempts,omitempty"`
+	FingerprintSHA256 string `json:"fingerprint_sha256,omitempty"`
+	RawCert           string `json:"raw_cert,omitempty"`
 }
 
 // ToRecord flattens a result.
@@ -68,16 +77,189 @@ func (r *Result) ToRecord() Record {
 		if !r.Verify.Valid() {
 			rec.ValidationError = r.Verify.Code.String()
 		}
+		rec.FingerprintSHA256 = string(leaf.AppendFingerprintHex(nil))
+		rec.RawCert = string(leaf.AppendEncodeBase64(nil))
 	}
 	return rec
 }
 
+// AppendRecord appends the result's JSON-lines record (object plus trailing
+// newline) to dst and returns the extended slice. The output is identical
+// to json.Encoder encoding ToRecord(), but serialized in one pass into the
+// caller's buffer: no intermediate Record, no reflection, and the frozen
+// certificate encodings are appended straight from their caches.
+func (r *Result) AppendRecord(dst []byte) []byte {
+	dst = append(dst, `{"hostname":`...)
+	dst = appendJSONString(dst, r.Hostname)
+	if r.IP.IsValid() {
+		// netip's textual form never needs escaping.
+		dst = append(dst, `,"ip":"`...)
+		dst = r.IP.AppendTo(dst)
+		dst = append(dst, '"')
+	}
+	dst = append(dst, `,"available":`...)
+	dst = strconv.AppendBool(dst, r.Available)
+	dst = appendField(dst, `,"category":`, r.Category().String())
+	dst = append(dst, `,"serves_http":`...)
+	dst = strconv.AppendBool(dst, r.ServesHTTP)
+	dst = append(dst, `,"serves_https":`...)
+	dst = strconv.AppendBool(dst, r.ServesHTTPS)
+	dst = append(dst, `,"redirects_to_https":`...)
+	dst = strconv.AppendBool(dst, r.RedirectsToHTTPS)
+	if r.HSTS {
+		dst = append(dst, `,"hsts":true`...)
+	}
+	if r.TLSVersion != 0 {
+		dst = appendOptField(dst, `,"tls_version":`, r.TLSVersion.String())
+	}
+	if len(r.Chain) > 0 {
+		leaf := r.Chain[0]
+		dst = appendOptField(dst, `,"issuer":`, leaf.Issuer.CommonName)
+		dst = appendOptField(dst, `,"subject":`, leaf.Subject.CommonName)
+		dst = appendOptField(dst, `,"key_type":`, leaf.PublicKey.Type.String())
+		if leaf.PublicKey.Bits != 0 {
+			dst = append(dst, `,"key_bits":`...)
+			dst = strconv.AppendInt(dst, int64(leaf.PublicKey.Bits), 10)
+		}
+		dst = appendOptField(dst, `,"sig_algorithm":`, leaf.SignatureAlgorithm.String())
+		// RFC 3339 output is digits, 'T', ':', '-', '+' and 'Z' — none of
+		// which JSON escapes.
+		dst = append(dst, `,"not_before":"`...)
+		dst = leaf.NotBefore.AppendFormat(dst, time.RFC3339)
+		dst = append(dst, `","not_after":"`...)
+		dst = leaf.NotAfter.AppendFormat(dst, time.RFC3339)
+		dst = append(dst, '"')
+		if !r.Verify.Valid() {
+			dst = appendOptField(dst, `,"validation_error":`, r.Verify.Code.String())
+		}
+	}
+	if r.Exception != ExcNone {
+		dst = appendOptField(dst, `,"exception":`, r.Exception.String())
+	}
+	dst = appendOptField(dst, `,"provider":`, r.Provider)
+	dst = appendOptField(dst, `,"hosting":`, r.HostKind.String())
+	if r.Attempts != 0 {
+		dst = append(dst, `,"attempts":`...)
+		dst = strconv.AppendInt(dst, int64(r.Attempts), 10)
+	}
+	if len(r.Chain) > 0 {
+		leaf := r.Chain[0]
+		// Hex and base64 alphabets need no escaping; append the frozen
+		// encodings directly.
+		dst = append(dst, `,"fingerprint_sha256":"`...)
+		dst = leaf.AppendFingerprintHex(dst)
+		dst = append(dst, `","raw_cert":"`...)
+		dst = leaf.AppendEncodeBase64(dst)
+		dst = append(dst, '"')
+	}
+	return append(dst, '}', '\n')
+}
+
+// appendField appends `<prefix><json-escaped s>` unconditionally.
+func appendField(dst []byte, prefix string, s string) []byte {
+	dst = append(dst, prefix...)
+	return appendJSONString(dst, s)
+}
+
+// appendOptField is appendField with omitempty semantics: nothing is
+// emitted when s is empty.
+func appendOptField(dst []byte, prefix string, s string) []byte {
+	if s == "" {
+		return dst
+	}
+	return appendField(dst, prefix, s)
+}
+
+const jsonHex = "0123456789abcdef"
+
+// appendJSONString appends s as a quoted JSON string, escaping exactly as
+// encoding/json does with HTML escaping on (the json.Encoder default): `"`
+// and `\` named, control characters \b \f \n \r \t named and the rest \u00xx,
+// `<` `>` `&` as \u003c \u003e \u0026, invalid UTF-8 as \ufffd, and the
+// JS-hostile U+2028/U+2029 as \u2028/\u2029.
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if b := s[i]; b < utf8.RuneSelf {
+			if b >= 0x20 && b != '"' && b != '\\' && b != '<' && b != '>' && b != '&' {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch b {
+			case '\\', '"':
+				dst = append(dst, '\\', b)
+			case '\b':
+				dst = append(dst, '\\', 'b')
+			case '\f':
+				dst = append(dst, '\\', 'f')
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				dst = append(dst, '\\', 'u', '0', '0', jsonHex[b>>4], jsonHex[b&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, `\ufffd`...)
+			i++
+			start = i
+			continue
+		}
+		if c == '\u2028' || c == '\u2029' {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', '2', '0', '2', jsonHex[c&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	dst = append(dst, s[start:]...)
+	return append(dst, '"')
+}
+
+// jsonlBufPool recycles WriteJSONL's staging buffers. Buffers hover around
+// jsonlFlushSize plus one record, so pooling them keeps steady-state
+// exports allocation-free.
+var jsonlBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, jsonlFlushSize+4096); return &b },
+}
+
+// jsonlFlushSize is the staging threshold: records accumulate in the pooled
+// buffer and flush to the writer once it passes this size, so a full-scale
+// export never materializes the whole document.
+const jsonlFlushSize = 64 << 10
+
 // WriteJSONL streams results as JSON lines.
 func WriteJSONL(w io.Writer, results []Result) error {
-	enc := json.NewEncoder(w)
+	bp := jsonlBufPool.Get().(*[]byte)
+	b := (*bp)[:0]
+	defer func() {
+		*bp = b[:0]
+		jsonlBufPool.Put(bp)
+	}()
 	for i := range results {
-		if err := enc.Encode(results[i].ToRecord()); err != nil {
-			return fmt.Errorf("scanner: encoding %s: %w", results[i].Hostname, err)
+		b = results[i].AppendRecord(b)
+		if len(b) >= jsonlFlushSize {
+			if _, err := w.Write(b); err != nil {
+				return fmt.Errorf("scanner: writing %s: %w", results[i].Hostname, err)
+			}
+			b = b[:0]
+		}
+	}
+	if len(b) > 0 {
+		if _, err := w.Write(b); err != nil {
+			return fmt.Errorf("scanner: writing jsonl: %w", err)
 		}
 	}
 	return nil

@@ -1,0 +1,129 @@
+package scanner
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/netip"
+	"strings"
+	"testing"
+)
+
+// encodeViaReflection is the reference encoder AppendRecord must match:
+// json.Encoder over the flattened Record, exactly what WriteJSONL did
+// before the zero-copy rewrite.
+func encodeViaReflection(t *testing.T, r *Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	if err := enc.Encode(r.ToRecord()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestAppendRecordMatchesEncoder proves the zero-copy export byte-identical
+// to the reflection path over the full scanned corpus — every category,
+// exception and certificate shape the world produces.
+func TestAppendRecordMatchesEncoder(t *testing.T) {
+	results := scanAllOnce(t)
+	for i := range results {
+		want := encodeViaReflection(t, &results[i])
+		got := results[i].AppendRecord(nil)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s:\n got %s\nwant %s", results[i].Hostname, got, want)
+		}
+	}
+}
+
+// TestAppendRecordEscaping pushes hostile strings through every escaped
+// field: JSON metacharacters, HTML characters, control bytes, invalid
+// UTF-8, and the U+2028/U+2029 line separators.
+func TestAppendRecordEscaping(t *testing.T) {
+	nasty := []string{
+		`plain.example.gov`,
+		`quote"back\slash`,
+		"tabs\tand\nnewlines\rhere",
+		"ctrl\x00\x01\x1f",
+		"<script>&amp;</script>",
+		"invalid\xff\xfeutf8",
+		"line\u2028sep\u2029pair",
+		"mixed \u00e9\u4e16\u754c \U0001f512",
+		strings.Repeat("long\"\\<>&\x02\u2028", 100),
+		"",
+	}
+	for _, s := range nasty {
+		r := Result{
+			Hostname:  s,
+			Available: true,
+			Provider:  s,
+			Attempts:  2,
+		}
+		want := encodeViaReflection(t, &r)
+		got := r.AppendRecord(nil)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%q:\n got %s\nwant %s", s, got, want)
+		}
+	}
+}
+
+// TestAppendJSONString checks the string escaper against json.Marshal for
+// a byte-level sweep of the ASCII range plus multi-byte edge cases.
+func TestAppendJSONString(t *testing.T) {
+	var cases []string
+	for b := 0; b < 256; b++ {
+		cases = append(cases, "x"+string(rune(b))+"y")
+		cases = append(cases, string([]byte{byte(b)}))
+	}
+	cases = append(cases,
+		"\u2027\u2028\u2029\u202a",
+		"\ufffd already replaced",
+		"trailing partial \xe2\x80",
+	)
+	for _, s := range cases {
+		want, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := appendJSONString(nil, s)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%q: got %s want %s", s, got, want)
+		}
+	}
+}
+
+// TestWriteJSONLMatchesEncoder proves the streamed, pooled writer emits the
+// same bytes as per-record encoding, across the flush boundary.
+func TestWriteJSONLMatchesEncoder(t *testing.T) {
+	results := scanAllOnce(t)
+	var want bytes.Buffer
+	enc := json.NewEncoder(&want)
+	for i := range results {
+		if err := enc.Encode(results[i].ToRecord()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got bytes.Buffer
+	if err := WriteJSONL(&got, results); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatalf("streamed output diverges: %d vs %d bytes", got.Len(), want.Len())
+	}
+	if got.Len() < jsonlFlushSize {
+		t.Fatalf("corpus export (%d bytes) never crossed the flush boundary", got.Len())
+	}
+}
+
+// TestAppendRecordIPField covers the unescaped fast-path fields.
+func TestAppendRecordIPField(t *testing.T) {
+	r := Result{
+		Hostname:  "ip.example.gov",
+		IP:        netip.MustParseAddr("203.0.113.9"),
+		Available: true,
+	}
+	want := encodeViaReflection(t, &r)
+	got := r.AppendRecord(nil)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %s want %s", got, want)
+	}
+}

@@ -37,6 +37,27 @@ type Resolver interface {
 	LookupA(hostname string) ([]netip.Addr, error)
 }
 
+// FirstAResolver is an optional Resolver fast path: resolvers that can
+// hand back the one address the pipeline dials without allocating the
+// full record set.
+type FirstAResolver interface {
+	LookupFirstA(hostname string) (netip.Addr, error)
+}
+
+// FirstA resolves the address the pipeline dials (the first A record,
+// §5.4), using the resolver's allocation-free fast path when it has one.
+// A zero Addr with nil error means the name resolved to no addresses.
+func FirstA(r Resolver, hostname string) (netip.Addr, error) {
+	if f, ok := r.(FirstAResolver); ok {
+		return f.LookupFirstA(hostname)
+	}
+	addrs, err := r.LookupA(hostname)
+	if err != nil || len(addrs) == 0 {
+		return netip.Addr{}, err
+	}
+	return addrs[0], nil
+}
+
 // Config tunes a scan.
 type Config struct {
 	// Vantage labels the scanning location (relevant to censorship).
@@ -229,15 +250,15 @@ func (r *Result) ValidHTTPS() bool {
 // Scan probes a single hostname.
 func (s *Scanner) Scan(ctx context.Context, hostname string) Result {
 	res := Result{Hostname: hostname}
-	addrs, err := s.Resolver.LookupA(hostname)
-	if err != nil || len(addrs) == 0 {
+	ip, err := FirstA(s.Resolver, hostname)
+	if err != nil || !ip.IsValid() {
 		res.DNSError = true
 		if errors.Is(err, dnssim.ErrServFail) {
 			res.ExceptionDetail = err.Error()
 		}
 		return res
 	}
-	res.IP = addrs[0]
+	res.IP = ip
 	res.Provider, res.HostKind = s.Class.Classify(res.IP)
 
 	// Ports 80 and 443 are probed concurrently; the 443 outcome is staged
@@ -418,10 +439,18 @@ func (s *Scanner) dialRetry(ctx context.Context, ep netip.AddrPort, res *Result,
 		if res != nil {
 			res.Attempts++
 		}
+		// Bound the dial by wall time only under a real clock. Virtual-clock
+		// dials never block on wall time — simulated timeouts are modeled at
+		// the fault layer (FaultTimeout fails immediately) — so the deadline
+		// context would just be a dead timer allocated per attempt; and as
+		// with applyDeadline, a wall deadline expiring mid-simulation would
+		// fire scheduling-dependently and break determinism.
 		dctx := ctx
 		var cancel context.CancelFunc
 		if s.Cfg.Timeout > 0 {
-			dctx, cancel = context.WithTimeout(ctx, s.Cfg.Timeout)
+			if _, virtual := s.Cfg.Clock.(*simclock.Virtual); !virtual {
+				dctx, cancel = context.WithTimeout(ctx, s.Cfg.Timeout)
+			}
 		}
 		conn, err := s.Dialer.Dial(dctx, s.Cfg.Vantage, ep)
 		if cancel != nil {

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Version is a protocol version in TLS wire numbering.
@@ -117,16 +118,26 @@ func (e AlertError) Error() string {
 
 const maxRecordLen = 1 << 20
 
+// recordBufPool recycles the framing buffers writeRecord serializes into.
+// The buffer is handed to w.Write and returned to the pool immediately
+// after, which is safe because Write implementations must not retain p
+// (simnet copies into the pipe buffer before returning).
+var recordBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 4096); return &b },
+}
+
 // writeRecord frames one record.
 func writeRecord(w io.Writer, typ uint8, ver Version, payload []byte) error {
 	if len(payload) > maxRecordLen {
 		return ErrRecordOversize
 	}
-	hdr := make([]byte, 5, 5+len(payload))
-	hdr[0] = typ
-	binary.BigEndian.PutUint16(hdr[1:3], uint16(ver))
-	binary.BigEndian.PutUint16(hdr[3:5], uint16(len(payload)))
-	_, err := w.Write(append(hdr, payload...))
+	bp := recordBufPool.Get().(*[]byte)
+	b := (*bp)[:0]
+	b = append(b, typ, byte(ver>>8), byte(ver), byte(len(payload)>>8), byte(len(payload)))
+	b = append(b, payload...)
+	_, err := w.Write(b)
+	*bp = b
+	recordBufPool.Put(bp)
 	return err
 }
 

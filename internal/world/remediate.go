@@ -46,10 +46,25 @@ type RemediationOutcome struct {
 	NewlyValidFromHTTP int
 	// NewlyInvalidFromHTTP counts http-only hosts that gained broken https.
 	NewlyInvalidFromHTTP int
+	// NewlyServingHosts lists the http-only hosts behind those two counts.
+	NewlyServingHosts []string
 	// RevivedValid / RevivedInvalid count previously unreachable hosts now
 	// serving valid / invalid https.
 	RevivedValid   int
 	RevivedInvalid int
+}
+
+// ChangedHosts returns every hostname whose scan result may differ after
+// the remediation — the partial-invalidation set for cached datasets.
+// Unchanged hosts kept their broken certificates, and revived hosts are
+// excluded because the unreachable population is never part of a scanned
+// corpus (GovHosts and UnreachableHosts are disjoint).
+func (o *RemediationOutcome) ChangedHosts() []string {
+	out := make([]string, 0, len(o.Fixed)+len(o.Removed)+len(o.NewlyServingHosts))
+	out = append(out, o.Fixed...)
+	out = append(out, o.Removed...)
+	out = append(out, o.NewlyServingHosts...)
+	return out
 }
 
 // Remediate mutates the world as the §7.2.2 follow-up scan found it two
@@ -94,11 +109,13 @@ func (w *World) Remediate(invalidHosts []string, rates RemediationRates, r *rand
 			f.configure(s, ClassValid, caMixWorldwide)
 			w.serveSite(s)
 			out.NewlyValidFromHTTP++
+			out.NewlyServingHosts = append(out.NewlyServingHosts, h)
 		case x < 0.0115+0.0185:
 			s.Serving = BothNoRedirect
 			f.configure(s, ClassHostnameMismatch, caMixWorldwide)
 			w.serveSite(s)
 			out.NewlyInvalidFromHTTP++
+			out.NewlyServingHosts = append(out.NewlyServingHosts, h)
 		}
 	}
 	for _, h := range w.UnreachableHosts {

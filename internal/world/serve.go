@@ -130,6 +130,7 @@ func (s *Site) render() {
 		body := httpsim.RenderPage(title, links)
 
 		var b bytes.Buffer
+		b.Grow(len(body) + 256)
 		hdr := map[string]string{"Content-Type": "text/html"}
 		httpsim.WriteResponse(&b, 200, hdr, body)
 		s.respHTTP = append([]byte(nil), b.Bytes()...)

@@ -3,9 +3,15 @@
 # comparing the current tree against the recorded pre-overhaul baselines.
 #
 # The baselines were measured on the same class of host the CI bench job
-# uses (one core, default GOVHTTPS_BENCH_SCALE=0.05) at the commit before
-# the scan-path throughput overhaul (verify cache, worker-pool ScanAll,
-# batched journal, parallel world build).
+# uses (one core, default GOVHTTPS_BENCH_SCALE=0.05): the scan-path numbers
+# at the commit before the throughput overhaul (verify cache, worker-pool
+# ScanAll, batched journal, parallel world build), and ReportSuite /
+# JSONExport allocs at the commit before the experiment scheduler and the
+# zero-copy exporter.
+#
+# The job fails (non-zero exit) if JSONExport allocates more per op than
+# the recorded pre-rewrite baseline: the zero-copy exporter must not
+# regress back toward reflection-based encoding.
 #
 # Usage: scripts/bench_scan.sh [output.json]
 set -euo pipefail
@@ -20,9 +26,10 @@ out="${1:-BENCH_scan.json}"
 # AggregateIndexed/AggregateLegacy measure the aggregation layer itself:
 # one indexed result-set build serving every experiment, versus the
 # per-experiment loops over the raw slice that the analysis layer ran
-# before the dataset-registry refactor.
+# before the dataset-registry refactor. ReportSuite/ReportSuiteSequential
+# are the same live pair for the experiment scheduler.
 raw=""
-for b in ScanWorldwide WorldBuild ScanSingleHost JSONExport AggregateIndexed AggregateLegacy; do
+for b in ScanWorldwide WorldBuild ScanSingleHost JSONExport ReportSuite ReportSuiteSequential AggregateIndexed AggregateLegacy; do
     raw+="$(go test -run '^$' -bench "^Benchmark${b}\$" -benchmem -count "${BENCH_COUNT:-3}" .)"
     raw+=$'\n'
 done
@@ -30,13 +37,19 @@ printf '%s\n' "$raw"
 
 printf '%s\n' "$raw" | awk -v out="$out" '
 BEGIN {
-    # ns/op at the pre-overhaul seed commit (one core, scale 0.05).
+    # ns/op at the recorded seed commits (one core, scale 0.05).
     base["ScanWorldwide"]  = 635628502
     base["WorldBuild"]     = 22436147
     base["ScanSingleHost"] = 101503
     base["JSONExport"]     = 8780592
+    base["ReportSuite"]    = 433735494
+    # allocs/op of the reflection-based JSON exporter before the
+    # zero-copy rewrite; the gate below fails the job on regression.
+    base_allocs["JSONExport"] = 18658
     order[1] = "ScanWorldwide"; order[2] = "WorldBuild"
     order[3] = "ScanSingleHost"; order[4] = "JSONExport"
+    order[5] = "ReportSuite"
+    nOrder = 5
 }
 /^Benchmark/ {
     name = $1
@@ -44,17 +57,18 @@ BEGIN {
     sub(/-[0-9]+$/, "", name)
     # Keep the best of -count runs: least interference from the host.
     if (!(name in cur) || $3 + 0 < cur[name]) cur[name] = $3 + 0
+    if (!(name in allocs) || $7 + 0 < allocs[name]) allocs[name] = $7 + 0
 }
 END {
     printf "{\n  \"scale\": %s,\n", (ENVIRON["GOVHTTPS_BENCH_SCALE"] != "" ? ENVIRON["GOVHTTPS_BENCH_SCALE"] : "0.05") > out
     printf "  \"baseline_ns_per_op\": {" > out
-    for (i = 1; i <= 4; i++)
+    for (i = 1; i <= nOrder; i++)
         printf "%s\n    \"%s\": %d", (i > 1 ? "," : ""), order[i], base[order[i]] > out
     printf "\n  },\n  \"current_ns_per_op\": {" > out
-    for (i = 1; i <= 4; i++)
+    for (i = 1; i <= nOrder; i++)
         printf "%s\n    \"%s\": %d", (i > 1 ? "," : ""), order[i], cur[order[i]] > out
     printf "\n  },\n  \"speedup\": {" > out
-    for (i = 1; i <= 4; i++)
+    for (i = 1; i <= nOrder; i++)
         printf "%s\n    \"%s\": %.2f", (i > 1 ? "," : ""), order[i],
             (cur[order[i]] > 0 ? base[order[i]] / cur[order[i]] : 0) > out
     # Aggregation pair: the legacy per-experiment loops are the baseline,
@@ -63,7 +77,21 @@ END {
     printf "    \"indexed_ns_per_op\": %d,\n", cur["AggregateIndexed"] > out
     printf "    \"legacy_ns_per_op\": %d,\n", cur["AggregateLegacy"] > out
     printf "    \"speedup\": %.2f\n", (cur["AggregateIndexed"] > 0 ? cur["AggregateLegacy"] / cur["AggregateIndexed"] : 0) > out
+    # Report-suite pair: the sequential loop measured live against the
+    # scheduled run, plus the scheduled run against the recorded baseline.
+    printf "  },\n  \"report_suite\": {\n" > out
+    printf "    \"scheduled_ns_per_op\": %d,\n", cur["ReportSuite"] > out
+    printf "    \"sequential_ns_per_op\": %d,\n", cur["ReportSuiteSequential"] > out
+    printf "    \"speedup_vs_sequential\": %.2f\n", (cur["ReportSuite"] > 0 ? cur["ReportSuiteSequential"] / cur["ReportSuite"] : 0) > out
+    printf "  },\n  \"json_export_allocs_per_op\": {\n" > out
+    printf "    \"baseline\": %d,\n", base_allocs["JSONExport"] > out
+    printf "    \"current\": %d\n", allocs["JSONExport"] > out
     printf "  }\n}\n" > out
+    if (allocs["JSONExport"] > base_allocs["JSONExport"]) {
+        printf "FAIL: JSONExport allocs/op regressed: %d > baseline %d\n",
+            allocs["JSONExport"], base_allocs["JSONExport"] > "/dev/stderr"
+        exit 1
+    }
 }
 '
 echo "wrote $out"
