@@ -20,6 +20,7 @@ import (
 
 	"io"
 
+	"repro/internal/acmefleet"
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/crawler"
@@ -351,7 +352,7 @@ func BenchmarkCTInclusionProof(b *testing.B) {
 
 // --- Report-suite benches ---
 //
-// The pair measures the full 34-experiment pipeline (govreport -all) end to
+// The pair measures the full 36-experiment pipeline (govreport -all) end to
 // end on a private study per iteration: sequentially, and through the
 // dependency-aware scheduler. The outputs are byte-identical; the scheduled
 // run pre-warms datasets and shares caches across experiments.
@@ -399,6 +400,44 @@ func BenchmarkJSONExport(b *testing.B) {
 
 func BenchmarkExtensionHSTSPreload(b *testing.B) { benchExperiment(b, "E5") }
 func BenchmarkExtensionACMEPolicy(b *testing.B)  { benchExperiment(b, "E6") }
+
+// BenchmarkRenewalFleet measures the §8.1 renewal campaign end to end:
+// order dispatch, http-01 validation round trips, issuance, zero-downtime
+// rotation and snapshotting, on a chaos-injected private world per
+// iteration (world build and scan stay outside the timed region). Its
+// renewals/op feeds the renewal_fleet throughput section of
+// BENCH_scan.json in scripts/bench_scan.sh.
+func BenchmarkRenewalFleet(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var renewals int
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		w := world.MustBuild(world.Config{Seed: 42, Scale: benchScale() / 5})
+		cfg := scanner.DefaultConfig(w.Stores["apple"], w.ScanTime)
+		cfg.Seed = 42
+		cfg.Clock = w.Clock
+		sc := scanner.New(w.Net, w.DNS, w.Class, cfg)
+		bld := resultset.NewBuilder(resultset.Options{CountryOf: w.CountryOf, SizeHint: len(w.GovHosts)})
+		sc.ScanStream(ctx, w.GovHosts, bld.Add)
+		set := bld.Build()
+		enrolled := acmefleet.Enroll(set)
+		hosts := make([]string, len(enrolled))
+		for k, e := range enrolled {
+			hosts[k] = e.Hostname
+		}
+		acmefleet.DefaultChaos().Apply(w, hosts, 42)
+		b.StartTimer()
+		f := acmefleet.New(w, set, acmefleet.Config{Seed: 42})
+		rep := f.Run(ctx)
+		renewals = rep.Final().Renewals
+		if renewals == 0 {
+			b.Fatal("campaign renewed nothing")
+		}
+	}
+	b.ReportMetric(float64(renewals), "renewals/op")
+}
 
 // --- Aggregation benches ---
 //

@@ -15,12 +15,14 @@ import (
 	"net/netip"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/acme"
 	"repro/internal/ca"
 	"repro/internal/cert"
 	"repro/internal/dnssim"
 	"repro/internal/httpsim"
+	"repro/internal/simclock"
 	"repro/internal/simnet"
 	"repro/internal/verify"
 )
@@ -34,7 +36,8 @@ func main() {
 
 	// The CA side: a Let's Encrypt-style ACME endpoint.
 	authority := registry.MustLookup("Let's Encrypt Authority X3")
-	server := acme.NewServer(authority, "letsencrypt.org", zone, network)
+	clock := simclock.NewVirtual(time.Date(2020, 4, 1, 0, 0, 0, 0, time.UTC))
+	server := acme.NewServer(authority, "letsencrypt.org", zone, network, clock)
 	server.EnforceKeyReuse = true // the §8.1 recommendation, switched on
 	apiAddr := netip.MustParseAddrPort("172.30.0.1:80")
 	network.Handle(apiAddr, server.Handle)
@@ -87,7 +90,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	v := &verify.Verifier{Store: store, Now: server.Clock().AddDate(0, 1, 0)}
+	v := &verify.Verifier{Store: store, Now: server.Clock.Now().AddDate(0, 1, 0)}
 	res := v.Verify(chain, "portal.gov.br")
 	fmt.Printf("issued %s: %d-day certificate, chain valid=%v\n",
 		chain[0].Subject.CommonName, chain[0].ValidityDays(), res.Valid())

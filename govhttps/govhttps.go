@@ -15,7 +15,7 @@
 // the stable surface: world construction, scanning, the experiment registry
 // and the crawler/disclosure entry points. The registry spans T1/T2, every
 // figure (F1-F13), the appendix artifacts (TA1-TA4, FA1-FA6), the section
-// results (S533, S534, S722) and six executable extensions (E1-E6).
+// results (S533, S534, S722) and eight executable extensions (E1-E8).
 package govhttps
 
 import (
@@ -72,7 +72,7 @@ func NewStudy(cfg Config) (*Study, error) { return core.NewStudy(cfg) }
 func MustNewStudy(cfg Config) *Study { return core.MustNewStudy(cfg) }
 
 // Experiments lists the full table/figure registry (T1, T2, F1-F13,
-// TA1-TA4, FA1-FA6, S533, S534, S722, E1-E6).
+// TA1-TA4, FA1-FA6, S533, S534, S722, E1-E8).
 func Experiments() []Experiment { return core.Experiments() }
 
 // RunExperiment regenerates one artifact by ID and returns its rendered

@@ -36,8 +36,8 @@ func TestScanAndSummarize(t *testing.T) {
 }
 
 func TestExperimentsListed(t *testing.T) {
-	if len(Experiments()) != 34 {
-		t.Errorf("experiments = %d, want 34", len(Experiments()))
+	if len(Experiments()) != 36 {
+		t.Errorf("experiments = %d, want 36", len(Experiments()))
 	}
 }
 

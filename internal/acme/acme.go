@@ -3,8 +3,9 @@
 // credits for free, easy https (§3.1) and builds its recommendations on
 // (§8.1): the server issues http-01 challenges, validates them by fetching
 // the token over the (simulated) network, enforces DNS CAA authorization
-// (§5.3.4), and — implementing the paper's §8.1 proposal — can refuse to
-// certify a public key that is already bound to an unrelated hostname.
+// (§5.3.4), applies Let's Encrypt-style new-order rate limits, and —
+// implementing the paper's §8.1 proposal — can refuse to certify a public
+// key that is already bound to an unrelated hostname.
 package acme
 
 import (
@@ -13,6 +14,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"net"
 	"net/netip"
 	"strings"
@@ -23,23 +25,131 @@ import (
 	"repro/internal/cert"
 	"repro/internal/dnssim"
 	"repro/internal/httpsim"
+	"repro/internal/simclock"
 )
 
 // ChallengePath is the http-01 well-known prefix.
 const ChallengePath = "/.well-known/acme-challenge/"
 
 // Protocol errors, mirrored in HTTP responses as JSON problem documents.
+// Errors crossing the HTTP boundary come back as *ProblemError (or
+// *RateLimitError), which errors.Is-match these sentinels through their
+// problem code, so callers classify failures the same way on both sides
+// of the wire.
 var (
 	ErrCAARefused    = errors.New("acme: CAA record forbids issuance")
 	ErrChallenge     = errors.New("acme: challenge validation failed")
 	ErrKeyReuse      = errors.New("acme: public key already certified for an unrelated hostname")
 	ErrUnknownOrder  = errors.New("acme: unknown order")
 	ErrOrderNotReady = errors.New("acme: order not ready")
+	ErrRateLimited   = errors.New("acme: rate limited")
 )
 
 // Dialer abstracts the network (satisfied by *simnet.Network).
 type Dialer interface {
 	Dial(ctx context.Context, fromVantage string, ep netip.AddrPort) (net.Conn, error)
+}
+
+// RateLimits is the server's Let's Encrypt-style admission policy for new
+// orders. A limit is enforced only when both its count and its window are
+// positive; the zero value disables all limiting.
+type RateLimits struct {
+	// PerDomain caps new orders per registered domain (RegisteredDomain)
+	// within PerDomainWindow — the "certificates per registered domain"
+	// limit.
+	PerDomain       int
+	PerDomainWindow time.Duration
+	// Global caps new orders across all domains within GlobalWindow — the
+	// "new orders per account" limit.
+	Global       int
+	GlobalWindow time.Duration
+}
+
+// RateLimitError is the typed refusal a rate-limited new-order gets. It
+// unwraps to ErrRateLimited, and RetryAfter tells a well-behaved client
+// when the oldest in-window grant expires — reschedule there instead of
+// hot-retrying.
+type RateLimitError struct {
+	// Scope is "new-orders" (the global limit) or "registered-domain".
+	Scope string
+	// Domain is the offending registered domain ("" for the global limit).
+	Domain string
+	// RetryAfter is when a slot frees.
+	RetryAfter time.Time
+	// Detail carries the server's rendering when the error crossed the
+	// HTTP boundary.
+	Detail string
+}
+
+// Error implements error.
+func (e *RateLimitError) Error() string {
+	if e.Detail != "" {
+		return e.Detail
+	}
+	if e.Domain != "" {
+		return fmt.Sprintf("acme: rate limited: too many orders for registered domain %q, retry after %s",
+			e.Domain, e.RetryAfter.Format(time.RFC3339))
+	}
+	return fmt.Sprintf("acme: rate limited: too many new orders, retry after %s",
+		e.RetryAfter.Format(time.RFC3339))
+}
+
+// Is makes errors.Is(err, ErrRateLimited) match.
+func (e *RateLimitError) Is(target error) bool { return target == ErrRateLimited }
+
+// ProblemError is a typed ACME problem document: the client-side
+// reconstruction of a server refusal, carrying the machine-readable code
+// so callers can classify without string matching.
+type ProblemError struct {
+	Status int
+	Code   string
+	Detail string
+}
+
+// Error implements error.
+func (e *ProblemError) Error() string {
+	if e.Detail != "" {
+		return e.Detail
+	}
+	return fmt.Sprintf("acme: problem %q (status %d)", e.Code, e.Status)
+}
+
+// Is maps problem codes back onto the package sentinels.
+func (e *ProblemError) Is(target error) bool {
+	switch target {
+	case ErrCAARefused:
+		return e.Code == "caa"
+	case ErrKeyReuse:
+		return e.Code == "keyReuse"
+	case ErrChallenge:
+		return e.Code == "challenge"
+	case ErrUnknownOrder:
+		return e.Code == "unknownOrder"
+	case ErrOrderNotReady:
+		return e.Code == "orderNotReady"
+	case ErrRateLimited:
+		return e.Code == "rateLimited"
+	}
+	return false
+}
+
+// problemCode renders an error as its wire code.
+func problemCode(err error) string {
+	switch {
+	case errors.Is(err, ErrRateLimited):
+		return "rateLimited"
+	case errors.Is(err, ErrCAARefused):
+		return "caa"
+	case errors.Is(err, ErrKeyReuse):
+		return "keyReuse"
+	case errors.Is(err, ErrChallenge):
+		return "challenge"
+	case errors.Is(err, ErrUnknownOrder):
+		return "unknownOrder"
+	case errors.Is(err, ErrOrderNotReady):
+		return "orderNotReady"
+	}
+	return "malformed"
 }
 
 // Server is the ACME certificate authority.
@@ -57,14 +167,27 @@ type Server struct {
 	// certified for a hostname can only be reused by that hostname or its
 	// subdomains.
 	EnforceKeyReuse bool
-	// Clock returns issuance time; defaults to a fixed epoch for
-	// determinism.
-	Clock func() time.Time
+	// Clock supplies issuance and rate-limit time. There is no default:
+	// NewServer requires an explicit clock, so issued NotBefore/NotAfter
+	// advance with whatever (virtual) timeline the caller runs on.
+	Clock simclock.Clock
+	// Limits is the new-order admission policy; the zero value admits
+	// everything.
+	Limits RateLimits
 
 	mu     sync.Mutex
 	orders map[string]*order
-	seq    int
-	policy *ReusePolicy
+	// orderQueue records order IDs in creation order; completed orders
+	// leave the map and the queue is compacted when mostly dead, keeping
+	// a long-running renewal fleet's bookkeeping bounded. All iteration
+	// over orders walks this queue — never the map — so observable order
+	// is creation order, not map order.
+	orderQueue []string
+	seq        int
+	policy     *ReusePolicy
+	// Sliding rate-limit windows: grant timestamps in ascending order.
+	domainGrants map[string][]time.Time
+	globalGrants []time.Time
 }
 
 type order struct {
@@ -75,18 +198,22 @@ type order struct {
 	validated bool
 }
 
-// NewServer assembles an ACME server.
-func NewServer(authority *ca.Authority, caDomain string, zone *dnssim.Zone, d Dialer) *Server {
+// NewServer assembles an ACME server running on the given clock. The
+// clock is mandatory — issuance time is always the caller's timeline,
+// virtual or real; there is no fixed-epoch or wall-time fallback.
+func NewServer(authority *ca.Authority, caDomain string, zone *dnssim.Zone, d Dialer, clk simclock.Clock) *Server {
+	if clk == nil {
+		panic("acme: NewServer requires a clock")
+	}
 	return &Server{
-		Authority: authority,
-		CADomain:  caDomain,
-		Zone:      zone,
-		Net:       d,
-		Clock: func() time.Time {
-			return time.Date(2020, 4, 1, 0, 0, 0, 0, time.UTC)
-		},
-		orders: make(map[string]*order),
-		policy: NewReusePolicy(),
+		Authority:    authority,
+		CADomain:     caDomain,
+		Zone:         zone,
+		Net:          d,
+		Clock:        clk,
+		orders:       make(map[string]*order),
+		policy:       NewReusePolicy(),
+		domainGrants: make(map[string][]time.Time),
 	}
 }
 
@@ -115,9 +242,99 @@ type FinalizeResponse struct {
 	Chain string `json:"chain"`
 	// Error is the problem description on failure.
 	Error string `json:"error,omitempty"`
+	// Code is the machine-readable problem code on failure.
+	Code string `json:"code,omitempty"`
+	// RetryAfter is the RFC 3339 retry hint on rate-limit refusals.
+	RetryAfter string `json:"retry_after,omitempty"`
 }
 
-// NewOrder registers an order and mints challenge tokens.
+// RegisteredDomain approximates the eTLD+1 grouping CAs rate-limit on:
+// the last two labels, or the last three when the name sits under a
+// two-part public suffix like gov.uk or go.kr. Good enough for the
+// study's government namespace without carrying the public-suffix list.
+func RegisteredDomain(hostname string) string {
+	hostname = strings.TrimPrefix(strings.ToLower(hostname), "*.")
+	labels := strings.Split(hostname, ".")
+	n := len(labels)
+	if n <= 2 {
+		return hostname
+	}
+	if len(labels[n-1]) == 2 && multiPartSLD[labels[n-2]] {
+		return strings.Join(labels[n-3:], ".")
+	}
+	return strings.Join(labels[n-2:], ".")
+}
+
+// multiPartSLD lists second-level labels that form two-part public
+// suffixes under ccTLDs (gov.uk, go.kr, gob.mx, gouv.fr, ...).
+var multiPartSLD = map[string]bool{
+	"gov": true, "go": true, "gob": true, "gouv": true, "gub": true,
+	"mil": true, "edu": true, "ac": true, "co": true, "com": true,
+	"or": true, "org": true, "ne": true, "net": true,
+}
+
+// admitLocked applies the rate limits to one new order at time now,
+// recording the grant when admitted. Caller holds s.mu.
+func (s *Server) admitLocked(hostnames []string, now time.Time) error {
+	if s.Limits.Global > 0 && s.Limits.GlobalWindow > 0 {
+		s.globalGrants = pruneGrants(s.globalGrants, now.Add(-s.Limits.GlobalWindow))
+		if len(s.globalGrants) >= s.Limits.Global {
+			return &RateLimitError{
+				Scope:      "new-orders",
+				RetryAfter: s.globalGrants[0].Add(s.Limits.GlobalWindow),
+			}
+		}
+	}
+	var domains []string
+	if s.Limits.PerDomain > 0 && s.Limits.PerDomainWindow > 0 {
+		for _, h := range hostnames {
+			d := RegisteredDomain(h)
+			seen := false
+			for _, prev := range domains {
+				if prev == d {
+					seen = true
+					break
+				}
+			}
+			if seen {
+				continue
+			}
+			s.domainGrants[d] = pruneGrants(s.domainGrants[d], now.Add(-s.Limits.PerDomainWindow))
+			if len(s.domainGrants[d]) >= s.Limits.PerDomain {
+				return &RateLimitError{
+					Scope:      "registered-domain",
+					Domain:     d,
+					RetryAfter: s.domainGrants[d][0].Add(s.Limits.PerDomainWindow),
+				}
+			}
+			domains = append(domains, d)
+		}
+	}
+	// Admitted: record the grant in every window it was checked against.
+	if s.Limits.Global > 0 && s.Limits.GlobalWindow > 0 {
+		s.globalGrants = append(s.globalGrants, now)
+	}
+	for _, d := range domains {
+		s.domainGrants[d] = append(s.domainGrants[d], now)
+	}
+	return nil
+}
+
+// pruneGrants drops grants at or before the window floor. Grants are
+// appended in clock order, so the live suffix is contiguous.
+func pruneGrants(grants []time.Time, floor time.Time) []time.Time {
+	i := 0
+	for i < len(grants) && !grants[i].After(floor) {
+		i++
+	}
+	if i == 0 {
+		return grants
+	}
+	return append(grants[:0], grants[i:]...)
+}
+
+// NewOrder registers an order and mints challenge tokens, applying the
+// configured rate limits first.
 func (s *Server) NewOrder(req OrderRequest) (OrderResponse, error) {
 	if len(req.Hostnames) == 0 {
 		return OrderResponse{}, errors.New("acme: order without hostnames")
@@ -126,8 +343,12 @@ func (s *Server) NewOrder(req OrderRequest) (OrderResponse, error) {
 	if err != nil {
 		return OrderResponse{}, err
 	}
+	now := s.Clock.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.admitLocked(req.Hostnames, now); err != nil {
+		return OrderResponse{}, err
+	}
 	s.seq++
 	o := &order{
 		id:        fmt.Sprintf("order-%06d", s.seq),
@@ -139,10 +360,45 @@ func (s *Server) NewOrder(req OrderRequest) (OrderResponse, error) {
 		o.tokens[strings.ToLower(h)] = fmt.Sprintf("tok-%06d-%d-%08x", s.seq, i, tokenHash(h, s.seq))
 	}
 	s.orders[o.id] = o
+	s.orderQueue = append(s.orderQueue, o.id)
 	return OrderResponse{OrderID: o.id, Tokens: copyTokens(o.tokens)}, nil
 }
 
+// PendingOrders returns the IDs of not-yet-completed orders in creation
+// order (never map order — the fleet's bookkeeping must read the same
+// under any goroutine interleaving that created the same orders).
+func (s *Server) PendingOrders() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.orders))
+	for _, id := range s.orderQueue {
+		if _, live := s.orders[id]; live {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// completeLocked retires an order that reached a terminal outcome and
+// compacts the creation-order queue once it is mostly tombstones, so a
+// fleet driving tens of thousands of renewals holds O(live) state.
+func (s *Server) completeLocked(id string) {
+	delete(s.orders, id)
+	if len(s.orderQueue) > 16 && len(s.orderQueue) > 2*len(s.orders) {
+		live := s.orderQueue[:0]
+		for _, qid := range s.orderQueue {
+			if _, ok := s.orders[qid]; ok {
+				live = append(live, qid)
+			}
+		}
+		s.orderQueue = live
+	}
+}
+
 // Finalize validates every challenge and issues the certificate chain.
+// Terminal outcomes — issuance, CAA or key-reuse refusal, failed
+// validation — retire the order; a retry takes a fresh order (and a fresh
+// rate-limit grant), exactly as a production CA accounts renewals.
 func (s *Server) Finalize(ctx context.Context, orderID string) ([]*cert.Certificate, error) {
 	s.mu.Lock()
 	o, ok := s.orders[orderID]
@@ -150,11 +406,17 @@ func (s *Server) Finalize(ctx context.Context, orderID string) ([]*cert.Certific
 	if !ok {
 		return nil, ErrUnknownOrder
 	}
+	retire := func() {
+		s.mu.Lock()
+		s.completeLocked(orderID)
+		s.mu.Unlock()
+	}
 
 	// §5.3.4 / §8.2: CAA records restrict which CAs may issue.
 	for _, h := range o.hostnames {
 		name := strings.TrimPrefix(strings.ToLower(h), "*.")
 		if !s.Zone.AllowsIssuance(name, s.CADomain) {
+			retire()
 			return nil, fmt.Errorf("%w: %s restricts issuance", ErrCAARefused, name)
 		}
 	}
@@ -162,6 +424,7 @@ func (s *Server) Finalize(ctx context.Context, orderID string) ([]*cert.Certific
 	// §8.1: refuse keys already bound to unrelated hostnames.
 	if s.EnforceKeyReuse {
 		if err := s.policy.Check(o.key.ID, o.hostnames); err != nil {
+			retire()
 			return nil, err
 		}
 	}
@@ -171,21 +434,42 @@ func (s *Server) Finalize(ctx context.Context, orderID string) ([]*cert.Certific
 	for _, h := range o.hostnames {
 		name := strings.TrimPrefix(strings.ToLower(h), "*.")
 		if err := s.validateHTTP01(ctx, name, o.tokens[strings.ToLower(h)]); err != nil {
+			retire()
 			return nil, err
 		}
 	}
 
+	now := s.Clock.Now()
 	chain := s.Authority.Issue(ca.Request{
 		// Issue retains the slice; the order keeps using its own copy.
 		Hostnames: append([]string(nil), o.hostnames...),
 		Key:       o.key,
-		NotBefore: s.Clock(),
+		NotBefore: now,
+		// A derived serial keeps concurrent finalizes off the authority's
+		// unsynchronized counter and independent of completion order.
+		Serial: issuanceSerial(o.hostnames[0], now),
 	})
 	s.mu.Lock()
 	o.validated = true
+	s.completeLocked(orderID)
 	s.mu.Unlock()
 	s.policy.Record(o.key.ID, o.hostnames)
 	return chain, nil
+}
+
+// issuanceSerial derives a deterministic certificate serial from the
+// subject and issuance instant. The high bit keeps the space disjoint
+// from the authority's counter-assigned serials.
+func issuanceSerial(hostname string, at time.Time) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(hostname))
+	var buf [8]byte
+	n := at.UnixNano()
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(n >> (8 * i))
+	}
+	h.Write(buf[:])
+	return h.Sum64() | 1<<63
 }
 
 // ReusePolicy implements the §8.1 recommendation as a standalone rule: a
@@ -270,7 +554,12 @@ func (s *Server) Handle(conn net.Conn) {
 		return
 	}
 	writeProblem := func(status int, err error) {
-		body, _ := json.Marshal(FinalizeResponse{Error: err.Error()})
+		p := FinalizeResponse{Error: err.Error(), Code: problemCode(err)}
+		var rl *RateLimitError
+		if errors.As(err, &rl) {
+			p.RetryAfter = rl.RetryAfter.Format(time.RFC3339Nano)
+		}
+		body, _ := json.Marshal(p)
 		httpsim.WriteResponse(conn, status, jsonHdr, body)
 	}
 	switch {
@@ -282,7 +571,11 @@ func (s *Server) Handle(conn net.Conn) {
 		}
 		resp, err := s.NewOrder(or)
 		if err != nil {
-			writeProblem(400, err)
+			status := 400
+			if errors.Is(err, ErrRateLimited) {
+				status = 429
+			}
+			writeProblem(status, err)
 			return
 		}
 		body, _ := json.Marshal(resp)
@@ -339,7 +632,7 @@ func parseKey(req OrderRequest) (cert.PublicKey, error) {
 
 func copyTokens(in map[string]string) map[string]string {
 	out := make(map[string]string, len(in))
-	for k, v := range in {
+	for k, v := range in { //lint:allow maprange defensive map copy; callers receive an unordered map either way, so iteration order never escapes
 		out[k] = v
 	}
 	return out

@@ -10,12 +10,14 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/acme"
 	"repro/internal/ca"
 	"repro/internal/cert"
 	"repro/internal/dnssim"
 	"repro/internal/httpsim"
+	"repro/internal/simclock"
 	"repro/internal/simnet"
 	"repro/internal/truststore"
 	"repro/internal/verify"
@@ -50,7 +52,8 @@ func newHarness(t *testing.T) *harness {
 	}
 	h.store = h.reg.BuildStore("apple", ca.AppleCounts, rng)
 	authority := h.reg.MustLookup("Let's Encrypt Authority X3")
-	h.server = acme.NewServer(authority, "letsencrypt.org", h.zone, h.net)
+	clk := simclock.NewVirtual(time.Date(2020, 4, 1, 0, 0, 0, 0, time.UTC))
+	h.server = acme.NewServer(authority, "letsencrypt.org", h.zone, h.net, clk)
 	h.net.Handle(acmeAPI, h.server.Handle)
 	h.client = &acme.Client{
 		Server:     acmeAPI,
@@ -113,7 +116,7 @@ func TestObtainEndToEnd(t *testing.T) {
 	if len(chain) != 2 {
 		t.Fatalf("chain = %d certs", len(chain))
 	}
-	v := &verify.Verifier{Store: h.store, Now: h.server.Clock().AddDate(0, 1, 0)}
+	v := &verify.Verifier{Store: h.store, Now: h.server.Clock.Now().AddDate(0, 1, 0)}
 	if res := v.Verify(chain, "portal.gov.br"); !res.Valid() {
 		t.Fatalf("issued chain invalid: %v (%s)", res.Code, res.Detail)
 	}

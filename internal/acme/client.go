@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"net"
 	"net/netip"
+	"sort"
+	"time"
 
 	"repro/internal/cert"
 	"repro/internal/httpsim"
@@ -39,11 +41,18 @@ func (c *Client) Obtain(ctx context.Context, hostnames []string, key cert.Public
 	if err != nil {
 		return nil, err
 	}
-	for host, token := range orderResp.Tokens {
+	// Provision in sorted hostname order: the hook's side effects (and any
+	// failure it surfaces first) must not depend on map iteration.
+	hosts := make([]string, 0, len(orderResp.Tokens))
+	for host := range orderResp.Tokens {
+		hosts = append(hosts, host)
+	}
+	sort.Strings(hosts)
+	for _, host := range hosts {
 		if c.Provision == nil {
 			return nil, fmt.Errorf("acme: no Provision hook to publish token for %s", host)
 		}
-		if err := c.Provision(host, token); err != nil {
+		if err := c.Provision(host, orderResp.Tokens[host]); err != nil {
 			return nil, fmt.Errorf("acme: provisioning %s: %w", host, err)
 		}
 	}
@@ -91,11 +100,23 @@ func (c *Client) post(ctx context.Context, path string, in, out any) error {
 		return fmt.Errorf("acme: %s: %w", path, err)
 	}
 	if resp.StatusCode != 200 {
-		var problem FinalizeResponse
-		if json.Unmarshal(resp.Body, &problem) == nil && problem.Error != "" {
-			return fmt.Errorf("acme: %s: %s", path, problem.Error)
-		}
-		return fmt.Errorf("acme: %s: status %d", path, resp.StatusCode)
+		return problemFromResponse(path, resp.StatusCode, resp.Body)
 	}
 	return json.Unmarshal(resp.Body, out)
+}
+
+// problemFromResponse rebuilds a typed error from a problem document, so
+// server-side refusals keep their errors.Is identity across the wire.
+func problemFromResponse(path string, status int, body []byte) error {
+	var problem FinalizeResponse
+	if json.Unmarshal(body, &problem) != nil || (problem.Error == "" && problem.Code == "") {
+		return fmt.Errorf("acme: %s: status %d", path, status)
+	}
+	if problem.Code == "rateLimited" {
+		retryAfter, err := time.Parse(time.RFC3339Nano, problem.RetryAfter)
+		if err == nil {
+			return &RateLimitError{RetryAfter: retryAfter, Detail: problem.Error}
+		}
+	}
+	return &ProblemError{Status: status, Code: problem.Code, Detail: problem.Error}
 }

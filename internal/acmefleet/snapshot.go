@@ -1,0 +1,137 @@
+package acmefleet
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"repro/internal/recommend"
+)
+
+// Snapshot is the fleet's state at the end of one tick. All counters are
+// cumulative except the four state tallies, which partition the enrolled
+// population at that instant.
+type Snapshot struct {
+	Tick int
+	// Time is the nominal tick time (start + tick·interval) — never a
+	// live clock read.
+	Time time.Time
+	// State tallies: Enrolled + Renewed + Parked + Denied = population.
+	Enrolled int
+	Renewed  int
+	Parked   int
+	Denied   int
+	// Attempts counts order attempts so far; Renewals successful ones.
+	Attempts int
+	Renewals int
+	// Errors counts failures so far, indexed by ErrClass.
+	Errors [NumErrClasses]int
+}
+
+// snapshot tallies fleet state by walking the fixed, hostname-sorted host
+// list.
+func (f *Fleet) snapshot(tick int, now time.Time) Snapshot {
+	s := Snapshot{Tick: tick, Time: now, Errors: f.errTotals}
+	for _, h := range f.hosts {
+		switch h.state {
+		case FleetEnrolled:
+			s.Enrolled++
+		case FleetRenewed:
+			s.Renewed++
+		case FleetParked:
+			s.Parked++
+		case FleetDenied:
+			s.Denied++
+		}
+		s.Attempts += h.attempts
+		s.Renewals += h.renewals
+	}
+	return s
+}
+
+// appendTo writes the snapshot's canonical one-line form.
+func (s Snapshot) appendTo(b *bytes.Buffer) {
+	fmt.Fprintf(b, "tick=%03d t=%s enrolled=%d renewed=%d parked=%d denied=%d attempts=%d renewals=%d errs=",
+		s.Tick, s.Time.UTC().Format(time.RFC3339), s.Enrolled, s.Renewed, s.Parked, s.Denied,
+		s.Attempts, s.Renewals)
+	for c := ErrClass(1); c < NumErrClasses; c++ {
+		if c > 1 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(b, "%s:%d", c, s.Errors[c])
+	}
+	b.WriteByte('\n')
+}
+
+// HostStatus is one host's final campaign outcome.
+type HostStatus struct {
+	Hostname string
+	Reason   recommend.Rule
+	State    State
+	Class    ErrClass
+	Attempts int
+	Renewals int
+	Probes   int
+	// Terminal marks hosts the scheduler will never touch again
+	// (denied, or parked with probation exhausted).
+	Terminal bool
+}
+
+// Report is one campaign's full output.
+type Report struct {
+	// Enrolled is the campaign population size.
+	Enrolled int
+	// Snapshots holds one entry per tick, in tick order.
+	Snapshots []Snapshot
+	// Hosts holds final per-host outcomes, sorted by hostname.
+	Hosts []HostStatus
+}
+
+// Final returns the last snapshot (zero value for an empty run).
+func (r *Report) Final() Snapshot {
+	if len(r.Snapshots) == 0 {
+		return Snapshot{}
+	}
+	return r.Snapshots[len(r.Snapshots)-1]
+}
+
+// ChangedHosts lists hosts whose serving state the fleet changed (at
+// least one certificate rotation) — the partial-invalidation set for
+// cached scan datasets.
+func (r *Report) ChangedHosts() []string {
+	var out []string
+	for _, h := range r.Hosts {
+		if h.Renewals > 0 {
+			out = append(out, h.Hostname)
+		}
+	}
+	return out
+}
+
+// Converged reports whether every enrolled host reached a classified
+// destination: renewed, denied, or parked with a recorded error class —
+// nobody still in the initial enrolled state.
+func (r *Report) Converged() bool {
+	for _, h := range r.Hosts {
+		if h.State == FleetEnrolled {
+			return false
+		}
+	}
+	return true
+}
+
+// Bytes serializes the snapshot stream canonically — the byte string the
+// determinism contract is stated over: two same-seed runs at any worker
+// count must produce identical output.
+func (r *Report) Bytes() []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "enrolled=%d ticks=%d\n", r.Enrolled, len(r.Snapshots))
+	for _, s := range r.Snapshots {
+		s.appendTo(&b)
+	}
+	for _, h := range r.Hosts {
+		fmt.Fprintf(&b, "host=%s reason=%s state=%s class=%s attempts=%d renewals=%d probes=%d terminal=%v\n",
+			h.Hostname, h.Reason, h.State, h.Class, h.Attempts, h.Renewals, h.Probes, h.Terminal)
+	}
+	return b.Bytes()
+}

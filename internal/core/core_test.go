@@ -18,7 +18,7 @@ func TestExperimentRegistryComplete(t *testing.T) {
 		"TA1", "TA2", "TA3", "TA4",
 		"FA1", "FA2", "FA3", "FA4", "FA5", "FA6",
 		"S533", "S534", "S722",
-		"E1", "E2", "E3", "E4", "E5", "E6",
+		"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8",
 	}
 	if len(exps) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(exps), len(want))
@@ -72,6 +72,8 @@ func TestRunEveryExperiment(t *testing.T) {
 		"E4":   {"diff: improved"},
 		"E5":   {"preload"},
 		"E6":   {"refused by the policy"},
+		"E7":   {"final adoption", "post-campaign rescan"},
+		"E8":   {"error-class decay", "terminal long tail"},
 	}
 	ctx := context.Background()
 	for _, e := range Experiments() {

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/acmefleet"
 	"repro/internal/analysis"
 	"repro/internal/certwatch"
 	"repro/internal/crawler"
@@ -86,6 +87,8 @@ func registry() ([]Experiment, map[string]int) {
 			{ID: "E4", Title: "Extension: Longitudinal monitoring (future work)", Datasets: ww, MutatesWorld: true, Run: runE4},
 			{ID: "E5", Title: "Extension: HSTS preload impact (§8.2)", Datasets: ww, Run: runE5},
 			{ID: "E6", Title: "Extension: §8.1 key-reuse issuance policy replay", Datasets: ww, Run: runE6},
+			{ID: "E7", Title: "Extension: ACME renewal fleet adoption curve (§8.1)", Datasets: []string{"acmefleet"}, MutatesWorld: true, Run: runE7},
+			{ID: "E8", Title: "Extension: renewal fleet error-class decay (§8.1)", Datasets: []string{"acmefleet"}, MutatesWorld: true, Run: runE8},
 		}
 		registryIdx = make(map[string]int, len(registryExps))
 		for i := range registryExps {
@@ -498,5 +501,107 @@ func runE6(ctx context.Context, s *Study) (string, error) {
 	b.WriteString("(each refusal is a certification of a public key already bound to an\n")
 	b.WriteString(" unrelated hostname — the cross-government private-key sharing §5.3.3\n")
 	b.WriteString(" warns about. Same-zone wildcard reuse passes the subdomain carve-out.)\n")
+	return b.String(), nil
+}
+
+// fleetSampleTicks picks every 10th snapshot plus the final one — the
+// rows the E7/E8 tables render.
+func fleetSampleTicks(n int) []int {
+	var out []int
+	for i := 0; i < n; i += 10 {
+		out = append(out, i)
+	}
+	if n > 0 && out[len(out)-1] != n-1 {
+		out = append(out, n-1)
+	}
+	return out
+}
+
+func runE7(ctx context.Context, s *Study) (string, error) {
+	rep, chaos, err := s.FleetReport(ctx)
+	if err != nil {
+		return "", err
+	}
+	after, err := s.Dataset(ctx, "acmefleet")
+	if err != nil {
+		return "", err
+	}
+	var adopt, fixcert int
+	for _, h := range rep.Hosts {
+		if h.Reason == recommend.AdoptHTTPS {
+			adopt++
+		} else {
+			fixcert++
+		}
+	}
+	var b strings.Builder
+	b.WriteString("Extension E7: automated ACME renewal fleet — adoption curve (§8.1)\n")
+	b.WriteString("===================================================================\n")
+	fmt.Fprintf(&b, "enrolled: %d misconfigured hosts (adopt-https %d, fix-certificate %d)\n",
+		rep.Enrolled, adopt, fixcert)
+	fmt.Fprintf(&b, "chaos profile: %d flaky, %d truncating, %d CAA-denied hosts\n",
+		len(chaos.Flaky), len(chaos.Truncated), len(chaos.CAADenied))
+	b.WriteString("\n  day  renewed  parked  denied  pending  adoption%\n")
+	for _, i := range fleetSampleTicks(len(rep.Snapshots)) {
+		sn := rep.Snapshots[i]
+		fmt.Fprintf(&b, "  %3d  %7d  %6d  %6d  %7d  %8.1f%%\n",
+			sn.Tick, sn.Renewed, sn.Parked, sn.Denied, sn.Enrolled,
+			100*float64(sn.Renewed)/float64(rep.Enrolled))
+	}
+	final := rep.Final()
+	fmt.Fprintf(&b, "\nfinal adoption: %.1f%% of the enrolled corpus renewed (%d certificate rotations)\n",
+		100*float64(final.Renewed)/float64(rep.Enrolled), final.Renewals)
+	counts := after.Counts()
+	fmt.Fprintf(&b, "post-campaign rescan of the corpus: %d of %d hosts now serve valid https (%.1f%%)\n",
+		counts.Valid, after.Len(), 100*float64(counts.Valid)/float64(after.Len()))
+	b.WriteString("(the paper's manual disclosure moved single-digit percentages of the\n")
+	b.WriteString(" notified population in two months — see S722's Improvement rows; the\n")
+	b.WriteString(" automated loop converts everything but the parked/denied long tail.)\n")
+	return b.String(), nil
+}
+
+func runE8(ctx context.Context, s *Study) (string, error) {
+	rep, _, err := s.FleetReport(ctx)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Extension E8: renewal fleet error-class decay (§8.1)\n")
+	b.WriteString("=====================================================\n")
+	b.WriteString("cumulative order failures by class:\n\n")
+	b.WriteString("  day  network  challenge  rate-limited  caa-denied  key-reuse  other\n")
+	for _, i := range fleetSampleTicks(len(rep.Snapshots)) {
+		sn := rep.Snapshots[i]
+		fmt.Fprintf(&b, "  %3d  %7d  %9d  %12d  %10d  %9d  %5d\n",
+			sn.Tick,
+			sn.Errors[acmefleet.ErrNetwork], sn.Errors[acmefleet.ErrChallenge],
+			sn.Errors[acmefleet.ErrRateLimited], sn.Errors[acmefleet.ErrCAA],
+			sn.Errors[acmefleet.ErrKeyReuse], sn.Errors[acmefleet.ErrOther])
+	}
+	mid := rep.Snapshots[len(rep.Snapshots)/2]
+	final := rep.Final()
+	var early, late int
+	for c := acmefleet.ErrClass(1); c < acmefleet.NumErrClasses; c++ {
+		early += mid.Errors[c]
+		late += final.Errors[c] - mid.Errors[c]
+	}
+	fmt.Fprintf(&b, "\nfailures in the first half of the campaign: %d, in the second: %d\n", early, late)
+	var parked, denied int
+	for _, h := range rep.Hosts {
+		if h.Terminal {
+			switch h.State {
+			case acmefleet.FleetParked:
+				parked++
+			case acmefleet.FleetDenied:
+				denied++
+			default:
+				// Terminal is only ever set alongside Parked or Denied.
+			}
+		}
+	}
+	fmt.Fprintf(&b, "terminal long tail: %d hosts parked (probation exhausted), %d denied by policy\n", parked, denied)
+	b.WriteString("(transient classes concentrate early and stop accumulating once backoff\n")
+	b.WriteString(" and the failure budget absorb them; the terminal classes — CAA and\n")
+	b.WriteString(" key-reuse refusals — are flat lines no retry schedule can bend.)\n")
 	return b.String(), nil
 }

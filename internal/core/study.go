@@ -10,7 +10,10 @@ import (
 	"math/rand"
 	"os"
 	"sync"
+	"time"
 
+	"repro/internal/acme"
+	"repro/internal/acmefleet"
 	"repro/internal/analysis"
 	"repro/internal/cert"
 	"repro/internal/dataset"
@@ -50,6 +53,13 @@ type Study struct {
 	// rankOf maps worldwide hostnames to their Tranco rank for the
 	// resultset rank index.
 	rankOf map[string]int
+
+	// fleetReport memoizes the §8.1 renewal-fleet campaign (E7/E8 and the
+	// acmefleet dataset all consume one run; the campaign mutates the
+	// serving world, so it must not repeat).
+	fleetMu     sync.Mutex
+	fleetReport *acmefleet.Report
+	fleetChaos  acmefleet.ChaosOutcome
 
 	// verifyCache and chainCache persist across every scanner this study
 	// builds, so the worldwide, USA and ROK datasets — and repeat scans
@@ -101,6 +111,12 @@ func NewStudy(cfg world.Config) (*Study, error) {
 		Name:  "rok",
 		Hosts: func() []string { return s.World.ROK.Hosts },
 		Opts:  func() resultset.Options { return s.caseStudyOptions() },
+	})
+	s.datasets.Register(dataset.Source{
+		Name:  "acmefleet",
+		Hosts: func() []string { return s.fleetHosts() },
+		Opts:  func() resultset.Options { return s.caseStudyOptions() },
+		Build: func(ctx context.Context) (*resultset.Set, error) { return s.scanFleetCorpus(ctx) },
 	})
 	return s, nil
 }
@@ -387,6 +403,98 @@ func (s *Study) Rand(label string) *rand.Rand {
 		h *= 1099511628211
 	}
 	return rand.New(rand.NewSource(s.World.Cfg.Seed ^ h))
+}
+
+// FleetReport runs (once) the §8.1 automated renewal campaign: enroll
+// every worldwide host the scan recommends AdoptHTTPS or FixCertificate
+// for, subject them to the default chaos profile, and drive http-01
+// renewals through the simulated ACME CA until the campaign horizon. The
+// campaign mutates the serving world — rotated certificates stay deployed
+// — so the result is memoized for the study's lifetime and the worldwide
+// dataset is patch-invalidated for exactly the changed hosts. Like S722
+// and E4, callers that hold no barrier must not scan concurrently.
+func (s *Study) FleetReport(ctx context.Context) (*acmefleet.Report, acmefleet.ChaosOutcome, error) {
+	// Resolve the worldwide snapshot before taking the fleet lock:
+	// enrollment reads it, and the scan must complete before the campaign
+	// starts changing sites underneath the scanner.
+	set, err := s.datasets.Get(ctx, "worldwide")
+	if err != nil {
+		return nil, acmefleet.ChaosOutcome{}, err
+	}
+	s.fleetMu.Lock()
+	defer s.fleetMu.Unlock()
+	if s.fleetReport != nil {
+		return s.fleetReport, s.fleetChaos, nil
+	}
+	enrolled := acmefleet.Enroll(set)
+	hosts := make([]string, len(enrolled))
+	for i, e := range enrolled {
+		hosts[i] = e.Hostname
+	}
+	chaos := acmefleet.DefaultChaos().Apply(s.World, hosts, s.World.Cfg.Seed)
+	fleet := acmefleet.New(s.World, set, s.fleetConfig(len(enrolled)))
+	rep := fleet.Run(ctx)
+	s.MarkDatasetDirty("worldwide", rep.ChangedHosts())
+	s.fleetReport, s.fleetChaos = rep, chaos
+	return rep, chaos, nil
+}
+
+// fleetConfig shapes the study's campaign: Let's Encrypt-style limits — a
+// global new-order cap sized so a compliant fleet needs roughly three
+// weeks for the corpus (spreading the adoption curve over the horizon)
+// plus a per-registered-domain weekly cap. The fleet mirrors the limits
+// client-side, so the campaign paces itself instead of harvesting 429s.
+func (s *Study) fleetConfig(enrolled int) acmefleet.Config {
+	return acmefleet.Config{
+		Seed: s.World.Cfg.Seed,
+		Limits: acme.RateLimits{
+			Global:          enrolled/20 + 5,
+			GlobalWindow:    24 * time.Hour,
+			PerDomain:       5,
+			PerDomainWindow: 7 * 24 * time.Hour,
+		},
+	}
+}
+
+// fleetHosts lists the campaign population (empty before the first
+// FleetReport call — the acmefleet dataset's Build hook runs the campaign
+// before any scan needs the list).
+func (s *Study) fleetHosts() []string {
+	s.fleetMu.Lock()
+	defer s.fleetMu.Unlock()
+	if s.fleetReport == nil {
+		return nil
+	}
+	hosts := make([]string, len(s.fleetReport.Hosts))
+	for i := range s.fleetReport.Hosts {
+		hosts[i] = s.fleetReport.Hosts[i].Hostname
+	}
+	return hosts
+}
+
+// scanFleetCorpus is the acmefleet dataset's Build hook: run the campaign
+// (memoized), then scan exactly the enrolled hosts — the post-campaign
+// ground truth E7 verifies adoption against. The scan runs at the
+// campaign-end instant, not the study scan time: fleet certificates have
+// mid-campaign NotBefore dates and would all be "not yet valid" at the
+// original instant.
+func (s *Study) scanFleetCorpus(ctx context.Context) (*resultset.Set, error) {
+	rep, _, err := s.FleetReport(ctx)
+	if err != nil {
+		return nil, err
+	}
+	cfg := scanner.DefaultConfig(s.Store(), rep.Final().Time)
+	cfg.Seed = s.World.Cfg.Seed
+	cfg.Clock = s.World.Clock
+	cfg.VerifyCache = s.verifyCache
+	cfg.ChainCache = s.chainCache
+	sc := scanner.New(s.World.Net, s.World.DNS, s.World.Class, cfg)
+	hosts := s.fleetHosts()
+	opts := s.caseStudyOptions()
+	opts.SizeHint = len(hosts)
+	b := resultset.NewBuilder(opts)
+	sc.ScanStream(ctx, hosts, b.Add)
+	return b.Build(), nil
 }
 
 // LinkGraph extracts the world's hyperlink graph for the cross-government

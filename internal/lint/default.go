@@ -3,14 +3,17 @@ package lint
 // DeterministicPackages are the packages whose output feeds the paper's
 // tables and must be bit-identical across same-seed runs; maprange
 // enforces ordered iteration inside them. World generation, scanning,
-// verification, the dataset/result-set aggregation layer, and the
-// reporting/statistics layers all qualify: a single unordered map walk in
-// any of them reorders RNG draws, index buckets, or report rows.
+// verification, the ACME CA and renewal fleet, the dataset/result-set
+// aggregation layer, and the reporting/statistics layers all qualify: a
+// single unordered map walk in any of them reorders RNG draws, index
+// buckets, order dispatch, or report rows.
 var DeterministicPackages = []string{
 	"repro/internal/world",
 	"repro/internal/scanner",
 	"repro/internal/verify",
 	"repro/internal/core",
+	"repro/internal/acme",
+	"repro/internal/acmefleet",
 	"repro/internal/dataset",
 	"repro/internal/resultset",
 	"repro/internal/report",

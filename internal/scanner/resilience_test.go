@@ -228,6 +228,79 @@ func TestBreakerScanIntegration(t *testing.T) {
 	}
 }
 
+// TestBreakerScanProbation drives the half-open probation path through
+// real scans: a dead provider block opens the circuit; after the cooldown
+// the next scan spends exactly one probe dial, and a failed probe re-opens
+// while a successful probe (the block recovered) closes the circuit and
+// lets the rest of the block scan on its own merits again.
+func TestBreakerScanProbation(t *testing.T) {
+	n := simnet.New()
+	zone := dnssim.NewZone()
+	var hosts []string
+	for i := 0; i < 6; i++ {
+		h := fmt.Sprintf("h%d.parked.gov.zz", i)
+		ip := netip.MustParseAddr(fmt.Sprintf("203.0.114.%d", 10+i))
+		zone.AddA(h, ip)
+		hosts = append(hosts, h)
+		n.SetFaultSpec(netip.AddrPortFrom(ip, 80), simnet.FaultSpec{Mode: simnet.FaultTimeout})
+		n.SetFaultSpec(netip.AddrPortFrom(ip, 443), simnet.FaultSpec{Mode: simnet.FaultTimeout})
+	}
+	clock := simclock.NewVirtual(time.Unix(0, 0))
+	cfg := DefaultConfig(nil, time.Unix(0, 0))
+	cfg.Concurrency = 1 // deterministic failure ordering
+	cfg.Retries = 0
+	cfg.Breaker = NewBreaker(2, time.Hour, clock)
+	s := New(n, zone, nil, cfg)
+	ctx := context.Background()
+
+	// Scan 1 trips the circuit: the whole block after host 0 is skipped.
+	s.ScanAll(ctx, hosts)
+	if cfg.Breaker.Trips() != 1 {
+		t.Fatalf("trips = %d, want 1", cfg.Breaker.Trips())
+	}
+
+	// Scan 2, past the cooldown, block still dead: one half-open probe
+	// dial is spent, fails, and re-opens the circuit — everything else
+	// stays suppressed without touching the network.
+	clock.Advance(2 * time.Hour)
+	before := n.DialCount()
+	results := s.ScanAll(ctx, hosts)
+	if got := n.DialCount() - before; got != 1 {
+		t.Errorf("probation scan dialed %d times, want exactly 1 probe", got)
+	}
+	if cfg.Breaker.Trips() != 2 {
+		t.Errorf("trips = %d, want 2 (failed probe re-opens)", cfg.Breaker.Trips())
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].Exception != ExcCircuitOpen {
+			t.Errorf("host %d: exception = %v, want %v", i, results[i].Exception, ExcCircuitOpen)
+		}
+	}
+
+	// The provider recovers; scan 3 after another cooldown: host 0's probe
+	// answers (a refused dial proves the network is up), the circuit
+	// closes, and every host is probed for real — no circuit-open results.
+	for i := 0; i < 6; i++ {
+		ip := netip.MustParseAddr(fmt.Sprintf("203.0.114.%d", 10+i))
+		n.SetFaultSpec(netip.AddrPortFrom(ip, 80), simnet.FaultSpec{})
+		n.SetFaultSpec(netip.AddrPortFrom(ip, 443), simnet.FaultSpec{})
+	}
+	clock.Advance(2 * time.Hour)
+	before = n.DialCount()
+	results = s.ScanAll(ctx, hosts)
+	if got := n.DialCount() - before; got != int64(2*len(hosts)) {
+		t.Errorf("recovered scan dialed %d times, want %d (both ports, every host)", got, 2*len(hosts))
+	}
+	for i, r := range results {
+		if r.Exception == ExcCircuitOpen {
+			t.Errorf("host %d still suppressed after recovery", i)
+		}
+	}
+	if cfg.Breaker.Trips() != 2 {
+		t.Errorf("trips = %d, want 2 (successful probe closes, no new trips)", cfg.Breaker.Trips())
+	}
+}
+
 // TestBreakerHealthyWorldNoTrips: on a healthy world the breaker must be
 // inert. (Regression test: clean port-443 refusals from http-only hosts
 // once counted as provider failures, so the "Private" circuit opened

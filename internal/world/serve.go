@@ -32,10 +32,18 @@ func (w *World) serveSite(s *Site) {
 
 	switch s.Serving {
 	case Unavailable:
-		// Resolves, answers http, but never with a 200.
+		// Resolves, answers http, but never with a 200 — except for an
+		// active ACME challenge, which the renewal fleet may publish even
+		// on a host whose main service is down.
+		site := s
 		w.Net.Handle(ep80, func(conn net.Conn) {
 			defer conn.Close()
-			if _, err := httpsim.ReadRequestConn(conn); err != nil {
+			req, err := httpsim.ReadRequestConn(conn)
+			if err != nil {
+				return
+			}
+			if body, ok := w.challengeAnswer(site.Hostname, req.Path); ok {
+				httpsim.WriteResponse(conn, 200, nil, []byte(body))
 				return
 			}
 			conn.Write(resp503)
@@ -83,12 +91,19 @@ func (w *World) serveTLS(s *Site, ep netip.AddrPort) {
 	})
 }
 
-// httpHandler serves the plain-http side.
+// httpHandler serves the plain-http side. Active http-01 challenges
+// answer before the redirect: Let's Encrypt validates over port 80, so a
+// redirecting site must still serve its challenge files directly.
 func (w *World) httpHandler(s *Site, redirect bool) simnet.Handler {
 	site := s
 	return func(conn net.Conn) {
 		defer conn.Close()
-		if _, err := httpsim.ReadRequestConn(conn); err != nil {
+		req, err := httpsim.ReadRequestConn(conn)
+		if err != nil {
+			return
+		}
+		if body, ok := w.challengeAnswer(site.Hostname, req.Path); ok {
+			httpsim.WriteResponse(conn, 200, nil, []byte(body))
 			return
 		}
 		if redirect {

@@ -143,6 +143,9 @@ type World struct {
 
 	ipAlloc  map[string]uint32 // per-block allocation counters
 	serialIP uint32
+	// challenges holds the http-01 tokens the ACME renewal fleet has
+	// published; the request path skips it entirely while empty.
+	challenges challengeState
 	// siteOrder lists hostnames in insertion order. Build is
 	// deterministic, so the order is too; passes that need a canonical
 	// iteration over every site (buildCT) walk it instead of sorting the

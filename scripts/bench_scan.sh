@@ -29,7 +29,7 @@ out="${1:-BENCH_scan.json}"
 # before the dataset-registry refactor. ReportSuite/ReportSuiteSequential
 # are the same live pair for the experiment scheduler.
 raw=""
-for b in ScanWorldwide WorldBuild ScanSingleHost JSONExport ReportSuite ReportSuiteSequential AggregateIndexed AggregateLegacy; do
+for b in ScanWorldwide WorldBuild ScanSingleHost JSONExport ReportSuite ReportSuiteSequential AggregateIndexed AggregateLegacy RenewalFleet; do
     raw+="$(go test -run '^$' -bench "^Benchmark${b}\$" -benchmem -count "${BENCH_COUNT:-3}" .)"
     raw+=$'\n'
 done
@@ -55,9 +55,16 @@ BEGIN {
     name = $1
     sub(/^Benchmark/, "", name)
     sub(/-[0-9]+$/, "", name)
-    # Keep the best of -count runs: least interference from the host.
-    if (!(name in cur) || $3 + 0 < cur[name]) cur[name] = $3 + 0
-    if (!(name in allocs) || $7 + 0 < allocs[name]) allocs[name] = $7 + 0
+    # Walk value/unit pairs so benchmarks with extra ReportMetric columns
+    # (renewals/op) parse the same as plain -benchmem lines. Keep the best
+    # of -count runs: least interference from the host.
+    for (i = 3; i < NF; i += 2) {
+        v = $(i) + 0
+        u = $(i + 1)
+        if (u == "ns/op" && (!(name in cur) || v < cur[name])) cur[name] = v
+        else if (u == "allocs/op" && (!(name in allocs) || v < allocs[name])) allocs[name] = v
+        else if (u == "renewals/op") renewals[name] = v
+    }
 }
 END {
     printf "{\n  \"scale\": %s,\n", (ENVIRON["GOVHTTPS_BENCH_SCALE"] != "" ? ENVIRON["GOVHTTPS_BENCH_SCALE"] : "0.05") > out
@@ -83,6 +90,12 @@ END {
     printf "    \"scheduled_ns_per_op\": %d,\n", cur["ReportSuite"] > out
     printf "    \"sequential_ns_per_op\": %d,\n", cur["ReportSuiteSequential"] > out
     printf "    \"speedup_vs_sequential\": %.2f\n", (cur["ReportSuite"] > 0 ? cur["ReportSuiteSequential"] / cur["ReportSuite"] : 0) > out
+    # Renewal fleet: throughput of the §8.1 remediation loop (campaign
+    # renewals per wall-clock second) plus its allocation footprint.
+    printf "  },\n  \"renewal_fleet\": {\n" > out
+    printf "    \"renewals_per_op\": %d,\n", renewals["RenewalFleet"] > out
+    printf "    \"renewals_per_sec\": %.1f,\n", (cur["RenewalFleet"] > 0 ? renewals["RenewalFleet"] / (cur["RenewalFleet"] / 1e9) : 0) > out
+    printf "    \"allocs_per_op\": %d\n", allocs["RenewalFleet"] > out
     printf "  },\n  \"json_export_allocs_per_op\": {\n" > out
     printf "    \"baseline\": %d,\n", base_allocs["JSONExport"] > out
     printf "    \"current\": %d\n", allocs["JSONExport"] > out
