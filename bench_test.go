@@ -177,6 +177,30 @@ func BenchmarkScanWorldwide(b *testing.B) {
 	b.ReportMetric(float64(len(hosts)), "hosts/op")
 }
 
+// BenchmarkScanWorldwideSharded measures the sharded scan pipeline end to
+// end — partition, concurrent per-shard scan + index build into a shared
+// backing array, deterministic merge — across shard counts. The shards=1
+// sub-bench is the sequential control.
+func BenchmarkScanWorldwideSharded(b *testing.B) {
+	s := study(b)
+	hosts := s.World.GovHosts
+	ctx := context.Background()
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				set := resultset.ScanSharded(ctx, s.Scanner(), hosts, shards,
+					resultset.Options{CountryOf: s.CountryOf})
+				if set.Len() != len(hosts) {
+					b.Fatal("short scan")
+				}
+			}
+			b.ReportMetric(float64(len(hosts)), "hosts/op")
+		})
+	}
+}
+
 // BenchmarkScanSingleHost measures one full host probe.
 func BenchmarkScanSingleHost(b *testing.B) {
 	s := study(b)
@@ -441,45 +465,81 @@ func BenchmarkRenewalFleet(b *testing.B) {
 
 // --- Aggregation benches ---
 //
-// The pair below measures the refactor's core trade: one indexed build
+// The benches below measure the refactor's core trade: one indexed build
 // pass serving every downstream aggregate, versus the per-experiment
-// loops the analysis layer used to run over the raw slice.
+// loops the analysis layer used to run over the raw slice. Both sides
+// consume the same pre-collected result slice (the scan runs once,
+// outside every timed region — it used to sit inside both timers, where
+// its ~20x larger cost and noise drowned the aggregation delta the
+// section claims to measure); BenchmarkScanWorldwideSharded covers the
+// combined scan+build pipeline.
 
-// BenchmarkAggregateIndexed runs the refactored pipeline: ScanStream
-// feeding the index builder (the build overlaps the scan), then the
-// aggregates every experiment consumes read straight off the Set.
-func BenchmarkAggregateIndexed(b *testing.B) {
-	s := study(b)
-	hosts := s.World.GovHosts
-	ctx := context.Background()
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		bld := resultset.NewBuilder(resultset.Options{CountryOf: s.CountryOf, SizeHint: len(hosts)})
-		s.Scanner().ScanStream(ctx, hosts, bld.Add)
-		set := bld.Build()
-		n := set.Counts().Total + len(set.CountryAggs()) + len(set.Issuers()) +
-			len(set.Fingerprints()) + len(set.HostKeyCells())
-		if n == 0 {
-			b.Fatal("empty aggregates")
-		}
-	}
-	b.ReportMetric(float64(len(hosts)), "hosts/op")
+// benchAggRaw returns the warm worldwide raw slice shared by the
+// aggregation benches.
+func benchAggRaw(b *testing.B) []scanner.Result {
+	b.Helper()
+	return study(b).Worldwide(context.Background()).Results()
 }
 
-// BenchmarkAggregateLegacy re-runs the pre-refactor pattern: ScanAll
-// collects the raw slice, then every experiment family walks it with its
-// own loop, rebuilding the same aggregates the indexed Set derives in one
-// pass — the Table 2 tally, per-country rollup, issuer breakdown,
-// fingerprint and key-ID clustering, key/signature/version cells, and the
-// disclosure host lists.
-func BenchmarkAggregateLegacy(b *testing.B) {
+// checkAggSet guards against dead-code elimination of a built Set.
+func checkAggSet(b *testing.B, set *resultset.Set) {
+	b.Helper()
+	n := set.Counts().Total + len(set.CountryAggs()) + len(set.Issuers()) +
+		len(set.Fingerprints()) + len(set.HostKeyCells())
+	if n == 0 {
+		b.Fatal("empty aggregates")
+	}
+}
+
+// BenchmarkAggregateIndexed times the two-pass index build: one walk
+// interning keys and counting cardinalities, one fill into exact-size
+// flat buckets — producing every aggregate the experiments consume.
+func BenchmarkAggregateIndexed(b *testing.B) {
 	s := study(b)
-	ctx := context.Background()
+	raw := benchAggRaw(b)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		raw := s.Scanner().ScanAll(ctx, s.World.GovHosts)
+		checkAggSet(b, resultset.New(raw, resultset.Options{CountryOf: s.CountryOf}))
+	}
+	b.ReportMetric(float64(len(raw)), "hosts/op")
+}
+
+// BenchmarkAggregateSharded times the merged build — the aggregation half
+// of the sharded scan pipeline (resultset.BuildSharded): the raw slice is
+// partitioned contiguously, every shard builds its own index
+// concurrently, and the deterministic set-merge recombines them without
+// copying the results (bit-identical to the sequential build). shards=1
+// is the merge-free one-shot control; the bench_scan.sh regression gate
+// reads the shards ≥ 2 entries.
+func BenchmarkAggregateSharded(b *testing.B) {
+	s := study(b)
+	raw := benchAggRaw(b)
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				checkAggSet(b, resultset.BuildSharded(raw, shards,
+					resultset.Options{CountryOf: s.CountryOf}))
+			}
+			b.ReportMetric(float64(len(raw)), "hosts/op")
+		})
+	}
+}
+
+// BenchmarkAggregateLegacy re-runs the pre-refactor pattern: every
+// experiment family walks the raw slice with its own loop, rebuilding the
+// same aggregates the indexed Set derives in one pass — the Table 2
+// tally, per-country rollup, issuer breakdown, fingerprint and key-ID
+// clustering, key/signature/version cells, and the disclosure host lists.
+func BenchmarkAggregateLegacy(b *testing.B) {
+	s := study(b)
+	rawResults := benchAggRaw(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		raw := rawResults
 		// T2: taxonomy tally.
 		byCat := map[scanner.Category]int{}
 		hsts, both := 0, 0

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/world"
+)
+
+// TestShardedExperimentsMatchGolden extends the PR 4 golden-differential
+// technique to the sharded scan path: with the study forced onto 1, 2, 4
+// and 8 scan shards, the full experiment suite must reproduce the
+// committed transcript byte for byte — proving the contiguous partition,
+// the concurrent per-shard index builds, and the deterministic set-merge
+// change nothing observable. Runs under -race in CI, so the per-shard
+// builders are also raced here.
+func TestShardedExperimentsMatchGolden(t *testing.T) {
+	golden, err := os.ReadFile("../../results/golden_experiments_seed74.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			// Fresh study per shard count: the suite's mutator experiments
+			// change the world, so transcripts only compare from a cold start.
+			s := MustNewStudy(world.TestConfig())
+			s.SetShards(shards)
+			ctx := context.Background()
+			var b strings.Builder
+			for _, e := range Experiments() {
+				out, err := e.Run(ctx, s)
+				if err != nil {
+					t.Fatalf("%s: %v", e.ID, err)
+				}
+				fmt.Fprintf(&b, "### %s — %s\n\n%s\n", e.ID, e.Title, out)
+			}
+			if got := b.String(); got != string(golden) {
+				diffAt := 0
+				for diffAt < len(got) && diffAt < len(golden) && got[diffAt] == golden[diffAt] {
+					diffAt++
+				}
+				t.Fatalf("sharded transcript diverges from golden at byte %d", diffAt)
+			}
+		})
+	}
+}

@@ -54,6 +54,10 @@ type Study struct {
 	// resultset rank index.
 	rankOf map[string]int
 
+	// shards is the explicit shard-count override for full dataset builds
+	// (see SetShards); zero defers to the size-based policy.
+	shards int
+
 	// fleetReport memoizes the §8.1 renewal-fleet campaign (E7/E8 and the
 	// acmefleet dataset all consume one run; the campaign mutates the
 	// serving world, so it must not repeat).
@@ -88,6 +92,7 @@ func NewStudy(cfg world.Config) (*Study, error) {
 		s.rankOf[rh.Host] = rh.Rank
 	}
 	s.datasets = dataset.NewRegistry(s.scanDataset)
+	s.datasets.SetSharded(s.scanShardedDataset, s.shardPolicy)
 	s.datasets.Register(dataset.Source{
 		Name:  "worldwide",
 		Hosts: func() []string { return s.World.GovHosts },
@@ -149,6 +154,44 @@ func (s *Study) scanDataset(ctx context.Context, hosts []string, opts resultset.
 	b := resultset.NewBuilder(opts)
 	s.Scanner().ScanStream(ctx, hosts, b.Add)
 	return b.Build()
+}
+
+// scanShardedDataset is the registry's sharded build hook: partition the
+// host list, scan each shard into its own index builder, merge
+// deterministically (resultset.ScanSharded).
+func (s *Study) scanShardedDataset(ctx context.Context, hosts []string, opts resultset.Options, shards int) *resultset.Set {
+	return resultset.ScanSharded(ctx, s.Scanner(), hosts, shards, opts)
+}
+
+// SetShards fixes the shard count for full dataset builds and follow-up
+// scans: n > 1 forces sharded scanning, n == 1 forces the sequential
+// path, and n == 0 (the default) lets the size-based policy decide —
+// corpora of autoShardHosts hosts or more shard automatically. Call
+// before running experiments; the setting is not synchronized against
+// in-flight scans. On fault-free worlds any shard count produces
+// bit-identical results; under injected flakiness the shard count becomes
+// part of the fault draw (same caveat as SuiteOptions.Jobs).
+func (s *Study) SetShards(n int) { s.shards = n }
+
+// autoShard* gate the transparent sharding policy: ROADMAP item 3 says a
+// worldwide corpus stops fitting one scanner past ~1M hosts; corpora at
+// least this large shard automatically, everything smaller stays on the
+// sequential path.
+const (
+	autoShardHosts = 100_000
+	autoShardCount = 8
+)
+
+// shardPolicy decides how many shards a full build over hostCount hosts
+// uses (1 = sequential).
+func (s *Study) shardPolicy(hostCount int) int {
+	if s.shards != 0 {
+		return s.shards
+	}
+	if hostCount >= autoShardHosts {
+		return autoShardCount
+	}
+	return 1
 }
 
 // assembleUSAAll builds the usa:all set from the cached per-key GSA
@@ -365,6 +408,9 @@ func (s *Study) FollowUpScan(ctx context.Context, configure func(*scanner.Config
 	}
 	follow := scanner.New(s.World.Net, s.World.DNS, s.World.Class, cfg)
 	opts := s.worldwideOptions()
+	if n := s.shardPolicy(len(s.World.GovHosts)); n > 1 {
+		return resultset.ScanSharded(ctx, follow, s.World.GovHosts, n, opts)
+	}
 	opts.SizeHint = len(s.World.GovHosts)
 	b := resultset.NewBuilder(opts)
 	follow.ScanStream(ctx, s.World.GovHosts, b.Add)

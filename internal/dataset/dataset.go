@@ -43,6 +43,11 @@ type Source struct {
 // The registry calls it without holding any lock.
 type ScanFunc func(ctx context.Context, hosts []string, opts resultset.Options) *resultset.Set
 
+// ShardedScanFunc performs one scan split across shards independent
+// workers, merging the per-shard indexes deterministically (typically
+// resultset.ScanSharded). The registry calls it without holding any lock.
+type ShardedScanFunc func(ctx context.Context, hosts []string, opts resultset.Options, shards int) *resultset.Set
+
 // entry is one dataset's cache slot.
 type entry struct {
 	src Source
@@ -65,6 +70,12 @@ type entry struct {
 type Registry struct {
 	scan ScanFunc
 
+	// sharded + shardsFor, when set via SetSharded, route full builds
+	// through the sharded scan path; partial (dirty-patch) rescans stay on
+	// the plain ScanFunc, since they cover small host subsets.
+	sharded   ShardedScanFunc
+	shardsFor func(hostCount int) int
+
 	mu      sync.Mutex
 	names   []string // registration order
 	entries map[string]*entry
@@ -73,6 +84,28 @@ type Registry struct {
 // NewRegistry creates an empty registry scanning through fn.
 func NewRegistry(fn ScanFunc) *Registry {
 	return &Registry{scan: fn, entries: map[string]*entry{}}
+}
+
+// SetSharded installs the sharded build hook: any full dataset build whose
+// host count makes shardsFor return n > 1 runs through fn with that shard
+// count instead of the sequential ScanFunc — so large corpora (worldwide
+// at scale) shard transparently while small ones keep the cheap path.
+// Both arguments must be non-nil. Call before the first Get; the hook is
+// not synchronized against in-flight builds.
+func (r *Registry) SetSharded(fn ShardedScanFunc, shardsFor func(hostCount int) int) {
+	r.sharded = fn
+	r.shardsFor = shardsFor
+}
+
+// fullBuild scans an entire host list, routing through the sharded hook
+// when the shard policy asks for more than one shard.
+func (r *Registry) fullBuild(ctx context.Context, hosts []string, opts resultset.Options) *resultset.Set {
+	if r.sharded != nil {
+		if n := r.shardsFor(len(hosts)); n > 1 {
+			return r.sharded(ctx, hosts, opts, n)
+		}
+	}
+	return r.scan(ctx, hosts, opts)
 }
 
 // Register adds a dataset. Registering a name twice panics: dataset names
@@ -150,7 +183,7 @@ func (r *Registry) Get(ctx context.Context, name string) (*resultset.Set, error)
 		case e.src.Build != nil:
 			set, err = e.src.Build(ctx)
 		default:
-			set = r.scan(ctx, e.src.Hosts(), e.src.Opts())
+			set = r.fullBuild(ctx, e.src.Hosts(), e.src.Opts())
 		}
 
 		r.mu.Lock()

@@ -1,0 +1,115 @@
+package resultset
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/scanner"
+	"repro/internal/world"
+)
+
+var (
+	benchOnce sync.Once
+	benchRaw  []scanner.Result
+)
+
+func benchResults(b *testing.B) []scanner.Result {
+	b.Helper()
+	benchOnce.Do(func() {
+		w := world.MustBuild(world.TestConfig())
+		s := scanner.New(w.Net, w.DNS, w.Class,
+			scanner.DefaultConfig(w.Stores["apple"], w.ScanTime))
+		benchRaw = s.ScanAll(context.Background(), w.GovHosts)
+	})
+	return benchRaw
+}
+
+// BenchmarkCellsBump isolates the satellite micro-fix: the key/signature
+// validity cells used to be bumped through per-result string labels — a
+// Sprintf-built key label, an algorithm String(), a label concatenation,
+// and three string-map lookups for every chain-bearing result. The
+// replacement interns on numeric identities (the (type,bits) pair, the
+// algorithm enum, the pair of cell positions) and materializes each label
+// once per distinct key shape.
+func BenchmarkCellsBump(b *testing.B) {
+	rs := benchResults(b)
+
+	b.Run("legacy-label-maps", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			byLabel := map[string]int{}
+			var order []Cell
+			bump := func(label string, valid bool) {
+				p, ok := byLabel[label]
+				if !ok {
+					p = len(order)
+					byLabel[label] = p
+					order = append(order, Cell{Label: label})
+				}
+				order[p].Total++
+				if valid {
+					order[p].Valid++
+				}
+			}
+			for j := range rs {
+				if len(rs[j].Chain) == 0 {
+					continue
+				}
+				leaf := rs[j].Chain[0]
+				valid := rs[j].Verify.Valid()
+				key := leaf.PublicKey.Label()
+				alg := leaf.SignatureAlgorithm.String()
+				bump(key, valid)
+				bump(alg, valid)
+				bump(key+" / "+alg, valid)
+			}
+			if len(order) == 0 {
+				b.Fatal("no cells")
+			}
+		}
+	})
+
+	b.Run("interned", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			hkPos := make(map[uint64]int32, 8)
+			combPos := make(map[uint64]int32, 16)
+			var sigPos densePos
+			var hostKey, sigAlgo, combined []Cell
+			for j := range rs {
+				if len(rs[j].Chain) == 0 {
+					continue
+				}
+				leaf := rs[j].Chain[0]
+				valid := rs[j].Verify.Valid()
+				hk := uint64(leaf.PublicKey.Type)<<32 | uint64(uint32(leaf.PublicKey.Bits))
+				hp, seen := hkPos[hk]
+				if !seen {
+					hp = int32(len(hostKey))
+					hkPos[hk] = hp
+					hostKey = append(hostKey, Cell{Label: leaf.PublicKey.Label()})
+				}
+				bumpCell(&hostKey[hp], valid)
+				sp := sigPos.lookup(int(leaf.SignatureAlgorithm))
+				if sp < 0 {
+					sp = int32(len(sigAlgo))
+					sigPos.insert(int(leaf.SignatureAlgorithm), sp)
+					sigAlgo = append(sigAlgo, Cell{Label: leaf.SignatureAlgorithm.String()})
+				}
+				bumpCell(&sigAlgo[sp], valid)
+				ck := uint64(hp)<<32 | uint64(sp)
+				cp, seen := combPos[ck]
+				if !seen {
+					cp = int32(len(combined))
+					combPos[ck] = cp
+					combined = append(combined, Cell{Label: hostKey[hp].Label + " / " + sigAlgo[sp].Label})
+				}
+				bumpCell(&combined[cp], valid)
+			}
+			if len(combined) == 0 {
+				b.Fatal("no cells")
+			}
+		}
+	})
+}

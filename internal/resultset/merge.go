@@ -1,0 +1,248 @@
+package resultset
+
+import (
+	"sort"
+
+	"repro/internal/cert"
+	"repro/internal/hosting"
+	"repro/internal/scanner"
+)
+
+// Merge recombines per-shard Sets into one Set, deterministically and —
+// when the shards were built over a contiguous partition of one input
+// order (scanner.Partition) — bit-identically to a sequential build over
+// the concatenated results:
+//
+//   - result indices are rebased by each shard's offset in the
+//     concatenation, so every merged bucket stays ascending;
+//   - first-seen key orders (categories, exceptions, issuers,
+//     fingerprints, key IDs, providers) are the dedup-concat of the
+//     per-shard orders, which for a contiguous partition is exactly the
+//     sequential first-seen order;
+//   - countries are re-sorted and per-country aggregates summed;
+//   - cells, counts and scalar tallies are summed.
+//
+// Buckets are presized from per-shard cardinality sums and filled into
+// exact-size flat arrays — no bucket grows incrementally. The shard Sets
+// are not modified and remain usable.
+func Merge(shards ...*Set) *Set {
+	if len(shards) == 0 {
+		return build(nil, Options{})
+	}
+	total := 0
+	for _, sh := range shards {
+		total += len(sh.results)
+	}
+	results := make([]scanner.Result, 0, total)
+	for _, sh := range shards {
+		results = append(results, sh.results...)
+	}
+	return mergeSets(shards, results)
+}
+
+// mergeSets merges shard indexes over an already-concatenated result
+// slice (ScanSharded passes the shared backing array directly, so the
+// per-shard results are never copied).
+func mergeSets(shards []*Set, results []scanner.Result) *Set {
+	s := &Set{opts: shards[0].opts, results: results}
+
+	offs := make([]int, len(shards))
+	off := 0
+	for k, sh := range shards {
+		offs[k] = off
+		off += len(sh.results)
+	}
+
+	for _, sh := range shards {
+		c := sh.counts
+		s.counts.Total += c.Total
+		s.counts.Unavailable += c.Unavailable
+		s.counts.HTTPOnly += c.HTTPOnly
+		s.counts.HTTPS += c.HTTPS
+		s.counts.Valid += c.Valid
+		s.counts.Invalid += c.Invalid
+		s.counts.Exceptions += c.Exceptions
+		s.counts.BothSchemes += c.BothSchemes
+		s.counts.HSTS += c.HSTS
+		s.issuerDomain += sh.issuerDomain
+		s.weakSigHosts += sh.weakSigHosts
+		s.smallRSAHosts += sh.smallRSAHosts
+	}
+
+	s.categories, s.byCategory = mergeIndex(shards, offs,
+		func(sh *Set) []scanner.Category { return sh.categories },
+		func(sh *Set, k scanner.Category) []int { return sh.byCategory[k] })
+	s.exceptions, s.byException = mergeIndex(shards, offs,
+		func(sh *Set) []scanner.Exception { return sh.exceptions },
+		func(sh *Set, k scanner.Exception) []int { return sh.byException[k] })
+	s.issuers, s.byIssuer = mergeIndex(shards, offs,
+		func(sh *Set) []string { return sh.issuers },
+		func(sh *Set, k string) []int { return sh.byIssuer[k] })
+	s.fingerprints, s.byFingerprint = mergeIndex(shards, offs,
+		func(sh *Set) [][32]byte { return sh.fingerprints },
+		func(sh *Set, k [32]byte) []int { return sh.byFingerprint[k] })
+	s.keyIDs, s.byKeyID = mergeIndex(shards, offs,
+		func(sh *Set) []cert.KeyID { return sh.keyIDs },
+		func(sh *Set, k cert.KeyID) []int { return sh.byKeyID[k] })
+	s.providers, s.byProvider = mergeIndex(shards, offs,
+		func(sh *Set) []string { return sh.providers },
+		func(sh *Set, k string) []int { return sh.byProvider[k] })
+	s.kinds, s.byKind = mergeIndex(shards, offs,
+		func(sh *Set) []hosting.Kind { return sh.kinds },
+		func(sh *Set, k hosting.Kind) []int { return sh.byKind[k] })
+
+	// Countries: sorted union of the (already sorted) shard lists, with
+	// per-country aggregates summed in one pass over the shard orders.
+	s.countries, s.byCountry = mergeIndex(shards, offs,
+		func(sh *Set) []string { return sh.countries },
+		func(sh *Set, k string) []int { return sh.byCountry[k] })
+	s.ccAggs = make(map[string]CountryAgg, len(s.countries))
+	for _, sh := range shards {
+		for _, cc := range sh.countries {
+			agg := s.ccAggs[cc]
+			src := sh.ccAggs[cc]
+			agg.Country = cc
+			agg.Hosts += src.Hosts
+			agg.Available += src.Available
+			agg.HTTPS += src.HTTPS
+			agg.Valid += src.Valid
+			s.ccAggs[cc] = agg
+		}
+	}
+	sort.Strings(s.countries)
+
+	s.chained = mergeInts(shards, offs, func(sh *Set) []int { return sh.chained })
+	s.failedUpgrades = mergeInts(shards, offs, func(sh *Set) []int { return sh.failedUpgrades })
+	s.ranked = mergeInts(shards, offs, func(sh *Set) []int { return sh.ranked })
+
+	invalidN := 0
+	for _, sh := range shards {
+		invalidN += len(sh.invalidHosts)
+	}
+	s.invalidHosts = make([]string, 0, invalidN)
+	for _, sh := range shards {
+		s.invalidHosts = append(s.invalidHosts, sh.invalidHosts...)
+	}
+
+	if shards[0].rankBuckets != nil {
+		nb := len(shards[0].rankBuckets)
+		s.rankBuckets = make([][]int, nb)
+		for b := 0; b < nb; b++ {
+			total := 0
+			for _, sh := range shards {
+				total += len(sh.rankBuckets[b])
+			}
+			if total == 0 {
+				continue
+			}
+			out := make([]int, 0, total)
+			for k, sh := range shards {
+				d := offs[k]
+				for _, idx := range sh.rankBuckets[b] {
+					out = append(out, idx+d)
+				}
+			}
+			s.rankBuckets[b] = out
+		}
+	}
+
+	s.hostKeyCells = mergeCells(shards, func(sh *Set) []Cell { return sh.hostKeyCells })
+	s.sigAlgoCells = mergeCells(shards, func(sh *Set) []Cell { return sh.sigAlgoCells })
+	s.combinedCells = mergeCells(shards, func(sh *Set) []Cell { return sh.combinedCells })
+	s.versionCells = mergeCells(shards, func(sh *Set) []Cell { return sh.versionCells })
+	return s
+}
+
+// mergeIndex recombines one bucket family across shards: the merged key
+// order is the first-seen dedup-concat of the shard orders, per-key
+// totals are summed up front, and every merged bucket is a subslice of
+// one exact-size flat array filled shard by shard with index rebasing —
+// so buckets stay ascending and nothing grows incrementally. Map lookups
+// happen once per shard-distinct key, never per result.
+func mergeIndex[K comparable](
+	shards []*Set, offs []int,
+	orderOf func(*Set) []K,
+	bucketOf func(*Set, K) []int,
+) ([]K, map[K][]int) {
+	pos := make(map[K]int32)
+	var order []K
+	var counts []int
+	for _, sh := range shards {
+		for _, k := range orderOf(sh) {
+			p, seen := pos[k]
+			if !seen {
+				p = int32(len(order))
+				pos[k] = p
+				order = append(order, k)
+				counts = append(counts, 0)
+			}
+			counts[p] += len(bucketOf(sh, k))
+		}
+	}
+
+	start := make([]int, len(order)+1)
+	cur := make([]int, len(order))
+	total := 0
+	for p, c := range counts {
+		start[p] = total
+		cur[p] = total
+		total += c
+	}
+	start[len(order)] = total
+	flat := make([]int, total)
+
+	for si, sh := range shards {
+		d := offs[si]
+		for _, k := range orderOf(sh) {
+			p := pos[k]
+			c := cur[p]
+			for _, idx := range bucketOf(sh, k) {
+				flat[c] = idx + d
+				c++
+			}
+			cur[p] = c
+		}
+	}
+
+	m := make(map[K][]int, len(order))
+	for p, k := range order {
+		lo, hi := start[p], start[p+1]
+		m[k] = flat[lo:hi:hi]
+	}
+	return order, m
+}
+
+// mergeInts concatenates one rebased []int slice per shard, presized.
+func mergeInts(shards []*Set, offs []int, get func(*Set) []int) []int {
+	total := 0
+	for _, sh := range shards {
+		total += len(get(sh))
+	}
+	out := make([]int, 0, total)
+	for k, sh := range shards {
+		d := offs[k]
+		for _, idx := range get(sh) {
+			out = append(out, idx+d)
+		}
+	}
+	return out
+}
+
+// mergeCells sums per-label cells with first-seen dedup-concat ordering.
+func mergeCells(shards []*Set, get func(*Set) []Cell) []Cell {
+	pos := make(map[string]int32)
+	var out []Cell
+	for _, sh := range shards {
+		for _, c := range get(sh) {
+			p, seen := pos[c.Label]
+			if !seen {
+				p = int32(len(out))
+				pos[c.Label] = p
+				out = append(out, Cell{Label: c.Label})
+			}
+			out[p].Total += c.Total
+			out[p].Valid += c.Valid
+		}
+	}
+	return out
+}

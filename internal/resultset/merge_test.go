@@ -1,0 +1,227 @@
+package resultset_test
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/hosting"
+	"repro/internal/resultset"
+	"repro/internal/scanner"
+)
+
+// shardResults slices rs into the same contiguous partition
+// scanner.Partition would produce for the matching host list.
+func shardResults(rs []scanner.Result, shards int) [][]scanner.Result {
+	n := len(rs)
+	if shards > n {
+		shards = n
+	}
+	parts := make([][]scanner.Result, shards)
+	for k := 0; k < shards; k++ {
+		parts[k] = rs[k*n/shards : (k+1)*n/shards]
+	}
+	return parts
+}
+
+// assertSetsEqual compares every accessor of two Sets.
+func assertSetsEqual(t *testing.T, got, want *resultset.Set) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("Len = %d, want %d", got.Len(), want.Len())
+	}
+	for i := 0; i < want.Len(); i++ {
+		if got.At(i).Hostname != want.At(i).Hostname {
+			t.Fatalf("result %d reordered: %q vs %q", i, got.At(i).Hostname, want.At(i).Hostname)
+		}
+	}
+	if !reflect.DeepEqual(got.Counts(), want.Counts()) {
+		t.Errorf("Counts diverge: %+v vs %+v", got.Counts(), want.Counts())
+	}
+	if !reflect.DeepEqual(got.Categories(), want.Categories()) {
+		t.Errorf("category order diverges: %v vs %v", got.Categories(), want.Categories())
+	}
+	for _, cat := range want.Categories() {
+		if !reflect.DeepEqual(got.ByCategory(cat), want.ByCategory(cat)) {
+			t.Errorf("ByCategory(%v) diverges", cat)
+		}
+	}
+	if !reflect.DeepEqual(got.Exceptions(), want.Exceptions()) {
+		t.Errorf("exception order diverges")
+	}
+	for _, e := range want.Exceptions() {
+		if !reflect.DeepEqual(got.ByException(e), want.ByException(e)) {
+			t.Errorf("ByException(%v) diverges", e)
+		}
+	}
+	if !reflect.DeepEqual(got.Countries(), want.Countries()) {
+		t.Errorf("country order diverges")
+	}
+	for _, cc := range want.Countries() {
+		if !reflect.DeepEqual(got.ByCountry(cc), want.ByCountry(cc)) {
+			t.Errorf("ByCountry(%q) diverges", cc)
+		}
+	}
+	if !reflect.DeepEqual(got.CountryAggs(), want.CountryAggs()) {
+		t.Errorf("country aggregates diverge")
+	}
+	if !reflect.DeepEqual(got.Issuers(), want.Issuers()) {
+		t.Errorf("issuer order diverges")
+	}
+	for _, cn := range want.Issuers() {
+		if !reflect.DeepEqual(got.ByIssuer(cn), want.ByIssuer(cn)) {
+			t.Errorf("ByIssuer(%q) diverges", cn)
+		}
+	}
+	if got.IssuerAnalyzed() != want.IssuerAnalyzed() {
+		t.Errorf("IssuerAnalyzed = %d, want %d", got.IssuerAnalyzed(), want.IssuerAnalyzed())
+	}
+	if !reflect.DeepEqual(got.Fingerprints(), want.Fingerprints()) {
+		t.Errorf("fingerprint order diverges")
+	}
+	for _, fp := range want.Fingerprints() {
+		if !reflect.DeepEqual(got.ByFingerprint(fp), want.ByFingerprint(fp)) {
+			t.Errorf("ByFingerprint diverges")
+			break
+		}
+	}
+	if !reflect.DeepEqual(got.KeyIDs(), want.KeyIDs()) {
+		t.Errorf("key-ID order diverges")
+	}
+	for _, id := range want.KeyIDs() {
+		if !reflect.DeepEqual(got.ByKeyID(id), want.ByKeyID(id)) {
+			t.Errorf("ByKeyID diverges")
+			break
+		}
+	}
+	if !reflect.DeepEqual(got.Providers(), want.Providers()) {
+		t.Errorf("provider order diverges")
+	}
+	for _, p := range want.Providers() {
+		if !reflect.DeepEqual(got.ByProvider(p), want.ByProvider(p)) {
+			t.Errorf("ByProvider(%q) diverges", p)
+		}
+	}
+	kinds := map[hosting.Kind]bool{}
+	var kindOrder []hosting.Kind
+	rs := want.Results()
+	for i := range rs {
+		if rs[i].Available && !kinds[rs[i].HostKind] {
+			kinds[rs[i].HostKind] = true
+			kindOrder = append(kindOrder, rs[i].HostKind)
+		}
+	}
+	for _, k := range kindOrder {
+		if !reflect.DeepEqual(got.ByKind(k), want.ByKind(k)) {
+			t.Errorf("ByKind(%v) diverges", k)
+		}
+	}
+	if !reflect.DeepEqual(got.Chained(), want.Chained()) {
+		t.Errorf("Chained diverges")
+	}
+	if !reflect.DeepEqual(got.InvalidHosts(), want.InvalidHosts()) {
+		t.Errorf("InvalidHosts diverge")
+	}
+	if !reflect.DeepEqual(got.FailedUpgrades(), want.FailedUpgrades()) {
+		t.Errorf("FailedUpgrades diverge")
+	}
+	if !reflect.DeepEqual(got.Ranked(), want.Ranked()) {
+		t.Errorf("Ranked diverges")
+	}
+	if !reflect.DeepEqual(got.RankBuckets(), want.RankBuckets()) {
+		t.Errorf("RankBuckets diverge")
+	}
+	if !reflect.DeepEqual(got.HostKeyCells(), want.HostKeyCells()) {
+		t.Errorf("host-key cells diverge")
+	}
+	if !reflect.DeepEqual(got.SigAlgoCells(), want.SigAlgoCells()) {
+		t.Errorf("signature cells diverge")
+	}
+	if !reflect.DeepEqual(got.CombinedCells(), want.CombinedCells()) {
+		t.Errorf("combined cells diverge")
+	}
+	if !reflect.DeepEqual(got.VersionCells(), want.VersionCells()) {
+		t.Errorf("version cells diverge")
+	}
+	if got.WeakSignatureHosts() != want.WeakSignatureHosts() {
+		t.Errorf("WeakSignatureHosts diverges")
+	}
+	if got.SmallRSAHosts() != want.SmallRSAHosts() {
+		t.Errorf("SmallRSAHosts diverges")
+	}
+	for i := range rs {
+		r, ok := got.Lookup(rs[i].Hostname)
+		if !ok || r.Hostname != rs[i].Hostname {
+			t.Fatalf("merged Lookup(%q) failed", rs[i].Hostname)
+		}
+	}
+}
+
+// TestMergeMatchesSequential is the set-merge determinism proof at the
+// index level: a contiguous partition built shard by shard and merged
+// must equal the sequential one-shot build on every accessor, at shard
+// counts spanning even, odd, and degenerate splits.
+func TestMergeMatchesSequential(t *testing.T) {
+	rs := raw(t)
+	want := set(t)
+	for _, shards := range []int{1, 2, 3, 4, 8, len(rs), len(rs) + 7} {
+		parts := shardResults(rs, shards)
+		sets := make([]*resultset.Set, len(parts))
+		for k, part := range parts {
+			sets[k] = resultset.New(part, testOptions())
+		}
+		merged := resultset.Merge(sets...)
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) { assertSetsEqual(t, merged, want) })
+		built := resultset.BuildSharded(rs, shards, testOptions())
+		t.Run(fmt.Sprintf("BuildSharded/shards=%d", shards), func(t *testing.T) { assertSetsEqual(t, built, want) })
+	}
+}
+
+// TestMergeConcurrentBuilders races 64 per-shard builders on their own
+// goroutines — the sharded scan's aggregation shape — and checks the
+// merge still reproduces the sequential build (run under -race in CI).
+func TestMergeConcurrentBuilders(t *testing.T) {
+	rs := raw(t)
+	const shards = 64
+	parts := shardResults(rs, shards)
+	sets := make([]*resultset.Set, len(parts))
+	var wg sync.WaitGroup
+	for k := range parts {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			b := resultset.NewBuilder(testOptions())
+			for i := range parts[k] {
+				b.Add(parts[k][i])
+			}
+			sets[k] = b.Build()
+		}(k)
+	}
+	wg.Wait()
+	assertSetsEqual(t, resultset.Merge(sets...), set(t))
+}
+
+// TestScanShardedMatchesSequential drives the full sharded pipeline —
+// partition, concurrent per-shard scans into a shared backing array,
+// merge — against the streaming scan + one-shot build.
+func TestScanShardedMatchesSequential(t *testing.T) {
+	want := set(t)
+	for _, shards := range []int{1, 2, 4, 8} {
+		sc := scanner.New(testWorld.Net, testWorld.DNS, testWorld.Class,
+			scanner.DefaultConfig(testWorld.Stores["apple"], testWorld.ScanTime))
+		got := resultset.ScanSharded(context.Background(), sc, testWorld.GovHosts, shards, testOptions())
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) { assertSetsEqual(t, got, want) })
+	}
+}
+
+// TestMergeEmptyAndSingle covers the degenerate merges.
+func TestMergeEmptyAndSingle(t *testing.T) {
+	if got := resultset.Merge(); got.Len() != 0 {
+		t.Fatalf("empty merge has %d results", got.Len())
+	}
+	rs := raw(t)
+	one := resultset.Merge(resultset.New(rs, testOptions()))
+	assertSetsEqual(t, one, set(t))
+}

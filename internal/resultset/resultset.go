@@ -5,12 +5,21 @@
 // counts (the Table 2 tallies, key/signature/version cells) every
 // experiment used to recompute with its own loop over the raw slice.
 //
-// A Set is built either incrementally, feeding a Builder from
-// scanner.ScanStream so the indexes grow concurrently with the scan, or
-// in one shot with New. Once built, a Set is immutable: every analysis,
-// report and disclosure pass serves itself from the same indexes, so the
-// corpus is walked exactly once no matter how many tables and figures are
-// derived from it.
+// A Set is built in one shot with New, incrementally by feeding a Builder
+// and finalizing with Build, or — the preferred entry point at scale —
+// sharded with ScanSharded: the host list is partitioned contiguously
+// (scanner.Partition), each shard scans and builds its own Set with no
+// cross-shard locks, and Merge recombines the per-shard indexes
+// bit-identically to a sequential build. Once built, a Set is immutable:
+// every analysis, report and disclosure pass serves itself from the same
+// indexes, so the corpus is walked exactly once no matter how many tables
+// and figures are derived from it.
+//
+// The build itself is two-pass: pass A walks the results once, interning
+// every index key to a dense id and counting bucket cardinalities; pass B
+// fills exact-size flat []int bucket arrays from the recorded ids. No
+// bucket is grown incrementally and no per-result map insert happens on
+// the category/exception hot path.
 //
 // Determinism contract: results are added in scan input order, every
 // index bucket stores ascending result indices, and every key list
@@ -22,6 +31,7 @@ package resultset
 import (
 	"io"
 	"sort"
+	"sync"
 
 	"repro/internal/cert"
 	"repro/internal/hosting"
@@ -80,35 +90,17 @@ type CountryAgg struct {
 	Valid     int
 }
 
-// cells aggregates label → Cell with first-seen ordering, so derived
-// tables never depend on map iteration order.
-type cells struct {
-	byLabel map[string]int // label → position in order
-	order   []Cell
-}
-
-func newCells() *cells { return &cells{byLabel: map[string]int{}} }
-
-func (c *cells) bump(label string, valid bool) {
-	i, ok := c.byLabel[label]
-	if !ok {
-		i = len(c.order)
-		c.byLabel[label] = i
-		c.order = append(c.order, Cell{Label: label})
-	}
-	c.order[i].Total++
-	if valid {
-		c.order[i].Valid++
-	}
-}
-
 // Set is an immutable scan corpus plus its indexes. Accessors return
 // internal slices; callers must treat them as read-only.
 type Set struct {
 	opts    Options
 	results []scanner.Result
 
-	byHost map[string]int
+	// byHost is built lazily on first Lookup: the host index is off the
+	// aggregation hot path and a per-result string map insert is the
+	// single most expensive step of an eager build.
+	hostOnce sync.Once
+	byHost   map[string]int
 
 	counts Counts
 
@@ -118,9 +110,9 @@ type Set struct {
 	exceptions  []scanner.Exception // first-seen, ExcNone excluded
 	byException map[scanner.Exception][]int
 
-	countries []string // sorted at Build
+	countries []string // sorted at build
 	byCountry map[string][]int
-	ccAggs    map[string]*CountryAgg
+	ccAggs    map[string]CountryAgg
 
 	issuers  []string // first-seen; leaf issuer CN, "" excluded
 	byIssuer map[string][]int
@@ -133,6 +125,7 @@ type Set struct {
 
 	providers  []string // first-seen
 	byProvider map[string][]int
+	kinds      []hosting.Kind // first-seen; keeps byKind mergeable without a map range
 	byKind     map[hosting.Kind][]int
 
 	chained        []int    // indices with a retrieved chain
@@ -142,20 +135,22 @@ type Set struct {
 	ranked      []int
 	rankBuckets [][]int
 
-	hostKeyCells  *cells
-	sigAlgoCells  *cells
-	combinedCells *cells
-	versionCells  *cells
+	hostKeyCells  []Cell
+	sigAlgoCells  []Cell
+	combinedCells []Cell
+	versionCells  []Cell
 	weakSigHosts  int
 	smallRSAHosts int
 	issuerDomain  int // chain-bearing results with a non-empty issuer CN
 }
 
 // Builder accumulates results into a Set. Add must be called from a
-// single goroutine, in scan input order; Build finalizes and the Builder
-// must not be reused.
+// single goroutine, in scan input order; distinct Builders are fully
+// independent, so per-shard builders need no locking. Build finalizes
+// and the Builder must not be reused.
 type Builder struct {
-	set *Set
+	opts    Options
+	results []scanner.Result
 }
 
 // NewBuilder starts an index build.
@@ -164,120 +159,453 @@ func NewBuilder(opts Options) *Builder {
 	if hint < 0 {
 		hint = 0
 	}
-	s := &Set{
-		opts:          opts,
-		results:       make([]scanner.Result, 0, hint),
-		byHost:        make(map[string]int, hint),
-		byCategory:    map[scanner.Category][]int{},
-		byException:   map[scanner.Exception][]int{},
-		byCountry:     map[string][]int{},
-		ccAggs:        map[string]*CountryAgg{},
-		byIssuer:      map[string][]int{},
-		byFingerprint: map[[32]byte][]int{},
-		byKeyID:       map[cert.KeyID][]int{},
-		byProvider:    map[string][]int{},
-		byKind:        map[hosting.Kind][]int{},
-		hostKeyCells:  newCells(),
-		sigAlgoCells:  newCells(),
-		combinedCells: newCells(),
-		versionCells:  newCells(),
-	}
-	if opts.RankOf != nil && opts.RankBuckets > 0 && opts.RankMax > 0 {
-		s.rankBuckets = make([][]int, opts.RankBuckets)
-	}
-	return &Builder{set: s}
+	return &Builder{opts: opts, results: make([]scanner.Result, 0, hint)}
+}
+
+// newShardBuilder starts a build whose results land in buf (a zero-length
+// slice with capacity for the whole shard), letting sharded scans append
+// into one shared backing array and merge without copying results.
+func newShardBuilder(opts Options, buf []scanner.Result) *Builder {
+	return &Builder{opts: opts, results: buf}
 }
 
 // New builds a Set from an already-collected result slice (the slice is
 // retained; the caller must not mutate it afterwards).
 func New(results []scanner.Result, opts Options) *Set {
-	if opts.SizeHint == 0 {
-		opts.SizeHint = len(results)
-	}
-	b := NewBuilder(opts)
-	for i := range results {
-		b.Add(results[i])
-	}
-	return b.Build()
+	return build(results, opts)
 }
 
-// Add indexes one result.
+// Add records one result. Indexing is deferred to Build.
 func (b *Builder) Add(r scanner.Result) {
-	s := b.set
-	i := len(s.results)
-	s.results = append(s.results, r)
-	s.byHost[r.Hostname] = i
+	b.results = append(b.results, r)
+}
 
-	cat := r.Category()
-	if _, seen := s.byCategory[cat]; !seen {
-		s.categories = append(s.categories, cat)
+// Build finalizes the Set; the Builder must not be reused.
+func (b *Builder) Build() *Set {
+	s := build(b.results, b.opts)
+	b.results = nil
+	return s
+}
+
+// densePos maps a small non-negative integer key (an enum value) to its
+// first-seen position. Zero means unseen; stored values are position+1.
+type densePos struct{ pos []int32 }
+
+func (d *densePos) lookup(key int) int32 {
+	if key < len(d.pos) {
+		return d.pos[key] - 1
 	}
-	s.byCategory[cat] = append(s.byCategory[cat], i)
-	s.tally(&r, cat)
+	return -1
+}
 
-	if r.Exception != scanner.ExcNone {
-		if _, seen := s.byException[r.Exception]; !seen {
-			s.exceptions = append(s.exceptions, r.Exception)
+func (d *densePos) insert(key int, p int32) {
+	for key >= len(d.pos) {
+		d.pos = append(d.pos, 0)
+	}
+	d.pos[key] = p + 1
+}
+
+// flatIndex is a family of buckets stored as subslices of one exact-size
+// flat array, filled through per-bucket cursors.
+type flatIndex struct {
+	flat  []int
+	start []int // len(counts)+1; bucket p is flat[start[p]:start[p+1]]
+	cur   []int
+}
+
+func newFlatIndex(counts []int32) *flatIndex {
+	f := &flatIndex{start: make([]int, len(counts)+1), cur: make([]int, len(counts))}
+	total := 0
+	for p, c := range counts {
+		f.start[p] = total
+		f.cur[p] = total
+		total += int(c)
+	}
+	f.start[len(counts)] = total
+	f.flat = make([]int, total)
+	return f
+}
+
+func (f *flatIndex) put(p int32, i int) {
+	c := f.cur[p]
+	f.flat[c] = i
+	f.cur[p] = c + 1
+}
+
+func (f *flatIndex) bucket(p int) []int {
+	lo, hi := f.start[p], f.start[p+1]
+	return f.flat[lo:hi:hi]
+}
+
+// Per-result flag bits recorded during pass A.
+const (
+	flagInvalid = 1 << iota
+	flagFailedUpgrade
+	flagRanked
+)
+
+const excNonePos = 255 // excP sentinel: result carries no exception
+
+// build runs the two-pass index construction over a complete result
+// slice. Pass A walks the results once, interning every index key to a
+// dense first-seen position (recorded in per-result scratch arrays) and
+// counting bucket cardinalities; pass B allocates each bucket family as
+// one exact-size flat array and fills it from the scratch ids. The
+// resulting orders and bucket contents are identical to the former
+// incremental build — first occurrence in input order decides key order,
+// and ascending walk order decides bucket order.
+func build(results []scanner.Result, opts Options) *Set {
+	n := len(results)
+	s := &Set{opts: opts, results: results}
+
+	// Per-result scratch: the dense position of each key the result
+	// contributes to, or a negative/sentinel value when it doesn't.
+	catP := make([]uint8, n)
+	excP := make([]uint8, n)
+	ccP := make([]int32, n)
+	provP := make([]int32, n)
+	kindP := make([]int8, n)
+	fpP := make([]int32, n)
+	kidP := make([]int32, n)
+	issP := make([]int32, n)
+	rankB := make([]int16, n)
+	flags := make([]uint8, n)
+
+	// Key interning state, first-seen order, and per-bucket counts.
+	var catPos, excPos, kindPos, sigPos, verPos densePos
+	var catCount, excCount, kindCount, ccCount, provCount, issCount, fpCount, kidCount []int32
+	var rbCount []int32
+
+	ccPos := make(map[string]int32, 64)
+	var ccAgg []CountryAgg
+	provPos := make(map[string]int32, 16)
+	issPos := make(map[string]int32, 64)
+	fpPos := make(map[[32]byte]int32, n/2)
+	kidPos := make(map[cert.KeyID]int32, n/2)
+	hkPos := make(map[uint64]int32, 8)
+	combPos := make(map[uint64]int32, 16)
+
+	rankEnabled := opts.RankOf != nil && opts.RankBuckets > 0 && opts.RankMax > 0
+	if rankEnabled {
+		rbCount = make([]int32, opts.RankBuckets)
+	}
+
+	chainedN, invalidN, failedN, rankedN := 0, 0, 0, 0
+
+	for i := range results {
+		r := &results[i]
+
+		cat := r.Category()
+		p := catPos.lookup(int(cat))
+		if p < 0 {
+			p = int32(len(s.categories))
+			catPos.insert(int(cat), p)
+			s.categories = append(s.categories, cat)
+			catCount = append(catCount, 0)
 		}
-		s.byException[r.Exception] = append(s.byException[r.Exception], i)
-	}
+		catP[i] = uint8(p)
+		catCount[p]++
+		s.tally(r, cat)
 
-	if s.opts.CountryOf != nil {
-		if cc := s.opts.CountryOf(r.Hostname); cc != "" {
-			agg, seen := s.ccAggs[cc]
+		excP[i] = excNonePos
+		if e := r.Exception; e != scanner.ExcNone {
+			p := excPos.lookup(int(e))
+			if p < 0 {
+				p = int32(len(s.exceptions))
+				excPos.insert(int(e), p)
+				s.exceptions = append(s.exceptions, e)
+				excCount = append(excCount, 0)
+			}
+			excP[i] = uint8(p)
+			excCount[p]++
+		}
+
+		ccP[i] = -1
+		if opts.CountryOf != nil {
+			if cc := opts.CountryOf(r.Hostname); cc != "" {
+				p, seen := ccPos[cc]
+				if !seen {
+					p = int32(len(s.countries))
+					ccPos[cc] = p
+					s.countries = append(s.countries, cc)
+					ccCount = append(ccCount, 0)
+					ccAgg = append(ccAgg, CountryAgg{Country: cc})
+				}
+				ccP[i] = p
+				ccCount[p]++
+				agg := &ccAgg[p]
+				agg.Hosts++
+				if r.Available {
+					agg.Available++
+					if r.HasHTTPS() {
+						agg.HTTPS++
+					}
+					if r.ValidHTTPS() {
+						agg.Valid++
+					}
+				}
+			}
+		}
+
+		provP[i], kindP[i] = -1, -1
+		if r.Available {
+			p, seen := provPos[r.Provider]
 			if !seen {
-				agg = &CountryAgg{Country: cc}
-				s.ccAggs[cc] = agg
-				s.countries = append(s.countries, cc)
+				p = int32(len(s.providers))
+				provPos[r.Provider] = p
+				s.providers = append(s.providers, r.Provider)
+				provCount = append(provCount, 0)
 			}
-			s.byCountry[cc] = append(s.byCountry[cc], i)
-			agg.Hosts++
-			if r.Available {
-				agg.Available++
-				if r.HasHTTPS() {
-					agg.HTTPS++
+			provP[i] = p
+			provCount[p]++
+
+			kp := kindPos.lookup(int(r.HostKind))
+			if kp < 0 {
+				kp = int32(len(s.kinds))
+				kindPos.insert(int(r.HostKind), kp)
+				s.kinds = append(s.kinds, r.HostKind)
+				kindCount = append(kindCount, 0)
+			}
+			kindP[i] = int8(kp)
+			kindCount[kp]++
+		}
+
+		var f uint8
+		if cat.IsInvalidHTTPS() {
+			f |= flagInvalid
+			invalidN++
+		}
+		if r.ServesHTTP && r.ServesHTTPS && r.ValidHTTPS() {
+			f |= flagFailedUpgrade
+			failedN++
+		}
+
+		if r.HasHTTPS() {
+			// Version cells are keyed by the numeric protocol version
+			// (key 0 is the no-handshake sentinel); the label string is
+			// materialized once per distinct version, not per result.
+			key, valid := 0, false
+			if len(r.Chain) > 0 {
+				key = int(r.TLSVersion) + 1
+				valid = r.Verify.Valid()
+			}
+			vp := verPos.lookup(key)
+			if vp < 0 {
+				vp = int32(len(s.versionCells))
+				verPos.insert(key, vp)
+				label := "(no handshake)"
+				if key != 0 {
+					label = r.TLSVersion.String()
 				}
-				if r.ValidHTTPS() {
-					agg.Valid++
+				s.versionCells = append(s.versionCells, Cell{Label: label})
+			}
+			cell := &s.versionCells[vp]
+			cell.Total++
+			if valid {
+				cell.Valid++
+			}
+		}
+
+		fpP[i], kidP[i], issP[i] = -1, -1, -1
+		if len(r.Chain) > 0 {
+			chainedN++
+			leaf := r.Chain[0]
+
+			fp := leaf.Fingerprint()
+			p, seen := fpPos[fp]
+			if !seen {
+				p = int32(len(s.fingerprints))
+				fpPos[fp] = p
+				s.fingerprints = append(s.fingerprints, fp)
+				fpCount = append(fpCount, 0)
+			}
+			fpP[i] = p
+			fpCount[p]++
+
+			id := leaf.PublicKey.ID
+			p, seen = kidPos[id]
+			if !seen {
+				p = int32(len(s.keyIDs))
+				kidPos[id] = p
+				s.keyIDs = append(s.keyIDs, id)
+				kidCount = append(kidCount, 0)
+			}
+			kidP[i] = p
+			kidCount[p]++
+
+			if cn := leaf.Issuer.CommonName; cn != "" {
+				s.issuerDomain++
+				p, seen := issPos[cn]
+				if !seen {
+					p = int32(len(s.issuers))
+					issPos[cn] = p
+					s.issuers = append(s.issuers, cn)
+					issCount = append(issCount, 0)
+				}
+				issP[i] = p
+				issCount[p]++
+			}
+
+			// Key/signature cells intern on numeric identities — the
+			// (type,bits) pair, the algorithm enum, and the pair of cell
+			// positions — so the Sprintf-built labels are produced once
+			// per distinct key shape instead of once per result.
+			valid := r.Verify.Valid()
+			hk := uint64(leaf.PublicKey.Type)<<32 | uint64(uint32(leaf.PublicKey.Bits))
+			hp, seen := hkPos[hk]
+			if !seen {
+				hp = int32(len(s.hostKeyCells))
+				hkPos[hk] = hp
+				s.hostKeyCells = append(s.hostKeyCells, Cell{Label: leaf.PublicKey.Label()})
+			}
+			bumpCell(&s.hostKeyCells[hp], valid)
+
+			sp := sigPos.lookup(int(leaf.SignatureAlgorithm))
+			if sp < 0 {
+				sp = int32(len(s.sigAlgoCells))
+				sigPos.insert(int(leaf.SignatureAlgorithm), sp)
+				s.sigAlgoCells = append(s.sigAlgoCells, Cell{Label: leaf.SignatureAlgorithm.String()})
+			}
+			bumpCell(&s.sigAlgoCells[sp], valid)
+
+			ck := uint64(hp)<<32 | uint64(sp)
+			cp, seen := combPos[ck]
+			if !seen {
+				cp = int32(len(s.combinedCells))
+				combPos[ck] = cp
+				s.combinedCells = append(s.combinedCells, Cell{
+					Label: s.hostKeyCells[hp].Label + " / " + s.sigAlgoCells[sp].Label,
+				})
+			}
+			bumpCell(&s.combinedCells[cp], valid)
+
+			if leaf.SignatureAlgorithm.IsWeak() {
+				s.weakSigHosts++
+			}
+			if leaf.PublicKey.Type == cert.KeyRSA && leaf.PublicKey.Bits < 2048 {
+				s.smallRSAHosts++
+			}
+		}
+
+		rankB[i] = -1
+		if rankEnabled {
+			if rank, ok := opts.RankOf(r.Hostname); ok {
+				f |= flagRanked
+				rankedN++
+				if bkt, ok := rankBucket(rank, opts); ok {
+					rankB[i] = int16(bkt)
+					rbCount[bkt]++
 				}
 			}
 		}
+		flags[i] = f
 	}
 
-	if r.Available {
-		if _, seen := s.byProvider[r.Provider]; !seen {
-			s.providers = append(s.providers, r.Provider)
+	// Pass B: exact-size flat buckets, filled in ascending result order.
+	catIdx := newFlatIndex(catCount)
+	excIdx := newFlatIndex(excCount)
+	ccIdx := newFlatIndex(ccCount)
+	provIdx := newFlatIndex(provCount)
+	kindIdx := newFlatIndex(kindCount)
+	fpIdx := newFlatIndex(fpCount)
+	kidIdx := newFlatIndex(kidCount)
+	issIdx := newFlatIndex(issCount)
+	var rbIdx *flatIndex
+	if rankEnabled {
+		rbIdx = newFlatIndex(rbCount)
+	}
+
+	s.chained = make([]int, 0, chainedN)
+	s.invalidHosts = make([]string, 0, invalidN)
+	s.failedUpgrades = make([]int, 0, failedN)
+	s.ranked = make([]int, 0, rankedN)
+
+	for i := 0; i < n; i++ {
+		catIdx.put(int32(catP[i]), i)
+		if p := excP[i]; p != excNonePos {
+			excIdx.put(int32(p), i)
 		}
-		s.byProvider[r.Provider] = append(s.byProvider[r.Provider], i)
-		s.byKind[r.HostKind] = append(s.byKind[r.HostKind], i)
-	}
-
-	if cat.IsInvalidHTTPS() {
-		s.invalidHosts = append(s.invalidHosts, r.Hostname)
-	}
-	if r.ServesHTTP && r.ServesHTTPS && r.ValidHTTPS() {
-		s.failedUpgrades = append(s.failedUpgrades, i)
-	}
-
-	if r.HasHTTPS() {
-		if len(r.Chain) == 0 {
-			s.versionCells.bump("(no handshake)", false)
-		} else {
-			s.versionCells.bump(r.TLSVersion.String(), r.Verify.Valid())
+		if p := ccP[i]; p >= 0 {
+			ccIdx.put(p, i)
 		}
-	}
-
-	if len(r.Chain) > 0 {
-		s.indexChain(&r, i)
-	}
-
-	if s.rankBuckets != nil {
-		if rank, ok := s.opts.RankOf(r.Hostname); ok {
+		if p := provP[i]; p >= 0 {
+			provIdx.put(p, i)
+			kindIdx.put(int32(kindP[i]), i)
+		}
+		if p := fpP[i]; p >= 0 {
+			fpIdx.put(p, i)
+			kidIdx.put(kidP[i], i)
+			s.chained = append(s.chained, i)
+			if ip := issP[i]; ip >= 0 {
+				issIdx.put(ip, i)
+			}
+		}
+		f := flags[i]
+		if f&flagInvalid != 0 {
+			s.invalidHosts = append(s.invalidHosts, results[i].Hostname)
+		}
+		if f&flagFailedUpgrade != 0 {
+			s.failedUpgrades = append(s.failedUpgrades, i)
+		}
+		if f&flagRanked != 0 {
 			s.ranked = append(s.ranked, i)
-			if bkt, ok := s.rankBucket(rank); ok {
-				s.rankBuckets[bkt] = append(s.rankBuckets[bkt], i)
+			if b := rankB[i]; b >= 0 {
+				rbIdx.put(int32(b), i)
 			}
 		}
+	}
+
+	// Materialize the public maps as subslices of the flat arrays.
+	s.byCategory = make(map[scanner.Category][]int, len(s.categories))
+	for p, cat := range s.categories {
+		s.byCategory[cat] = catIdx.bucket(p)
+	}
+	s.byException = make(map[scanner.Exception][]int, len(s.exceptions))
+	for p, e := range s.exceptions {
+		s.byException[e] = excIdx.bucket(p)
+	}
+	s.byCountry = make(map[string][]int, len(s.countries))
+	s.ccAggs = make(map[string]CountryAgg, len(s.countries))
+	for p, cc := range s.countries {
+		s.byCountry[cc] = ccIdx.bucket(p)
+		s.ccAggs[cc] = ccAgg[p]
+	}
+	sort.Strings(s.countries)
+	s.byProvider = make(map[string][]int, len(s.providers))
+	for p, prov := range s.providers {
+		s.byProvider[prov] = provIdx.bucket(p)
+	}
+	s.byKind = make(map[hosting.Kind][]int, len(s.kinds))
+	for p, k := range s.kinds {
+		s.byKind[k] = kindIdx.bucket(p)
+	}
+	s.byFingerprint = make(map[[32]byte][]int, len(s.fingerprints))
+	for p, fp := range s.fingerprints {
+		s.byFingerprint[fp] = fpIdx.bucket(p)
+	}
+	s.byKeyID = make(map[cert.KeyID][]int, len(s.keyIDs))
+	for p, id := range s.keyIDs {
+		s.byKeyID[id] = kidIdx.bucket(p)
+	}
+	s.byIssuer = make(map[string][]int, len(s.issuers))
+	for p, cn := range s.issuers {
+		s.byIssuer[cn] = issIdx.bucket(p)
+	}
+	if rankEnabled {
+		s.rankBuckets = make([][]int, opts.RankBuckets)
+		for b := range s.rankBuckets {
+			if rbCount[b] > 0 {
+				s.rankBuckets[b] = rbIdx.bucket(b)
+			}
+		}
+	}
+	return s
+}
+
+func bumpCell(c *Cell, valid bool) {
+	c.Total++
+	if valid {
+		c.Valid++
 	}
 }
 
@@ -312,59 +640,11 @@ func (s *Set) tally(r *scanner.Result, cat scanner.Category) {
 	}
 }
 
-// indexChain indexes the certificate-bearing facets of one result.
-func (s *Set) indexChain(r *scanner.Result, i int) {
-	leaf := r.Chain[0]
-
-	fp := leaf.Fingerprint()
-	if _, seen := s.byFingerprint[fp]; !seen {
-		s.fingerprints = append(s.fingerprints, fp)
-	}
-	s.byFingerprint[fp] = append(s.byFingerprint[fp], i)
-
-	id := leaf.PublicKey.ID
-	if _, seen := s.byKeyID[id]; !seen {
-		s.keyIDs = append(s.keyIDs, id)
-	}
-	s.byKeyID[id] = append(s.byKeyID[id], i)
-
-	if cn := leaf.Issuer.CommonName; cn != "" {
-		s.issuerDomain++
-		if _, seen := s.byIssuer[cn]; !seen {
-			s.issuers = append(s.issuers, cn)
-		}
-		s.byIssuer[cn] = append(s.byIssuer[cn], i)
-	}
-
-	s.chained = append(s.chained, i)
-
-	valid := r.Verify.Valid()
-	key := leaf.PublicKey.Label()
-	alg := leaf.SignatureAlgorithm.String()
-	s.hostKeyCells.bump(key, valid)
-	s.sigAlgoCells.bump(alg, valid)
-	s.combinedCells.bump(key+" / "+alg, valid)
-	if leaf.SignatureAlgorithm.IsWeak() {
-		s.weakSigHosts++
-	}
-	if leaf.PublicKey.Type == cert.KeyRSA && leaf.PublicKey.Bits < 2048 {
-		s.smallRSAHosts++
-	}
-}
-
 // rankBucket maps a rank onto its Figure 7 bucket via stats.BucketIndex
 // over [1, RankMax+1), so bucket membership matches the binned rates bit
 // for bit.
-func (s *Set) rankBucket(rank int) (int, bool) {
-	return stats.BucketIndex(float64(rank), 1, float64(s.opts.RankMax)+1, s.opts.RankBuckets)
-}
-
-// Build finalizes the Set.
-func (b *Builder) Build() *Set {
-	s := b.set
-	b.set = nil
-	sort.Strings(s.countries)
-	return s
+func rankBucket(rank int, opts Options) (int, bool) {
+	return stats.BucketIndex(float64(rank), 1, float64(opts.RankMax)+1, opts.RankBuckets)
 }
 
 // --- accessors ---
@@ -382,13 +662,23 @@ func (s *Set) WriteJSONL(w io.Writer) error { return scanner.WriteJSONL(w, s.res
 // At returns the i-th result.
 func (s *Set) At(i int) *scanner.Result { return &s.results[i] }
 
-// Lookup finds a hostname's result.
+// Lookup finds a hostname's result. The host index is built lazily on
+// first use (and is safe for concurrent lookups).
 func (s *Set) Lookup(hostname string) (*scanner.Result, bool) {
+	s.hostOnce.Do(s.buildHostIndex)
 	i, ok := s.byHost[hostname]
 	if !ok {
 		return nil, false
 	}
 	return &s.results[i], true
+}
+
+func (s *Set) buildHostIndex() {
+	m := make(map[string]int, len(s.results))
+	for i := range s.results {
+		m[s.results[i].Hostname] = i
+	}
+	s.byHost = m
 }
 
 // CountryOf attributes a hostname using the builder's attribution
@@ -429,7 +719,7 @@ func (s *Set) ByCountry(cc string) []int { return s.byCountry[cc] }
 func (s *Set) CountryAggs() []CountryAgg {
 	out := make([]CountryAgg, len(s.countries))
 	for i, cc := range s.countries {
-		out[i] = *s.ccAggs[cc]
+		out[i] = s.ccAggs[cc]
 	}
 	return out
 }
@@ -495,17 +785,17 @@ func (s *Set) RankOf(hostname string) (int, bool) {
 }
 
 // HostKeyCells returns per-host-key-type validity cells (first-seen).
-func (s *Set) HostKeyCells() []Cell { return s.hostKeyCells.order }
+func (s *Set) HostKeyCells() []Cell { return s.hostKeyCells }
 
 // SigAlgoCells returns per-signing-algorithm validity cells (first-seen).
-func (s *Set) SigAlgoCells() []Cell { return s.sigAlgoCells.order }
+func (s *Set) SigAlgoCells() []Cell { return s.sigAlgoCells }
 
 // CombinedCells returns key-type × signing-algorithm cells (first-seen).
-func (s *Set) CombinedCells() []Cell { return s.combinedCells.order }
+func (s *Set) CombinedCells() []Cell { return s.combinedCells }
 
 // VersionCells returns per-negotiated-TLS-version cells over hosts that
 // attempt https, with "(no handshake)" for protocol-layer failures.
-func (s *Set) VersionCells() []Cell { return s.versionCells.order }
+func (s *Set) VersionCells() []Cell { return s.versionCells }
 
 // WeakSignatureHosts counts hosts whose leaf is signed with MD5 or SHA1.
 func (s *Set) WeakSignatureHosts() int { return s.weakSigHosts }

@@ -1,0 +1,89 @@
+package resultset
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/scanner"
+)
+
+// ScanSharded scans hostnames through sc split across shards independent
+// workers and returns the merged Set — the preferred entry point for
+// large-scale aggregation. The host list is partitioned contiguously
+// (scanner.Partition); each shard scans sequentially via ScanShard,
+// feeding its own Builder with no reorder window and no cross-shard
+// locks, and the per-shard Sets are recombined with the deterministic
+// set-merge. Every shard appends its results into one shared backing
+// array, so the merged Set's result slice is built without copying.
+//
+// The merged Set is bit-identical to a sequential build over the same
+// host list on fault-free worlds. Worlds with injected faults carry the
+// same caveat as any concurrent scan (core.SuiteOptions.Jobs > 1):
+// per-endpoint dial ordinals depend on scan interleaving when hosts
+// share provider IPs, so shard count becomes part of the world's fault
+// draw, not a correctness bug.
+//
+// shards < 2 (or a host list smaller than the shard count's minimum of
+// one host per shard) degrades gracefully; with one shard the scan runs
+// sequentially on the calling goroutine with no merge step.
+func ScanSharded(ctx context.Context, sc *scanner.Scanner, hostnames []string, shards int, opts Options) *Set {
+	parts := scanner.Partition(hostnames, shards)
+	if len(parts) == 0 {
+		return build(nil, opts)
+	}
+	if len(parts) == 1 {
+		one := opts
+		one.SizeHint = len(hostnames)
+		b := NewBuilder(one)
+		sc.ScanShard(ctx, hostnames, b.Add)
+		return b.Build()
+	}
+
+	backing := make([]scanner.Result, len(hostnames))
+	sets := make([]*Set, len(parts))
+	var wg sync.WaitGroup
+	lo := 0
+	for k, part := range parts {
+		sub := backing[lo : lo : lo+len(part)]
+		wg.Add(1)
+		go func(k int, part []string, sub []scanner.Result) {
+			defer wg.Done()
+			b := newShardBuilder(opts, sub)
+			sc.ScanShard(ctx, part, b.Add)
+			sets[k] = b.Build()
+		}(k, part, sub)
+		lo += len(part)
+	}
+	wg.Wait()
+	return mergeSets(sets, backing[:lo])
+}
+
+// BuildSharded indexes an already-collected result slice using shards
+// concurrent per-shard builds recombined by the deterministic set-merge —
+// the aggregation half of ScanSharded, for callers that hold raw results
+// (a restored journal, a finished ScanAll). The slice is partitioned
+// contiguously, every shard builds over its subslice in place, and the
+// merged Set adopts results without copying; the outcome equals
+// New(results, opts) on every accessor. shards < 2 falls back to the
+// one-shot build.
+func BuildSharded(results []scanner.Result, shards int, opts Options) *Set {
+	n := len(results)
+	if shards > n {
+		shards = n
+	}
+	if shards < 2 {
+		return build(results, opts)
+	}
+	sets := make([]*Set, shards)
+	var wg sync.WaitGroup
+	for k := 0; k < shards; k++ {
+		lo, hi := k*n/shards, (k+1)*n/shards
+		wg.Add(1)
+		go func(k, lo, hi int) {
+			defer wg.Done()
+			sets[k] = build(results[lo:hi:hi], opts)
+		}(k, lo, hi)
+	}
+	wg.Wait()
+	return mergeSets(sets, results)
+}

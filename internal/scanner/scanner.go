@@ -266,9 +266,15 @@ func (s *Scanner) Scan(ctx context.Context, hostname string) Result {
 	// on what port 80 said (a refused 443 is only an exception when port 80
 	// advertised an https upgrade). With a circuit breaker configured the
 	// probes run sequentially instead: the breaker consumes dial outcomes
-	// in order, and that order is part of its contract.
+	// in order, and that order is part of its contract. Virtual-clock scans
+	// also probe sequentially: simulated waiting is collapsed, so probe
+	// concurrency cannot hide any latency — the per-host goroutine would be
+	// pure scheduling and stack-growth overhead. Results are identical
+	// either way: the probes touch different endpoints (ports 80 and 443),
+	// so each port's dial sequence is unchanged.
 	var out httpsOutcome
-	if s.Cfg.Breaker != nil {
+	_, virtual := s.Cfg.Clock.(*simclock.Virtual)
+	if s.Cfg.Breaker != nil || virtual {
 		s.probeHTTP(ctx, &res)
 		s.probeHTTPS(ctx, &res, &out)
 	} else {
@@ -614,9 +620,12 @@ func classifyTLSErr(err error) (Exception, string) {
 // without re-scanning and every newly completed host is checkpointed, so
 // an interrupted run resumes from the last completed host.
 //
-// ScanAll is a thin collector over ScanStream; callers that aggregate as
-// they go (resultset.Builder) should use ScanStream directly and skip the
-// O(hosts) slice.
+// ScanAll is a thin collector over ScanStream. Callers that aggregate
+// large corpora should prefer the sharded path (resultset.ScanSharded,
+// built on Partition + ScanShard): it feeds one index builder per shard
+// with no global in-order window and merges deterministically. ScanStream
+// remains the streaming entry point when a single in-order consumer is
+// required.
 func (s *Scanner) ScanAll(ctx context.Context, hostnames []string) []Result {
 	results := make([]Result, 0, len(hostnames))
 	s.ScanStream(ctx, hostnames, func(r Result) { results = append(results, r) })
@@ -641,6 +650,11 @@ type streamItem struct {
 // hostname-only placeholder results. Out-of-order completions are held in
 // a reorder window bounded by a small multiple of the worker count, so
 // memory stays O(workers), not O(hosts).
+//
+// The reorder window serializes every consumer behind the slowest
+// in-flight probe; at large scale prefer resultset.ScanSharded, which
+// partitions the host list (Partition) and feeds one builder per shard
+// directly (ScanShard) with no global in-order bottleneck.
 func (s *Scanner) ScanStream(ctx context.Context, hostnames []string, fn func(Result)) {
 	journal := s.Cfg.Journal
 

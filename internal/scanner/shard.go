@@ -1,0 +1,63 @@
+package scanner
+
+import "context"
+
+// Partition splits hostnames into at most shards contiguous, non-empty
+// slices covering the input exactly once, in order. Shard k is
+// hostnames[k*n/shards : (k+1)*n/shards] — so concatenating the shards
+// reproduces the input, which is what lets resultset.Merge recombine
+// per-shard indexes bit-identically to a sequential build. Shard counts
+// above len(hostnames) are capped (every returned shard is non-empty)
+// and counts below 1 are treated as 1. An empty input returns nil.
+func Partition(hostnames []string, shards int) [][]string {
+	n := len(hostnames)
+	if n == 0 {
+		return nil
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > n {
+		shards = n
+	}
+	parts := make([][]string, shards)
+	for k := 0; k < shards; k++ {
+		parts[k] = hostnames[k*n/shards : (k+1)*n/shards]
+	}
+	return parts
+}
+
+// ScanShard probes one shard's hostnames sequentially on the calling
+// goroutine, delivering each result to fn in input order with none of
+// ScanStream's reorder window — the per-shard consumer (typically a
+// resultset.Builder) is fed directly, so a sharded scan has no global
+// in-order bottleneck and no cross-shard locks. Multiple ScanShard calls
+// may run concurrently on the same Scanner: the scan caches and the
+// journal are safe for concurrent use.
+//
+// Per-host semantics match ScanAll: journaled hosts are restored without
+// re-scanning, newly completed hosts are checkpointed, and after context
+// cancellation the remaining unscanned hosts are delivered as
+// hostname-only placeholder results.
+func (s *Scanner) ScanShard(ctx context.Context, hostnames []string, fn func(Result)) {
+	journal := s.Cfg.Journal
+	for i, h := range hostnames {
+		if journal != nil {
+			if prev, ok := journal.Lookup(h); ok {
+				fn(prev)
+				continue
+			}
+		}
+		if ctx.Err() != nil {
+			for j := i; j < len(hostnames); j++ {
+				fn(Result{Hostname: hostnames[j]})
+			}
+			return
+		}
+		r := s.Scan(ctx, h)
+		if journal != nil && ctx.Err() == nil {
+			journal.Append(r)
+		}
+		fn(r)
+	}
+}

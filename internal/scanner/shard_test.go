@@ -1,0 +1,79 @@
+package scanner_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/scanner"
+)
+
+// TestPartitionEveryHostExactlyOnce is a fuzz-style sweep of the
+// partitioner: for pseudo-random host-list lengths and shard counts —
+// including shards = 1, shards = len(hosts), and shards far beyond the
+// host count — concatenating the shards must reproduce the input exactly
+// (every host in exactly one shard, order preserved) with no empty shard.
+func TestPartitionEveryHostExactlyOnce(t *testing.T) {
+	// splitmix64-style generator: deterministic, no global rand.
+	state := uint64(0x9e3779b97f4a7c15)
+	next := func(bound int) int {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		return int(z % uint64(bound))
+	}
+
+	check := func(t *testing.T, n, shards int) {
+		t.Helper()
+		hosts := make([]string, n)
+		for i := range hosts {
+			hosts[i] = fmt.Sprintf("host-%d.gov", i)
+		}
+		parts := scanner.Partition(hosts, shards)
+		if n == 0 {
+			if parts != nil {
+				t.Fatalf("Partition(0 hosts, %d) = %v, want nil", shards, parts)
+			}
+			return
+		}
+		wantShards := shards
+		if wantShards < 1 {
+			wantShards = 1
+		}
+		if wantShards > n {
+			wantShards = n
+		}
+		if len(parts) != wantShards {
+			t.Fatalf("Partition(%d hosts, %d) produced %d shards, want %d", n, shards, len(parts), wantShards)
+		}
+		seen := 0
+		for k, part := range parts {
+			if len(part) == 0 {
+				t.Fatalf("shard %d/%d empty for %d hosts", k, len(parts), n)
+			}
+			for _, h := range part {
+				if h != hosts[seen] {
+					t.Fatalf("host %d: got %q, want %q (n=%d shards=%d)", seen, h, hosts[seen], n, shards)
+				}
+				seen++
+			}
+		}
+		if seen != n {
+			t.Fatalf("shards cover %d hosts, want %d (shards=%d)", seen, n, shards)
+		}
+	}
+
+	// Edge cases first.
+	for _, tc := range []struct{ n, shards int }{
+		{0, 4}, {1, 1}, {1, 8}, {5, 1}, {5, 5}, {5, 6}, {5, 500}, {7, 3}, {100, 64}, {64, 100}, {3, 0}, {3, -2},
+	} {
+		check(t, tc.n, tc.shards)
+	}
+	// Randomized sweep.
+	for i := 0; i < 500; i++ {
+		n := next(2000)
+		shards := next(3 * (n + 2))
+		check(t, n, shards)
+	}
+}

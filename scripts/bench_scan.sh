@@ -9,9 +9,19 @@
 # JSONExport allocs at the commit before the experiment scheduler and the
 # zero-copy exporter.
 #
-# The job fails (non-zero exit) if JSONExport allocates more per op than
-# the recorded pre-rewrite baseline: the zero-copy exporter must not
-# regress back toward reflection-based encoding.
+# Pairs whose baseline is a live benchmark (ReportSuite vs
+# ReportSuiteSequential, AggregateIndexed/AggregateSharded vs
+# AggregateLegacy) re-derive the baseline from the same run on the same
+# commit, so the table can't silently compare different workloads.
+#
+# The job fails (non-zero exit) if:
+#   - JSONExport allocates more per op than the recorded pre-rewrite
+#     baseline: the zero-copy exporter must not regress back toward
+#     reflection-based encoding; or
+#   - the sharded merged index build (best shard count) is slower than
+#     the legacy per-experiment aggregation loops: partition + per-shard
+#     build + deterministic merge must never cost more than the loops it
+#     replaced.
 #
 # Usage: scripts/bench_scan.sh [output.json]
 set -euo pipefail
@@ -23,13 +33,16 @@ out="${1:-BENCH_scan.json}"
 # benchmark (a worldwide scan leaves ~70 MB of results) skews the GC
 # behaviour of the next, and the baselines were recorded per-benchmark.
 #
-# AggregateIndexed/AggregateLegacy measure the aggregation layer itself:
-# one indexed result-set build serving every experiment, versus the
-# per-experiment loops over the raw slice that the analysis layer ran
-# before the dataset-registry refactor. ReportSuite/ReportSuiteSequential
-# are the same live pair for the experiment scheduler.
+# AggregateIndexed/AggregateSharded/AggregateLegacy measure the
+# aggregation layer itself over one shared pre-collected result slice
+# (the scan runs outside every timed region): the one-shot indexed build,
+# the partitioned per-shard builds recombined by the deterministic merge,
+# and the per-experiment loops the analysis layer ran before the
+# dataset-registry refactor. ReportSuite/ReportSuiteSequential are the
+# same live pair for the experiment scheduler; ScanWorldwideSharded is
+# the end-to-end shard-scaling curve (scan + build + merge).
 raw=""
-for b in ScanWorldwide WorldBuild ScanSingleHost JSONExport ReportSuite ReportSuiteSequential AggregateIndexed AggregateLegacy RenewalFleet; do
+for b in ScanWorldwide ScanWorldwideSharded WorldBuild ScanSingleHost JSONExport ReportSuite ReportSuiteSequential AggregateIndexed AggregateSharded AggregateLegacy RenewalFleet; do
     raw+="$(go test -run '^$' -bench "^Benchmark${b}\$" -benchmem -count "${BENCH_COUNT:-3}" .)"
     raw+=$'\n'
 done
@@ -42,7 +55,10 @@ BEGIN {
     base["WorldBuild"]     = 22436147
     base["ScanSingleHost"] = 101503
     base["JSONExport"]     = 8780592
-    base["ReportSuite"]    = 433735494
+    # ReportSuite has no recorded entry: its baseline is re-derived in END
+    # from the same-run ReportSuiteSequential measurement, so the pair can
+    # never compare different workloads (the old hard-coded number predated
+    # the 36-experiment suite and produced a bogus speedup).
     # allocs/op of the reflection-based JSON exporter before the
     # zero-copy rewrite; the gate below fails the job on regression.
     base_allocs["JSONExport"] = 18658
@@ -50,6 +66,7 @@ BEGIN {
     order[3] = "ScanSingleHost"; order[4] = "JSONExport"
     order[5] = "ReportSuite"
     nOrder = 5
+    shardCounts = "1 2 4 8"
 }
 /^Benchmark/ {
     name = $1
@@ -67,6 +84,9 @@ BEGIN {
     }
 }
 END {
+    # Satellite fix: the scheduled suite is baselined against the
+    # sequential run from this same invocation, not a recorded number.
+    base["ReportSuite"] = cur["ReportSuiteSequential"]
     printf "{\n  \"scale\": %s,\n", (ENVIRON["GOVHTTPS_BENCH_SCALE"] != "" ? ENVIRON["GOVHTTPS_BENCH_SCALE"] : "0.05") > out
     printf "  \"baseline_ns_per_op\": {" > out
     for (i = 1; i <= nOrder; i++)
@@ -84,8 +104,33 @@ END {
     printf "    \"indexed_ns_per_op\": %d,\n", cur["AggregateIndexed"] > out
     printf "    \"legacy_ns_per_op\": %d,\n", cur["AggregateLegacy"] > out
     printf "    \"speedup\": %.2f\n", (cur["AggregateIndexed"] > 0 ? cur["AggregateLegacy"] / cur["AggregateIndexed"] : 0) > out
-    # Report-suite pair: the sequential loop measured live against the
-    # scheduled run, plus the scheduled run against the recorded baseline.
+    # Sharded aggregation curve: per-shard concurrent builds + the
+    # deterministic merge, against the same legacy loops over the same
+    # slice. best_speedup feeds the regression gate below.
+    printf "  },\n  \"aggregation_sharded\": {\n" > out
+    printf "    \"legacy_ns_per_op\": %d,\n    \"shards_ns_per_op\": {", cur["AggregateLegacy"] > out
+    nShards = split(shardCounts, sc, " ")
+    for (i = 1; i <= nShards; i++)
+        printf "%s\n      \"%s\": %d", (i > 1 ? "," : ""), sc[i], cur["AggregateSharded/shards=" sc[i]] > out
+    printf "\n    },\n    \"speedup_vs_legacy\": {" > out
+    # best_speedup spans the merged builds only (shards >= 2): shards=1 is
+    # the merge-free control and must not satisfy the merge gate below.
+    bestSharded = 0
+    for (i = 1; i <= nShards; i++) {
+        v = cur["AggregateSharded/shards=" sc[i]]
+        sp = (v > 0 ? cur["AggregateLegacy"] / v : 0)
+        if (sc[i] != "1" && sp > bestSharded) bestSharded = sp
+        printf "%s\n      \"%s\": %.2f", (i > 1 ? "," : ""), sc[i], sp > out
+    }
+    printf "\n    },\n    \"best_speedup\": %.2f\n", bestSharded > out
+    # End-to-end shard-scaling curve: partition + concurrent scan/build +
+    # merge, scan included (shards=1 is the sequential control).
+    printf "  },\n  \"scan_worldwide_sharded_ns_per_op\": {" > out
+    for (i = 1; i <= nShards; i++)
+        printf "%s\n    \"%s\": %d", (i > 1 ? "," : ""), sc[i], cur["ScanWorldwideSharded/shards=" sc[i]] > out
+    printf "\n" > out
+    # Report-suite pair: both sides of the speedup measured live in this
+    # run — the sequential loop is the baseline for the scheduled run.
     printf "  },\n  \"report_suite\": {\n" > out
     printf "    \"scheduled_ns_per_op\": %d,\n", cur["ReportSuite"] > out
     printf "    \"sequential_ns_per_op\": %d,\n", cur["ReportSuiteSequential"] > out
@@ -103,6 +148,11 @@ END {
     if (allocs["JSONExport"] > base_allocs["JSONExport"]) {
         printf "FAIL: JSONExport allocs/op regressed: %d > baseline %d\n",
             allocs["JSONExport"], base_allocs["JSONExport"] > "/dev/stderr"
+        exit 1
+    }
+    if (bestSharded < 1.0) {
+        printf "FAIL: sharded merged build slower than legacy loops: best speedup %.2f < 1.00\n",
+            bestSharded > "/dev/stderr"
         exit 1
     }
 }
