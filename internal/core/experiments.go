@@ -87,8 +87,12 @@ func registry() ([]Experiment, map[string]int) {
 			{ID: "E4", Title: "Extension: Longitudinal monitoring (future work)", Datasets: ww, MutatesWorld: true, Run: runE4},
 			{ID: "E5", Title: "Extension: HSTS preload impact (§8.2)", Datasets: ww, Run: runE5},
 			{ID: "E6", Title: "Extension: §8.1 key-reuse issuance policy replay", Datasets: ww, Run: runE6},
-			{ID: "E7", Title: "Extension: ACME renewal fleet adoption curve (§8.1)", Datasets: []string{"acmefleet"}, MutatesWorld: true, Run: runE7},
-			{ID: "E8", Title: "Extension: renewal fleet error-class decay (§8.1)", Datasets: []string{"acmefleet"}, MutatesWorld: true, Run: runE8},
+			// E7/E8 reach "worldwide" through FleetReport's corpus scan, so it
+			// is declared for the pre-warm alongside (E7) the post-campaign
+			// rescan dataset; E8 only reads the campaign report and never
+			// fetches "acmefleet" itself.
+			{ID: "E7", Title: "Extension: ACME renewal fleet adoption curve (§8.1)", Datasets: []string{"worldwide", "acmefleet"}, MutatesWorld: true, Run: runE7},
+			{ID: "E8", Title: "Extension: renewal fleet error-class decay (§8.1)", Datasets: []string{"worldwide"}, MutatesWorld: true, Run: runE8},
 		}
 		registryIdx = make(map[string]int, len(registryExps))
 		for i := range registryExps {

@@ -131,6 +131,7 @@ func ReadRequest(br *bufio.Reader) (*Request, error) {
 		i2 = bytes.IndexByte(line[i1+1:], ' ')
 	}
 	if i1 < 0 || i2 < 0 || !bytes.HasPrefix(line[i1+1+i2+1:], httpProto) {
+		//lint:allow hotalloc cold malformed-input branch: formats only when returning a protocol error
 		return nil, fmt.Errorf("%w: bad request line %q", ErrMalformedRequest, line)
 	}
 	req := &Request{
@@ -145,6 +146,7 @@ func ReadRequest(br *bufio.Reader) (*Request, error) {
 	if cl, ok := req.Header["content-length"]; ok {
 		n, err := strconv.Atoi(cl)
 		if err != nil || n < 0 {
+			//lint:allow hotalloc cold malformed-input branch: formats only when returning a protocol error
 			return nil, fmt.Errorf("%w: bad content-length %q", ErrMalformedRequest, cl)
 		}
 		if n > maxBodyLen {
@@ -232,6 +234,7 @@ func ReadResponse(br *bufio.Reader) (*Response, error) {
 	}
 	i1 := bytes.IndexByte(line, ' ')
 	if i1 < 0 || !bytes.HasPrefix(line, httpProto) {
+		//lint:allow hotalloc cold malformed-input branch: formats only when returning a protocol error
 		return nil, fmt.Errorf("%w: bad status line %q", ErrMalformedResponse, line)
 	}
 	sb := line[i1+1:]
@@ -240,6 +243,7 @@ func ReadResponse(br *bufio.Reader) (*Response, error) {
 	}
 	status, err := atoiBytes(sb)
 	if err != nil {
+		//lint:allow hotalloc cold malformed-input branch: formats only when returning a protocol error
 		return nil, fmt.Errorf("%w: bad status code %q", ErrMalformedResponse, sb)
 	}
 	resp := &Response{StatusCode: status, Header: make(map[string]string, 4)}
@@ -250,6 +254,7 @@ func ReadResponse(br *bufio.Reader) (*Response, error) {
 	if cl, ok := resp.Header["content-length"]; ok {
 		n, err = strconv.Atoi(cl)
 		if err != nil || n < 0 {
+			//lint:allow hotalloc cold malformed-input branch: formats only when returning a protocol error
 			return nil, fmt.Errorf("%w: bad content-length %q", ErrMalformedResponse, cl)
 		}
 		if n > maxBodyLen {
@@ -303,10 +308,12 @@ func readHeaders(br *bufio.Reader, into map[string]string) error {
 		}
 		c := bytes.IndexByte(line, ':')
 		if c < 0 {
+			//lint:allow hotalloc cold malformed-input branch: formats only when returning a protocol error
 			return fmt.Errorf("%w: bad header line %q", ErrMalformedRequest, line)
 		}
 		into[headerKey(bytes.TrimSpace(line[:c]))] = internToken(bytes.TrimSpace(line[c+1:]))
 	}
+	//lint:allow hotalloc cold malformed-input branch: formats only when returning a protocol error
 	return fmt.Errorf("%w: too many header lines", ErrMalformedRequest)
 }
 

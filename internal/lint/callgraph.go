@@ -1,0 +1,309 @@
+// Module-wide call graph for the inter-procedural analyzers. The graph is
+// built by class-hierarchy analysis (CHA) over the loaded go/types info:
+// static calls resolve to their declared callee, and calls through an
+// interface method resolve to every concrete method in the module with the
+// same name and signature. That over-approximation is sound for this
+// codebase's dispatch (no reflection, no plugin loading) and cheap enough
+// to rebuild on every lint run.
+//
+// Nodes are keyed by a package-path-qualified string rather than by
+// *types.Func identity because the parallel loader type-checks each
+// package in its own importer universe: the same function seen from two
+// packages is two distinct types.Object values, but one FuncKey.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+	"sync"
+)
+
+// Program is the whole loaded module: every package plus the lazily built
+// call graph shared by the module-level analyzers.
+type Program struct {
+	// Pkgs are the loaded packages, sorted by import path.
+	Pkgs []*Package
+
+	byFile map[string]*Package
+
+	once  sync.Once
+	graph *CallGraph
+}
+
+// NewProgram wraps a loaded package list.
+func NewProgram(pkgs []*Package) *Program {
+	p := &Program{Pkgs: pkgs, byFile: make(map[string]*Package)}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			p.byFile[pkg.Fset.Position(f.Pos()).Filename] = pkg
+		}
+	}
+	return p
+}
+
+// PackageOf returns the loaded package owning filename, or nil.
+func (p *Program) PackageOf(filename string) *Package {
+	return p.byFile[filename]
+}
+
+// CallGraph builds (once) and returns the module call graph.
+func (p *Program) CallGraph() *CallGraph {
+	p.once.Do(func() { p.graph = buildCallGraph(p.Pkgs) })
+	return p.graph
+}
+
+// EdgeKind classifies how a call-graph edge was discovered.
+type EdgeKind int
+
+const (
+	// EdgeCall is a direct static call.
+	EdgeCall EdgeKind = iota
+	// EdgeDynamic is a call through an interface method, resolved by CHA
+	// to a concrete method with a matching name and signature.
+	EdgeDynamic
+	// EdgeRef is a non-call reference — a method value, a function value
+	// assigned or passed along. The callee may run wherever the value
+	// flows, so reachability walks follow reference edges too.
+	EdgeRef
+)
+
+// Edge is one outgoing call or reference.
+type Edge struct {
+	// Callee is the target node.
+	Callee *FuncNode
+	// Call is the call expression, nil for reference edges. For method
+	// calls Call.Args aligns with the callee's parameters (the receiver
+	// is part of Call.Fun).
+	Call *ast.CallExpr
+	// Pos locates the call or reference in the caller's file set.
+	Pos token.Pos
+	// Kind classifies the edge.
+	Kind EdgeKind
+}
+
+// FuncNode is one function or method in the call graph.
+type FuncNode struct {
+	// Key is the stable identity: pkgpath.Func or pkgpath.Recv.Method
+	// with any pointer receiver stripped.
+	Key string
+	// Name is the bare function or method name.
+	Name string
+	// Pkg and Decl are set when the function's body was loaded; a node
+	// for a callee outside the loaded set has neither.
+	Pkg  *Package
+	Decl *ast.FuncDecl
+	// Out lists every call and reference made by the body, in source
+	// order. Calls made inside function literals declared in the body
+	// are attributed to this node: a closure runs with its creator's
+	// obligations.
+	Out []Edge
+}
+
+// CallGraph is the module-wide graph.
+type CallGraph struct {
+	// Nodes maps FuncKey to node.
+	Nodes map[string]*FuncNode
+}
+
+// Lookup returns the node with the given key, or nil.
+func (g *CallGraph) Lookup(key string) *FuncNode {
+	return g.Nodes[key]
+}
+
+// Reachable returns every node reachable from root over call, dynamic,
+// and reference edges, including root itself.
+func (g *CallGraph) Reachable(root *FuncNode) map[*FuncNode]bool {
+	seen := map[*FuncNode]bool{root: true}
+	work := []*FuncNode{root}
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, e := range n.Out {
+			if !seen[e.Callee] {
+				seen[e.Callee] = true
+				work = append(work, e.Callee)
+			}
+		}
+	}
+	return seen
+}
+
+func (g *CallGraph) node(key, name string) *FuncNode {
+	n := g.Nodes[key]
+	if n == nil {
+		n = &FuncNode{Key: key, Name: name}
+		g.Nodes[key] = n
+	}
+	return n
+}
+
+// FuncKey renders a *types.Func as its stable cross-universe identity:
+// "pkgpath.Name" for functions, "pkgpath.Recv.Name" for methods with the
+// pointer stripped from the receiver, so value and pointer methods of one
+// type share a namespace with no collisions (Go forbids both v and *v
+// methods of the same name).
+func FuncKey(fn *types.Func) string {
+	fn = fn.Origin()
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		t := types.Unalias(sig.Recv().Type())
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = types.Unalias(ptr.Elem())
+		}
+		if named, ok := t.(*types.Named); ok {
+			return pkg + "." + named.Obj().Name() + "." + fn.Name()
+		}
+		return pkg + "." + types.TypeString(t, nil) + "." + fn.Name()
+	}
+	return pkg + "." + fn.Name()
+}
+
+// sigKey renders a method signature (receiver excluded) with package-path
+// qualified type names, so signatures from different importer universes
+// compare equal exactly when the types do.
+func sigKey(sig *types.Signature) string {
+	qual := func(p *types.Package) string { return p.Path() }
+	var b strings.Builder
+	b.WriteByte('(')
+	for i := 0; i < sig.Params().Len(); i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(types.TypeString(sig.Params().At(i).Type(), qual))
+	}
+	b.WriteByte(')')
+	if sig.Variadic() {
+		b.WriteString("...")
+	}
+	b.WriteByte('(')
+	for i := 0; i < sig.Results().Len(); i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(types.TypeString(sig.Results().At(i).Type(), qual))
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// buildCallGraph runs the two CHA passes: declare a node per FuncDecl,
+// then walk every body recording static calls, CHA-resolved dynamic
+// calls, and reference edges.
+func buildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{Nodes: make(map[string]*FuncNode)}
+
+	type declared struct {
+		pkg  *Package
+		decl *ast.FuncDecl
+		obj  *types.Func
+	}
+	var decls []declared
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				n := g.node(FuncKey(obj), obj.Name())
+				n.Pkg, n.Decl = pkg, fd
+				decls = append(decls, declared{pkg, fd, obj})
+			}
+		}
+	}
+
+	// CHA index: concrete method name + signature -> implementing nodes.
+	// Interface methods are excluded (they are dispatch sites, not
+	// targets); the index is deterministic because decls is.
+	methodIndex := make(map[string][]*FuncNode)
+	for _, d := range decls {
+		sig := d.obj.Type().(*types.Signature)
+		recv := sig.Recv()
+		if recv == nil || types.IsInterface(recv.Type()) {
+			continue
+		}
+		k := d.obj.Name() + "|" + sigKey(sig)
+		methodIndex[k] = append(methodIndex[k], g.Nodes[FuncKey(d.obj)])
+	}
+
+	for _, d := range decls {
+		if d.decl.Body == nil {
+			continue
+		}
+		addEdges(g, methodIndex, d.pkg, g.Nodes[FuncKey(d.obj)], d.decl.Body)
+	}
+	return g
+}
+
+// calleeIdent returns the identifier that names the called function in a
+// call's Fun expression, or nil when the call is through a computed value.
+func calleeIdent(fun ast.Expr) *ast.Ident {
+	switch f := fun.(type) {
+	case *ast.Ident:
+		return f
+	case *ast.SelectorExpr:
+		return f.Sel
+	case *ast.ParenExpr:
+		return calleeIdent(f.X)
+	case *ast.IndexExpr:
+		return calleeIdent(f.X)
+	case *ast.IndexListExpr:
+		return calleeIdent(f.X)
+	}
+	return nil
+}
+
+// addEdges records from's outgoing edges: every identifier in body that
+// resolves to a *types.Func becomes a call edge (when it names a call's
+// callee) or a reference edge (method value, function value). Calls
+// through interface methods fan out to every CHA-matching concrete
+// method in the module.
+func addEdges(g *CallGraph, methodIndex map[string][]*FuncNode, pkg *Package, from *FuncNode, body *ast.BlockStmt) {
+	callFor := make(map[*ast.Ident]*ast.CallExpr)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id := calleeIdent(call.Fun); id != nil {
+				callFor[id] = call
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, _ := pkg.Info.Uses[id].(*types.Func)
+		if obj == nil {
+			return true
+		}
+		call := callFor[id]
+		sig, _ := obj.Type().(*types.Signature)
+		if sig != nil && sig.Recv() != nil && types.IsInterface(sig.Recv().Type()) {
+			kind := EdgeDynamic
+			if call == nil {
+				kind = EdgeRef
+			}
+			for _, callee := range methodIndex[obj.Name()+"|"+sigKey(sig)] {
+				from.Out = append(from.Out, Edge{Callee: callee, Call: call, Pos: id.Pos(), Kind: kind})
+			}
+			return true
+		}
+		kind := EdgeCall
+		if call == nil {
+			kind = EdgeRef
+		}
+		from.Out = append(from.Out, Edge{Callee: g.node(FuncKey(obj), obj.Name()), Call: call, Pos: id.Pos(), Kind: kind})
+		return true
+	})
+}

@@ -1,0 +1,660 @@
+// The datasetdecl analyzer cross-checks the experiment scheduler's
+// Datasets declarations against the dataset fetches each experiment's Run
+// actually reaches. The scheduler (internal/core) pre-warms exactly the
+// declared datasets before a barrier segment runs; an undeclared fetch
+// defeats the pre-warm and can deadlock the shared pool, and a declared
+// dataset never fetched is a stale declaration that wastes a warm scan.
+// Neither failure is visible at compile time — both are walk-the-call-
+// graph properties, which is what this module analyzer does.
+//
+// Dataset names are resolved by a bottom-up dataflow pass over the call
+// graph: a function that fetches a dataset summarizes the name as an
+// exact constant, a constant prefix plus one of its own parameters
+// (s.USADataset: "usa:" + key), or a constant prefix with a dynamic rest.
+// Summaries propagate to callers with arguments substituted at each call
+// site, so runT2 -> Study.Worldwide -> Study.mustDataset -> Registry.Get
+// resolves to the exact name "worldwide" three frames above the fetch. A
+// name still dynamic at an experiment root is reported under the
+// "datasetdecl-dynamic" subcheck and must be justified with an explicit
+// //lint:allow.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// CheckDatasetDynamic is datasetdecl's subcheck for dataset names that
+// cannot be resolved statically from an experiment root.
+const CheckDatasetDynamic = "datasetdecl-dynamic"
+
+// DatasetDeclConfig names the types and accessors datasetdecl analyzes.
+// All function references use FuncKey notation ("pkgpath.Recv.Method",
+// "pkgpath.Func").
+type DatasetDeclConfig struct {
+	// ExperimentType is the qualified experiment struct type
+	// ("pkgpath.TypeName") whose composite literals declare experiments.
+	ExperimentType string
+	// IDField, DatasetsField, and RunField name the literal's fields;
+	// empty selects "ID", "Datasets", "Run".
+	IDField       string
+	DatasetsField string
+	RunField      string
+	// Accessors are the registry fetch functions; the dataset name is
+	// the first string parameter of each.
+	Accessors []string
+	// Pseudo are declared names that name no registry dataset (crawl
+	// corpora, CT logs): legal declarations that no fetch will match.
+	Pseudo []string
+}
+
+// DefaultDatasetDeclConfig wires the analyzer to this module's scheduler
+// and registry.
+func DefaultDatasetDeclConfig() DatasetDeclConfig {
+	return DatasetDeclConfig{
+		ExperimentType: "repro/internal/core.Experiment",
+		Accessors:      []string{"repro/internal/dataset.Registry.Get"},
+		Pseudo:         []string{"crawl", "ct", "linkgraph"},
+	}
+}
+
+// DatasetDecl builds the analyzer for one configuration.
+func DatasetDecl(cfg DatasetDeclConfig) *Analyzer {
+	if cfg.IDField == "" {
+		cfg.IDField = "ID"
+	}
+	if cfg.DatasetsField == "" {
+		cfg.DatasetsField = "Datasets"
+	}
+	if cfg.RunField == "" {
+		cfg.RunField = "Run"
+	}
+	return &Analyzer{
+		Name: "datasetdecl",
+		Doc: "every dataset an experiment's Run reaches through the registry must appear in its " +
+			"Datasets declaration, and every declared dataset must be reachable; dynamic names " +
+			"need an explicit //lint:allow " + CheckDatasetDynamic,
+		Subchecks: []string{CheckDatasetDynamic},
+		RunModule: func(p *ModulePass) { runDatasetDecl(p, cfg) },
+	}
+}
+
+// dsAccess is one dataset fetch as seen from some function: the name is
+// prefix, optionally extended by the value of the function's param-th
+// parameter (param >= 0) or by an unresolvable expression (exact false,
+// param < 0).
+type dsAccess struct {
+	prefix string
+	exact  bool
+	param  int
+
+	// pkg/pos locate the original registry fetch; dynPkg/dynPos locate
+	// the expression where static resolution gave up.
+	pkg    *Package
+	pos    token.Pos
+	dynPkg *Package
+	dynPos token.Pos
+}
+
+func (a dsAccess) key() string {
+	var b strings.Builder
+	b.WriteString(a.prefix)
+	b.WriteByte(0)
+	if a.exact {
+		b.WriteByte('e')
+	}
+	b.WriteByte(byte(a.param + 1))
+	if a.pkg != nil {
+		b.WriteString(a.pkg.Path)
+	}
+	b.WriteString(posKey(a.pos))
+	if a.dynPkg != nil {
+		b.WriteString(a.dynPkg.Path)
+	}
+	b.WriteString(posKey(a.dynPos))
+	return b.String()
+}
+
+func posKey(pos token.Pos) string {
+	// token.Pos values from different file sets may collide numerically;
+	// the package path written alongside disambiguates.
+	return itoa(int(pos))
+}
+
+// maxPrefixLen bounds prefix growth through recursive call chains; a
+// prefix this long is treated as dynamic.
+const maxPrefixLen = 200
+
+// maxPropagationRounds bounds the fixpoint loop; real call chains here
+// are a handful of frames deep.
+const maxPropagationRounds = 32
+
+func runDatasetDecl(p *ModulePass, cfg DatasetDeclConfig) {
+	g := p.Prog.CallGraph()
+	accessors := make(map[string]bool, len(cfg.Accessors))
+	for _, a := range cfg.Accessors {
+		accessors[a] = true
+	}
+
+	// Pass 1: direct summaries — every syntactic accessor call site.
+	summaries := make(map[*FuncNode]map[string]dsAccess)
+	addAccess := func(n *FuncNode, a dsAccess) bool {
+		m := summaries[n]
+		if m == nil {
+			m = make(map[string]dsAccess)
+			summaries[n] = m
+		}
+		k := a.key()
+		if _, ok := m[k]; ok {
+			return false
+		}
+		m[k] = a
+		return true
+	}
+	for _, node := range sortedNodes(g) {
+		if node.Decl == nil || node.Decl.Body == nil || node.Pkg == nil {
+			continue
+		}
+		node := node
+		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id := calleeIdent(call.Fun)
+			if id == nil {
+				return true
+			}
+			obj, _ := node.Pkg.Info.Uses[id].(*types.Func)
+			if obj == nil || !accessors[FuncKey(obj)] {
+				return true
+			}
+			arg := datasetNameArg(node.Pkg, call, obj)
+			if arg == nil {
+				return true
+			}
+			a := evalDatasetName(node.Pkg, node.Decl, arg)
+			a.pkg, a.pos = node.Pkg, call.Pos()
+			addAccess(node, a)
+			return true
+		})
+	}
+
+	// Pass 2: propagate summaries bottom-up to callers, substituting
+	// call-site arguments into param-form accesses.
+	for round := 0; round < maxPropagationRounds; round++ {
+		changed := false
+		for _, caller := range sortedNodes(g) {
+			if caller.Decl == nil || caller.Pkg == nil {
+				continue
+			}
+			for _, e := range caller.Out {
+				for _, k := range sortedAccessKeys(summaries[e.Callee]) {
+					a := summaries[e.Callee][k]
+					if a.param >= 0 {
+						a = substituteArg(caller, e, a)
+					}
+					if len(a.prefix) > maxPrefixLen {
+						a = dsAccess{pkg: a.pkg, pos: a.pos, param: -1, dynPkg: caller.Pkg, dynPos: e.Pos}
+					}
+					if addAccess(caller, a) {
+						changed = true
+					}
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Pass 3: find experiment literals and check declarations.
+	checkExperiments(p, cfg, g, summaries)
+}
+
+// sortedNodes returns the graph's nodes in deterministic key order.
+func sortedNodes(g *CallGraph) []*FuncNode {
+	keys := make([]string, 0, len(g.Nodes))
+	for k := range g.Nodes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	nodes := make([]*FuncNode, len(keys))
+	for i, k := range keys {
+		nodes[i] = g.Nodes[k]
+	}
+	return nodes
+}
+
+func sortedAccessKeys(m map[string]dsAccess) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// datasetNameArg returns the call argument holding the dataset name — the
+// one feeding the callee's first string parameter — or nil.
+func datasetNameArg(pkg *Package, call *ast.CallExpr, obj *types.Func) ast.Expr {
+	sig, _ := obj.Type().(*types.Signature)
+	if sig == nil {
+		return nil
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		b, ok := types.Unalias(sig.Params().At(i).Type()).(*types.Basic)
+		if ok && b.Kind() == types.String {
+			if i < len(call.Args) {
+				return call.Args[i]
+			}
+			return nil
+		}
+	}
+	return nil
+}
+
+// evalDatasetName resolves a name expression inside decl to a dsAccess:
+// exact constant, constant prefix + parameter, constant prefix + dynamic
+// rest, or fully dynamic.
+func evalDatasetName(pkg *Package, decl *ast.FuncDecl, expr ast.Expr) dsAccess {
+	if tv, ok := pkg.Info.Types[expr]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		return dsAccess{prefix: constant.StringVal(tv.Value), exact: true, param: -1}
+	}
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.BinaryExpr:
+		if e.Op == token.ADD {
+			left := evalDatasetName(pkg, decl, e.X)
+			if left.exact {
+				rest := evalDatasetName(pkg, decl, e.Y)
+				rest.prefix = left.prefix + rest.prefix
+				return rest
+			}
+		}
+	case *ast.Ident:
+		if idx := paramIndex(pkg, decl, e); idx >= 0 {
+			return dsAccess{param: idx}
+		}
+	}
+	return dsAccess{param: -1, dynPkg: pkg, dynPos: expr.Pos()}
+}
+
+// paramIndex returns the flattened parameter index of ident within decl's
+// parameter list, or -1.
+func paramIndex(pkg *Package, decl *ast.FuncDecl, id *ast.Ident) int {
+	obj := pkg.Info.Uses[id]
+	if obj == nil || decl.Type.Params == nil {
+		return -1
+	}
+	idx := 0
+	for _, field := range decl.Type.Params.List {
+		for _, name := range field.Names {
+			if pkg.Info.Defs[name] == obj {
+				return idx
+			}
+			idx++
+		}
+		if len(field.Names) == 0 {
+			idx++
+		}
+	}
+	return -1
+}
+
+// substituteArg resolves a callee's param-form access at one call site by
+// evaluating the corresponding argument in the caller's context. A
+// reference edge has no arguments: the parameter could be anything, so
+// the access degrades to dynamic at the reference.
+func substituteArg(caller *FuncNode, e Edge, a dsAccess) dsAccess {
+	if e.Call == nil || a.param >= len(e.Call.Args) {
+		return dsAccess{prefix: a.prefix, param: -1, pkg: a.pkg, pos: a.pos, dynPkg: caller.Pkg, dynPos: e.Pos}
+	}
+	sub := evalDatasetName(caller.Pkg, caller.Decl, e.Call.Args[a.param])
+	sub.prefix = a.prefix + sub.prefix
+	sub.pkg, sub.pos = a.pkg, a.pos
+	return sub
+}
+
+// experimentDecl is one experiment composite literal.
+type experimentDecl struct {
+	pkg      *Package
+	id       string
+	declPos  token.Pos // Datasets field value, or the literal itself
+	datasets []string  // nil plus !resolved when the list defies analysis
+	resolved bool
+	root     *FuncNode
+}
+
+// checkExperiments extracts every ExperimentType literal and compares its
+// declaration against the accesses reachable from its Run root.
+func checkExperiments(p *ModulePass, cfg DatasetDeclConfig, g *CallGraph, summaries map[*FuncNode]map[string]dsAccess) {
+	pseudo := make(map[string]bool, len(cfg.Pseudo))
+	for _, n := range cfg.Pseudo {
+		pseudo[n] = true
+	}
+	// Dynamic-name findings are per call site, deduplicated across the
+	// experiments whose roots reach the same site.
+	dynReported := make(map[string]bool)
+
+	for _, pkg := range p.Prog.Pkgs {
+		for _, file := range pkg.Files {
+			for _, exp := range experimentLiterals(pkg, file, cfg, g) {
+				if exp.root == nil {
+					continue
+				}
+				if !exp.resolved {
+					p.Reportf(pkg, exp.declPos,
+						"experiment %s: %s is not a static string list; datasetdecl cannot check the pre-warm declaration",
+						exp.id, cfg.DatasetsField)
+					continue
+				}
+				checkOneExperiment(p, cfg, exp, summaries, pseudo, dynReported)
+			}
+		}
+	}
+}
+
+// checkOneExperiment reports undeclared accesses, unresolvable names, and
+// stale declarations for one experiment.
+func checkOneExperiment(p *ModulePass, cfg DatasetDeclConfig, exp experimentDecl,
+	summaries map[*FuncNode]map[string]dsAccess, pseudo map[string]bool, dynReported map[string]bool) {
+
+	var exactDecl []string
+	var wildcards []string
+	for _, d := range exp.datasets {
+		if strings.HasSuffix(d, "*") {
+			wildcards = append(wildcards, strings.TrimSuffix(d, "*"))
+		} else {
+			exactDecl = append(exactDecl, d)
+		}
+	}
+	covered := func(name string) bool {
+		for _, d := range exactDecl {
+			if d == name {
+				return true
+			}
+		}
+		for _, w := range wildcards {
+			if strings.HasPrefix(name, w) {
+				return true
+			}
+		}
+		return false
+	}
+	wildcardCovers := func(prefix string) bool {
+		// A dynamic access with constant prefix P is covered when some
+		// declared wildcard W* is a prefix of P (every name the access
+		// can produce matches W*).
+		for _, w := range wildcards {
+			if strings.HasPrefix(prefix, w) {
+				return true
+			}
+		}
+		return false
+	}
+
+	usedExact := make(map[string]bool)
+	usedWildcard := make(map[string]bool)
+	markUsed := func(name string) {
+		for _, d := range exactDecl {
+			if d == name {
+				usedExact[d] = true
+			}
+		}
+		for _, w := range wildcards {
+			if strings.HasPrefix(name, w) {
+				usedWildcard[w] = true
+			}
+		}
+	}
+
+	reportedMiss := make(map[string]bool)
+	for _, k := range sortedAccessKeys(summaries[exp.root]) {
+		a := summaries[exp.root][k]
+		switch {
+		case a.exact:
+			if covered(a.prefix) {
+				markUsed(a.prefix)
+			} else if !reportedMiss[a.prefix] {
+				reportedMiss[a.prefix] = true
+				p.Reportf(exp.pkg, exp.declPos,
+					"experiment %s reaches dataset %q (%s) but does not declare it in %s; the scheduler cannot pre-warm it",
+					exp.id, a.prefix, accessPos(a), cfg.DatasetsField)
+			}
+		default:
+			// Dynamic (possibly with a constant prefix).
+			if wildcardCovers(a.prefix) {
+				for _, w := range wildcards {
+					if strings.HasPrefix(a.prefix, w) {
+						usedWildcard[w] = true
+					}
+				}
+				continue
+			}
+			if a.dynPkg == nil {
+				continue
+			}
+			site := a.dynPkg.Path + ":" + a.dynPkg.Fset.Position(a.dynPos).String()
+			if dynReported[site] {
+				continue
+			}
+			dynReported[site] = true
+			detail := "dataset name cannot be resolved statically"
+			if a.prefix != "" {
+				detail = fmt.Sprintf("dataset name resolves only to prefix %q+…", a.prefix)
+			}
+			p.ReportCheckf(CheckDatasetDynamic, a.dynPkg, a.dynPos,
+				"%s (reached from experiment %s via %s); declare a %q wildcard or use a constant",
+				detail, exp.id, accessPos(a), a.prefix+"*")
+		}
+	}
+
+	for _, d := range exp.datasets {
+		if pseudo[d] {
+			continue
+		}
+		if strings.HasSuffix(d, "*") {
+			if !usedWildcard[strings.TrimSuffix(d, "*")] {
+				p.Reportf(exp.pkg, exp.declPos,
+					"experiment %s declares dataset %q but Run never fetches a matching name (stale pre-warm)",
+					exp.id, d)
+			}
+		} else if !usedExact[d] {
+			p.Reportf(exp.pkg, exp.declPos,
+				"experiment %s declares dataset %q but Run never fetches it (stale pre-warm)",
+				exp.id, d)
+		}
+	}
+}
+
+// accessPos renders the original fetch site of an access for messages.
+func accessPos(a dsAccess) string {
+	if a.pkg == nil {
+		return "?"
+	}
+	pos := a.pkg.Fset.Position(a.pos)
+	return shortPath(pos.Filename) + ":" + itoa(pos.Line)
+}
+
+func shortPath(filename string) string {
+	if i := strings.LastIndexByte(filename, '/'); i >= 0 {
+		return filename[i+1:]
+	}
+	return filename
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// experimentLiterals extracts every cfg.ExperimentType composite literal
+// in file, resolving the ID, Datasets, and Run fields.
+func experimentLiterals(pkg *Package, file *ast.File, cfg DatasetDeclConfig, g *CallGraph) []experimentDecl {
+	var out []experimentDecl
+
+	// Track the innermost enclosing FuncDecl so local Datasets variables
+	// (ww := []string{...}) can be resolved within its body.
+	var withDecl func(n ast.Node, decl *ast.FuncDecl)
+	withDecl = func(n ast.Node, decl *ast.FuncDecl) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncDecl:
+				if m != n {
+					withDecl(m, m)
+					return false
+				}
+			case *ast.CompositeLit:
+				if exp, ok := parseExperimentLit(pkg, decl, m, cfg, g); ok {
+					out = append(out, exp)
+				}
+			}
+			return true
+		})
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			withDecl(fd, fd)
+		} else {
+			withDecl(d, nil)
+		}
+	}
+	return out
+}
+
+// parseExperimentLit reads one composite literal if its type matches.
+func parseExperimentLit(pkg *Package, decl *ast.FuncDecl, lit *ast.CompositeLit, cfg DatasetDeclConfig, g *CallGraph) (experimentDecl, bool) {
+	tv, ok := pkg.Info.Types[lit]
+	if !ok || tv.Type == nil {
+		return experimentDecl{}, false
+	}
+	t := types.Unalias(tv.Type)
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = types.Unalias(ptr.Elem())
+	}
+	named, ok := t.(*types.Named)
+	if !ok || typeKeyOf(named) != cfg.ExperimentType {
+		return experimentDecl{}, false
+	}
+
+	exp := experimentDecl{pkg: pkg, id: "?", declPos: lit.Pos(), resolved: true}
+	var datasetsExpr, runExpr ast.Expr
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		switch key.Name {
+		case cfg.IDField:
+			if tv, ok := pkg.Info.Types[kv.Value]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+				exp.id = constant.StringVal(tv.Value)
+			}
+		case cfg.DatasetsField:
+			datasetsExpr = kv.Value
+			exp.declPos = kv.Value.Pos()
+		case cfg.RunField:
+			runExpr = kv.Value
+		}
+	}
+	if runExpr == nil {
+		return experimentDecl{}, false
+	}
+	if id := calleeIdent(runExpr); id != nil {
+		if fn, ok := pkg.Info.Uses[id].(*types.Func); ok {
+			exp.root = g.Lookup(FuncKey(fn))
+		}
+	}
+	if datasetsExpr != nil {
+		exp.datasets, exp.resolved = resolveStringList(pkg, decl, datasetsExpr)
+	}
+	return exp, true
+}
+
+// typeKeyOf renders a named type as "pkgpath.Name".
+func typeKeyOf(named *types.Named) string {
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// resolveStringList evaluates a Datasets expression to its constant
+// elements: a string composite literal in place, or a local identifier
+// assigned exactly one such literal anywhere in the enclosing function.
+func resolveStringList(pkg *Package, decl *ast.FuncDecl, expr ast.Expr) ([]string, bool) {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.CompositeLit:
+		var names []string
+		for _, elt := range e.Elts {
+			tv, ok := pkg.Info.Types[elt]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				return nil, false
+			}
+			names = append(names, constant.StringVal(tv.Value))
+		}
+		return names, true
+	case *ast.Ident:
+		if e.Name == "nil" {
+			return nil, true
+		}
+		obj := pkg.Info.Uses[e]
+		if obj == nil || decl == nil || decl.Body == nil {
+			return nil, false
+		}
+		var lit *ast.CompositeLit
+		assigns := 0
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || (pkg.Info.Defs[id] != obj && pkg.Info.Uses[id] != obj) {
+						continue
+					}
+					assigns++
+					if i < len(n.Rhs) {
+						lit, _ = ast.Unparen(n.Rhs[i]).(*ast.CompositeLit)
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range n.Names {
+					if pkg.Info.Defs[name] != obj {
+						continue
+					}
+					assigns++
+					if i < len(n.Values) {
+						lit, _ = ast.Unparen(n.Values[i]).(*ast.CompositeLit)
+					}
+				}
+			}
+			return true
+		})
+		if assigns != 1 || lit == nil {
+			return nil, false
+		}
+		return resolveStringList(pkg, decl, lit)
+	}
+	return nil, false
+}

@@ -29,6 +29,40 @@ var WallClockPackages = []string{
 	"repro/internal/tlsprobe",
 }
 
+// LongRunningPackages are the packages whose goroutines live for a whole
+// suite run (the scheduler, fleet dispatch, the dataset pool, the sharded
+// builders, the scan worker pools); chanleak polices their spawn sites.
+var LongRunningPackages = []string{
+	"repro/internal/core",
+	"repro/internal/acmefleet",
+	"repro/internal/dataset",
+	"repro/internal/resultset",
+	"repro/internal/scanner",
+}
+
+// HotPathFuncs is the declared zero-alloc hot set hotalloc enforces: the
+// httpsim wire codecs, the scanner probe loop and zero-copy JSON
+// exporter, the cert fingerprint/base64 encoders, and the result-set
+// build. Additions here are a reviewed contract — a function joins the
+// hot set when a bench gate depends on its allocation behavior.
+var HotPathFuncs = []string{
+	"repro/internal/httpsim.Read*",
+	"repro/internal/httpsim.Write*",
+	"repro/internal/httpsim.readPooled",
+	"repro/internal/httpsim.readLine",
+	"repro/internal/httpsim.readHeaders",
+	"repro/internal/httpsim.headerKey",
+	"repro/internal/httpsim.internToken",
+	"repro/internal/httpsim.atoiBytes",
+	"repro/internal/scanner.Scanner.probeHTTP",
+	"repro/internal/scanner.Scanner.probeHTTPS",
+	"repro/internal/scanner.Append*",
+	"repro/internal/scanner.append*",
+	"repro/internal/cert.Append*",
+	"repro/internal/resultset.build",
+	"repro/internal/resultset.Builder.Add",
+}
+
 // DefaultAnalyzers is the invariant set enforced on this repository — the
 // configuration behind `govlint ./...`, the CI lint job, and the
 // repo-lints-clean smoke test.
@@ -38,5 +72,9 @@ func DefaultAnalyzers() []*Analyzer {
 		GlobalRand(),
 		MapRange(DeterministicPackages...),
 		Exhaustive(),
+		DatasetDecl(DefaultDatasetDeclConfig()),
+		GoroutineOwner(),
+		HotAlloc(HotPathFuncs...),
+		ChanLeak(LongRunningPackages...),
 	}
 }

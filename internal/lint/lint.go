@@ -54,6 +54,10 @@ type Finding struct {
 	Pos token.Position
 	// Message explains the violation and the sanctioned alternative.
 	Message string
+	// Suppressed records that a //lint:allow comment covers the finding.
+	// Run drops suppressed findings; RunAll returns them marked, so the
+	// -json output can carry the full picture.
+	Suppressed bool
 }
 
 // String renders the finding in the conventional file:line:col form.
@@ -61,17 +65,28 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Check, f.Message)
 }
 
-// Analyzer is one named invariant check.
+// Analyzer is one named invariant check. An analyzer is either
+// per-package (Run set) or module-wide (RunModule set): per-package
+// analyzers see one type-checked package at a time, module analyzers see
+// the whole load and its call graph.
 type Analyzer struct {
 	// Name identifies the check in findings and in //lint:allow comments.
 	Name string
 	// Doc is a one-paragraph description of the invariant.
 	Doc string
+	// Subchecks are additional check names the analyzer may report under
+	// (and that //lint:allow comments may name), e.g. datasetdecl's
+	// "datasetdecl-dynamic".
+	Subchecks []string
 	// Match restricts the analyzer to packages whose import path it accepts;
-	// nil means every package.
+	// nil means every package. For a module analyzer, Match limits which
+	// packages' findings are kept — the analysis itself always sees the
+	// whole module.
 	Match func(pkgPath string) bool
 	// Run inspects one package and reports findings through the Pass.
 	Run func(*Pass)
+	// RunModule inspects the whole loaded module at once.
+	RunModule func(*ModulePass)
 }
 
 // Pass carries one analyzer's view of one type-checked package.
@@ -100,6 +115,33 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	*p.findings = append(*p.findings, Finding{
 		Check:   p.Analyzer.Name,
 		Pos:     p.Fset.Position(pos),
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// ModulePass carries a module analyzer's view of the whole load.
+type ModulePass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Prog is the loaded module and its call graph.
+	Prog *Program
+
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos under the analyzer's name. Positions
+// are resolved through the owning package's file set: the parallel loader
+// gives each package its own.
+func (p *ModulePass) Reportf(pkg *Package, pos token.Pos, format string, args ...any) {
+	p.ReportCheckf(p.Analyzer.Name, pkg, pos, format, args...)
+}
+
+// ReportCheckf records a finding under an explicit check name, which must
+// be the analyzer's name or one of its Subchecks.
+func (p *ModulePass) ReportCheckf(check string, pkg *Package, pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Check:   check,
+		Pos:     pkg.Fset.Position(pos),
 		Message: fmt.Sprintf(format, args...),
 	})
 }
@@ -152,31 +194,27 @@ func lineKey(filename string, line int) string {
 	return fmt.Sprintf("%s:%d", filename, line)
 }
 
-// applySuppressions filters findings through the //lint:allow comments of
+// applySuppressions marks findings covered by a //lint:allow comment in
 // the package they were found in, marking each matched allow as used.
 // Broken allows never suppress.
-func applySuppressions(findings []Finding, byLine map[string][]*allow) []Finding {
-	kept := findings[:0]
-	for _, f := range findings {
-		suppressed := false
+func applySuppressions(findings []Finding, byLine map[string][]*allow) {
+	for i := range findings {
+		f := &findings[i]
 		for _, a := range byLine[lineKey(f.Pos.Filename, f.Pos.Line)] {
 			if !a.broken && a.check == f.Check {
 				a.used = true
-				suppressed = true
+				f.Suppressed = true
 			}
 		}
-		if !suppressed {
-			kept = append(kept, f)
-		}
 	}
-	return kept
 }
 
 // allowFindings reports driver findings for broken and unused allows.
-// ranChecks names the analyzers that actually ran on the package, so an
-// allow for a check that was not exercised in this run is still reported
-// only when its check name is unknown or its suppression went unused.
-func allowFindings(byLine map[string][]*allow, ranChecks map[string]bool) []Finding {
+// ranChecks names the checks that actually ran on the package;
+// knownChecks names every check the analyzer set could report anywhere,
+// so an allow naming a real check that simply did not run on this package
+// (a module check scoped elsewhere) is distinguished from a typo.
+func allowFindings(byLine map[string][]*allow, ranChecks, knownChecks map[string]bool) []Finding {
 	var out []Finding
 	seen := make(map[*allow]bool)
 	for _, allows := range byLine {
@@ -200,7 +238,14 @@ func allowFindings(byLine map[string][]*allow, ranChecks map[string]bool) []Find
 					Message: fmt.Sprintf("%s %s suppresses nothing; delete it or move it to the offending line",
 						allowDirective, a.check),
 				})
-			case !a.used && !ranChecks[a.check]:
+			case !a.used && knownChecks[a.check]:
+				out = append(out, Finding{
+					Check: CheckAllowUnused,
+					Pos:   a.pos,
+					Message: fmt.Sprintf("%s %s suppresses nothing: the check did not run on this package",
+						allowDirective, a.check),
+				})
+			case !a.used:
 				out = append(out, Finding{
 					Check:   CheckAllowUnused,
 					Pos:     a.pos,
@@ -238,19 +283,69 @@ func sortFindings(fs []Finding) {
 // returns all surviving findings in deterministic order. It is the single
 // entry point shared by cmd/govlint and the tests.
 func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Finding, error) {
-	pkgs, err := Load(dir, patterns)
+	all, err := RunAll(dir, patterns, analyzers, 0)
 	if err != nil {
 		return nil, err
 	}
-	var all []Finding
-	for _, pkg := range pkgs {
-		var raw []Finding
+	kept := all[:0]
+	for _, f := range all {
+		if !f.Suppressed {
+			kept = append(kept, f)
+		}
+	}
+	return kept, nil
+}
+
+// RunAll is Run without the suppression filter: suppressed findings are
+// returned with Suppressed set, for machine-readable output that carries
+// the full picture. workers bounds the loader's type-checking pool
+// (0 = automatic).
+func RunAll(dir string, patterns []string, analyzers []*Analyzer, workers int) ([]Finding, error) {
+	pkgs, err := LoadWorkers(dir, patterns, workers)
+	if err != nil {
+		return nil, err
+	}
+	return analyze(pkgs, analyzers), nil
+}
+
+// knownCheckSet collects every check name the analyzer set can report:
+// analyzer names, subchecks, and the driver's own checks.
+func knownCheckSet(analyzers []*Analyzer) map[string]bool {
+	known := map[string]bool{CheckAllowSyntax: true, CheckAllowUnused: true}
+	for _, a := range analyzers {
+		known[a.Name] = true
+		for _, sub := range a.Subchecks {
+			known[sub] = true
+		}
+	}
+	return known
+}
+
+// analyze runs the per-package and module analyzers over a loaded package
+// list and returns every finding — suppressed ones marked — in
+// deterministic order.
+func analyze(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	prog := NewProgram(pkgs)
+	known := knownCheckSet(analyzers)
+
+	perPkg := make([][]Finding, len(pkgs))
+	ranByPkg := make([]map[string]bool, len(pkgs))
+	idxOf := make(map[*Package]int, len(pkgs))
+	for i, pkg := range pkgs {
+		idxOf[pkg] = i
 		ran := map[string]bool{CheckAllowSyntax: true, CheckAllowUnused: true}
+		ranByPkg[i] = ran
 		for _, a := range analyzers {
 			if a.Match != nil && !a.Match(pkg.Path) {
 				continue
 			}
 			ran[a.Name] = true
+			for _, sub := range a.Subchecks {
+				ran[sub] = true
+			}
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Analyzer: a,
 				Fset:     pkg.Fset,
@@ -259,15 +354,43 @@ func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Finding, error
 				Info:     pkg.Info,
 				Path:     pkg.Path,
 				Module:   pkg.Module,
-				findings: &raw,
+				findings: &perPkg[i],
 			}
 			a.Run(pass)
 		}
+	}
+
+	// Module analyzers see the whole load; their findings are routed to
+	// the package owning the file so that package's //lint:allow comments
+	// apply, and dropped when that package was excluded by Match.
+	var moduleFindings []Finding
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		mp := &ModulePass{Analyzer: a, Prog: prog, findings: &moduleFindings}
+		a.RunModule(mp)
+		routed := moduleFindings
+		moduleFindings = moduleFindings[:0]
+		for _, f := range routed {
+			pkg := prog.PackageOf(f.Pos.Filename)
+			if pkg == nil {
+				continue
+			}
+			if a.Match != nil && !a.Match(pkg.Path) {
+				continue
+			}
+			perPkg[idxOf[pkg]] = append(perPkg[idxOf[pkg]], f)
+		}
+	}
+
+	var all []Finding
+	for i, pkg := range pkgs {
 		byLine := collectAllows(pkg.Fset, pkg.Files)
-		kept := applySuppressions(raw, byLine)
-		kept = append(kept, allowFindings(byLine, ran)...)
+		applySuppressions(perPkg[i], byLine)
+		kept := append(perPkg[i], allowFindings(byLine, ranByPkg[i], known)...)
 		all = append(all, kept...)
 	}
 	sortFindings(all)
-	return all, nil
+	return all
 }

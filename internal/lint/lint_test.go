@@ -120,6 +120,74 @@ func TestExhaustiveFixture(t *testing.T) {
 	checkWants(t, "exhaustive", runFixture(t, "exhaustive", Exhaustive()))
 }
 
+// fixtureDatasetDecl configures datasetdecl against the fixture package's
+// own miniature registry and experiment type.
+func fixtureDatasetDecl() *Analyzer {
+	return DatasetDecl(DatasetDeclConfig{
+		ExperimentType: fixturePath("datasetdecl") + ".Experiment",
+		Accessors:      []string{fixturePath("datasetdecl") + ".Registry.Get"},
+		Pseudo:         []string{"crawl"},
+	})
+}
+
+// fixtureHotAlloc declares the fixture's hot set: a name-prefix pattern,
+// a method pattern, and an exact function.
+func fixtureHotAlloc() *Analyzer {
+	return HotAlloc(
+		fixturePath("hotalloc")+".HotWrite*",
+		fixturePath("hotalloc")+".Codec.Append",
+		fixturePath("hotalloc")+".build",
+	)
+}
+
+func TestDatasetDeclFixture(t *testing.T) {
+	checkWants(t, "datasetdecl", runFixture(t, "datasetdecl", fixtureDatasetDecl()))
+}
+
+func TestGoroutineOwnerFixture(t *testing.T) {
+	checkWants(t, "goroutineowner", runFixture(t, "goroutineowner", GoroutineOwner()))
+}
+
+func TestHotAllocFixture(t *testing.T) {
+	checkWants(t, "hotalloc", runFixture(t, "hotalloc", fixtureHotAlloc()))
+}
+
+func TestChanLeakFixture(t *testing.T) {
+	checkWants(t, "chanleak", runFixture(t, "chanleak", ChanLeak(fixturePath("chanleak"))))
+}
+
+func TestChanLeakScope(t *testing.T) {
+	// chanleak only applies to the configured long-running packages.
+	findings := runFixture(t, "chanleak", ChanLeak("repro/internal/core"))
+	for _, f := range findings {
+		if f.Check == "chanleak" {
+			t.Errorf("out-of-scope package reported: %s", f)
+		}
+	}
+}
+
+// TestDatasetDeclSuppression pins the module-analyzer suppression path
+// end to end: the SUP experiment's finding is marked suppressed by the
+// allow above its literal, and RunAll still carries it.
+func TestDatasetDeclSuppression(t *testing.T) {
+	all, err := RunAll(".", []string{"./testdata/src/datasetdecl"}, []*Analyzer{fixtureDatasetDecl()}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range all {
+		if f.Suppressed {
+			found = true
+			if f.Check != "datasetdecl" || !strings.Contains(f.Message, "SUP") {
+				t.Errorf("unexpected suppressed finding: %s", f)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("RunAll dropped the suppressed SUP finding:\n%v", all)
+	}
+}
+
 // TestSuppressions pins the driver's //lint:allow behaviour exactly: which
 // findings are suppressed, which survive, what the driver reports about
 // broken and unused allows, and the deterministic output order.
@@ -149,34 +217,44 @@ func TestSuppressions(t *testing.T) {
 	}
 }
 
-// TestDeterministicOrder runs the same multi-analyzer load twice and
-// requires byte-identical, sorted output.
+// TestDeterministicOrder runs the same load under all eight analyzers —
+// per-package and module-wide — at several loader worker counts and
+// requires byte-identical, sorted output from every run.
 func TestDeterministicOrder(t *testing.T) {
-	analyzers := []*Analyzer{Walltime(), GlobalRand(), MapRange(fixturePath("maprange")), Exhaustive()}
+	analyzers := []*Analyzer{
+		Walltime(), GlobalRand(), MapRange(fixturePath("maprange")), Exhaustive(),
+		fixtureDatasetDecl(), GoroutineOwner(), fixtureHotAlloc(), ChanLeak(fixturePath("chanleak")),
+	}
 	patterns := []string{
 		"./testdata/src/walltime",
 		"./testdata/src/globalrand",
 		"./testdata/src/maprange",
 		"./testdata/src/exhaustive",
+		"./testdata/src/datasetdecl",
+		"./testdata/src/goroutineowner",
+		"./testdata/src/hotalloc",
+		"./testdata/src/chanleak",
 	}
-	run := func() []Finding {
-		findings, err := Run(".", patterns, analyzers)
+	run := func(workers int) []Finding {
+		all, err := RunAll(".", patterns, analyzers, workers)
 		if err != nil {
 			t.Fatal(err)
 		}
-		return findings
+		return all
 	}
-	first := run()
-	second := run()
-	if fmt.Sprint(first) != fmt.Sprint(second) {
-		t.Fatalf("two identical runs disagree:\n--- first\n%v\n--- second\n%v", first, second)
+	first := run(1)
+	for _, workers := range []int{1, 2, 4} {
+		again := run(workers)
+		if fmt.Sprint(first) != fmt.Sprint(again) {
+			t.Fatalf("workers=%d disagrees with workers=1:\n--- first\n%v\n--- again\n%v", workers, first, again)
+		}
 	}
 	resorted := append([]Finding(nil), first...)
 	sortFindings(resorted)
 	if fmt.Sprint(first) != fmt.Sprint(resorted) {
 		t.Fatalf("output not in canonical order:\n%v", first)
 	}
-	if len(first) < 8 {
+	if len(first) < 16 {
 		t.Fatalf("expected findings from every fixture, got %d:\n%v", len(first), first)
 	}
 }
@@ -184,7 +262,9 @@ func TestDeterministicOrder(t *testing.T) {
 // TestRepoLintsClean is the load-bearing smoke test behind the CI lint
 // job: govlint's exact configuration must report nothing on the real tree.
 // Reverting the tlssim clock fix, deleting any //lint:allow, or letting a
-// taxonomy switch drift makes this test fail.
+// taxonomy switch drift makes this test fail. The suppression audit rides
+// along: zero allow-unused and allow-syntax findings repo-wide, so a
+// stale or malformed //lint:allow rots loudly.
 func TestRepoLintsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the whole module; skipped in -short")
@@ -197,11 +277,100 @@ func TestRepoLintsClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	findings, err := Run(root, []string{"./..."}, DefaultAnalyzers())
+	all, err := RunAll(root, []string{"./..."}, DefaultAnalyzers(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, f := range findings {
+	suppressed := make(map[string]int)
+	for _, f := range all {
+		if f.Suppressed {
+			suppressed[f.Check]++
+			continue
+		}
 		t.Errorf("%s", f)
+	}
+	// Suppression audit: every surviving driver finding above already
+	// fails the test, but assert the two audit checks explicitly so the
+	// contract is visible even if the loop changes.
+	for _, f := range all {
+		if !f.Suppressed && (f.Check == CheckAllowUnused || f.Check == CheckAllowSyntax) {
+			t.Errorf("suppression audit: %s", f)
+		}
+	}
+	t.Logf("suppressed findings by check: %v", suppressed)
+}
+
+// TestDatasetDeclLive demonstrates datasetdecl on the real registry: a
+// copy of the module with E7's Datasets mis-declared (the "worldwide"
+// pre-warm dropped) must produce the undeclared-dataset finding that the
+// pristine tree — per TestRepoLintsClean — does not.
+func TestDatasetDeclLive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("copies and type-checks the whole module; skipped in -short")
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, _, err := findModule(cwd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp := t.TempDir()
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, werr error) error {
+		if werr != nil {
+			return werr
+		}
+		rel, rerr := filepath.Rel(root, path)
+		if rerr != nil {
+			return rerr
+		}
+		if d.IsDir() {
+			if path != root && (strings.HasPrefix(d.Name(), ".") || d.Name() == "results") {
+				return filepath.SkipDir
+			}
+			return os.MkdirAll(filepath.Join(tmp, rel), 0o755)
+		}
+		if !strings.HasSuffix(d.Name(), ".go") && d.Name() != "go.mod" {
+			return nil
+		}
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return rerr
+		}
+		return os.WriteFile(filepath.Join(tmp, rel), data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	expFile := filepath.Join(tmp, "internal", "core", "experiments.go")
+	src, err := os.ReadFile(expFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const good = `Datasets: []string{"worldwide", "acmefleet"}, MutatesWorld: true, Run: runE7`
+	const bad = `Datasets: []string{"acmefleet"}, MutatesWorld: true, Run: runE7`
+	if !strings.Contains(string(src), good) {
+		t.Fatalf("experiments.go no longer contains E7's declaration %q; update this test", good)
+	}
+	mut := strings.Replace(string(src), good, bad, 1)
+	if err := os.WriteFile(expFile, []byte(mut), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	findings, err := Run(tmp, []string{"./internal/core"}, []*Analyzer{DatasetDecl(DefaultDatasetDeclConfig())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hit bool
+	for _, f := range findings {
+		if f.Check == "datasetdecl" && strings.Contains(f.Message, "experiment E7") &&
+			strings.Contains(f.Message, `"worldwide"`) {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Fatalf("mis-declared E7 produced no undeclared-worldwide finding; got:\n%v", findings)
 	}
 }

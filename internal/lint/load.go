@@ -16,8 +16,10 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package.
@@ -28,7 +30,10 @@ type Package struct {
 	Dir string
 	// Module is the module path from go.mod.
 	Module string
-	// Fset is the file set shared by the whole load.
+	// Fset maps this package's token positions. Packages loaded by the
+	// same worker share one file set; packages from different workers do
+	// not, so positions must always be resolved through the owning
+	// package's Fset.
 	Fset *token.FileSet
 	// Files are the parsed non-test files, in filename order.
 	Files []*ast.File
@@ -44,6 +49,24 @@ type Package struct {
 // ("./...", "./internal/..."). Type errors in any matched package abort
 // the load: code that does not compile cannot be linted truthfully.
 func Load(dir string, patterns []string) ([]*Package, error) {
+	return LoadWorkers(dir, patterns, 0)
+}
+
+// maxLoadWorkers caps the automatic worker count: each worker carries its
+// own importer universe (a full re-typecheck of the module and the std
+// packages it touches), so memory grows linearly with workers and the
+// returns diminish past a handful.
+const maxLoadWorkers = 4
+
+// LoadWorkers is Load with an explicit type-checking worker count;
+// workers <= 0 selects min(GOMAXPROCS, 4). Each worker owns an
+// independent file set and source importer — the std source importer is
+// not safe for concurrent use, and sharing one would serialize the pool —
+// so identical types in different packages may be distinct types.Object
+// values. Analyzers that compare types across packages must compare
+// stable strings (FuncKey, sigKey), never object identity. Package order,
+// positions, and findings are identical for every worker count.
+func LoadWorkers(dir string, patterns []string, workers int) ([]*Package, error) {
 	absDir, err := filepath.Abs(dir)
 	if err != nil {
 		return nil, err
@@ -56,18 +79,50 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 	if err != nil {
 		return nil, err
 	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > maxLoadWorkers {
+			workers = maxLoadWorkers
+		}
+	}
+	if workers > len(dirs) {
+		workers = len(dirs)
+	}
 
-	fset := token.NewFileSet()
-	// One shared source importer: packages imported while checking one
-	// target are memoized for the rest of the load.
-	imp := importer.ForCompiler(fset, "source", nil)
-
-	var pkgs []*Package
-	for _, d := range dirs {
-		pkg, err := loadDir(fset, imp, root, module, d)
+	slots := make([]*Package, len(dirs))
+	errs := make([]error, len(dirs))
+	if workers <= 1 {
+		fset := token.NewFileSet()
+		// One shared source importer: packages imported while checking
+		// one target are memoized for the rest of the load.
+		imp := importer.ForCompiler(fset, "source", nil)
+		for i, d := range dirs {
+			slots[i], errs[i] = loadDir(fset, imp, root, module, d)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				fset := token.NewFileSet()
+				imp := importer.ForCompiler(fset, "source", nil)
+				for i := w; i < len(dirs); i += workers {
+					slots[i], errs[i] = loadDir(fset, imp, root, module, dirs[i])
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+	// First error by directory order, so the reported failure does not
+	// depend on worker scheduling.
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
+	}
+	var pkgs []*Package
+	for _, pkg := range slots {
 		if pkg != nil {
 			pkgs = append(pkgs, pkg)
 		}

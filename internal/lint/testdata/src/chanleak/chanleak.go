@@ -1,0 +1,120 @@
+// Package chanleakfix exercises the chanleak analyzer: goroutines that
+// block on unbuffered channel operations with no escape hatch are
+// flagged; select-with-done, default clauses, buffered channels, and the
+// close-fed worker-pool idiom stay quiet.
+package chanleakfix
+
+import "context"
+
+// leakSend parks forever if the receiver bails before draining.
+func leakSend(xs []int) int {
+	ch := make(chan int)
+	go func() {
+		for _, x := range xs {
+			ch <- x // want `blocks on unbuffered send`
+		}
+	}()
+	return <-ch
+}
+
+// leakRecv parks forever if no sender shows up.
+func leakRecv() {
+	ch := make(chan int)
+	res := make(chan int, 1)
+	go func() {
+		res <- <-ch // want `blocks on unbuffered receive`
+	}()
+}
+
+// leakRange never exits: nothing in this function closes the channel.
+func leakRange() {
+	idx := make(chan int)
+	go func() {
+		for i := range idx { // want `ranges over unbuffered`
+			_ = i
+		}
+	}()
+}
+
+// okSelect carries the ctx.Done escape on every send.
+func okSelect(ctx context.Context, xs []int) int {
+	ch := make(chan int)
+	go func() {
+		for _, x := range xs {
+			select {
+			case ch <- x:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return <-ch
+}
+
+// okDoneChan escapes through a plain stop channel.
+func okDoneChan(stop chan struct{}, xs []int) int {
+	ch := make(chan int)
+	go func() {
+		for _, x := range xs {
+			select {
+			case ch <- x:
+			case <-stop:
+				return
+			}
+		}
+	}()
+	return <-ch
+}
+
+// okDefault never blocks: the send has a default clause.
+func okDefault(xs []int) {
+	ch := make(chan int)
+	go func() {
+		for _, x := range xs {
+			select {
+			case ch <- x:
+			default:
+			}
+		}
+	}()
+}
+
+// okBuffered sends into capacity sized to the work.
+func okBuffered(xs []int) {
+	ch := make(chan int, len(xs))
+	go func() {
+		for _, x := range xs {
+			ch <- x
+		}
+	}()
+}
+
+// okWorkerPool is the sanctioned bounded-pool idiom: the spawner closes
+// the feed channel, so the worker's range drains and exits.
+func okWorkerPool(xs []int) {
+	idx := make(chan int)
+	done := make(chan struct{}, 1)
+	go func() {
+		for i := range idx {
+			_ = i
+		}
+		done <- struct{}{}
+	}()
+	for i := range xs {
+		idx <- i
+	}
+	close(idx)
+	<-done
+}
+
+// suppressed pins the //lint:allow path for the driver test.
+func suppressed() {
+	ch := make(chan struct{})
+	go func() {
+		//lint:allow chanleak fixture probe: the driver test asserts this suppression is honored
+		ch <- struct{}{}
+	}()
+	<-ch
+}
+
+var _ = []any{leakSend, leakRecv, leakRange, okSelect, okDoneChan, okDefault, okBuffered, okWorkerPool, suppressed}

@@ -1,0 +1,116 @@
+// Package datasetdeclfix exercises the datasetdecl analyzer: a miniature
+// experiment registry over a miniature dataset registry, covering exact
+// names resolved through accessor chains, prefix+parameter names covered
+// by wildcards, stale declarations, pseudo-datasets, dynamic names, and
+// call-graph edges through interface dispatch and method values.
+package datasetdeclfix
+
+import "context"
+
+// Set stands in for a built dataset.
+type Set struct{}
+
+// Registry stands in for the dataset registry; Get is the accessor the
+// analyzer is configured with.
+type Registry struct{}
+
+// Get fetches a dataset by name.
+func (r *Registry) Get(ctx context.Context, name string) (*Set, error) { return nil, nil }
+
+// Study mirrors the real accessor chain shapes: exact constant two frames
+// deep, prefix+parameter, and raw parameter passthrough.
+type Study struct{ reg Registry }
+
+// Dataset forwards its name parameter to the registry.
+func (s *Study) Dataset(ctx context.Context, name string) (*Set, error) {
+	return s.reg.Get(ctx, name)
+}
+
+// mustGet is the intermediate frame between Worldwide and the registry.
+func (s *Study) mustGet(ctx context.Context, name string) *Set {
+	set, err := s.reg.Get(ctx, name)
+	if err != nil {
+		panic(err)
+	}
+	return set
+}
+
+// Worldwide resolves to the exact name "worldwide" two frames above Get.
+func (s *Study) Worldwide(ctx context.Context) *Set { return s.mustGet(ctx, "worldwide") }
+
+// Keyed fetches "usa:"+key — a constant prefix plus a parameter.
+func (s *Study) Keyed(ctx context.Context, key string) (*Set, error) {
+	return s.reg.Get(ctx, "usa:"+key)
+}
+
+// Experiment mirrors core.Experiment's declaration fields.
+type Experiment struct {
+	ID       string
+	Datasets []string
+	Run      func(ctx context.Context, s *Study) (string, error)
+}
+
+// fetcher exercises CHA interface dispatch: the analyzer must follow
+// f.fetch to the concrete wwFetcher.fetch.
+type fetcher interface {
+	fetch(ctx context.Context, s *Study)
+}
+
+type wwFetcher struct{}
+
+func (wwFetcher) fetch(ctx context.Context, s *Study) { s.Worldwide(ctx) }
+
+func registry() []Experiment {
+	ww := []string{"worldwide"}
+	return []Experiment{
+		{ID: "OK", Datasets: ww, Run: runOK},
+		{ID: "MISS", Run: runMiss},                                // want `experiment MISS reaches dataset "worldwide" .* but does not declare it`
+		{ID: "STALE", Datasets: []string{"worldwide", "rok"}, Run: runOK}, // want `experiment STALE declares dataset "rok" but Run never fetches it`
+		{ID: "WILD", Datasets: []string{"usa:*"}, Run: runWild},
+		{ID: "DYN", Run: runDyn},
+		{ID: "PSEUDO", Datasets: []string{"crawl"}, Run: runNone},
+		{ID: "IFACE", Run: runIface}, // want `experiment IFACE reaches dataset "worldwide" .* but does not declare it`
+		{ID: "MVAL", Run: runMval},   // want `experiment MVAL reaches dataset "worldwide" .* but does not declare it`
+		//lint:allow datasetdecl fixture probe: the driver test asserts this suppression is honored
+		{ID: "SUP", Run: runMiss},
+	}
+}
+
+func runOK(ctx context.Context, s *Study) (string, error) {
+	s.Worldwide(ctx)
+	return "", nil
+}
+
+func runMiss(ctx context.Context, s *Study) (string, error) {
+	s.Worldwide(ctx)
+	return "", nil
+}
+
+func runWild(ctx context.Context, s *Study) (string, error) {
+	_, err := s.Keyed(ctx, pick())
+	return "", err
+}
+
+func runDyn(ctx context.Context, s *Study) (string, error) {
+	name := pick()
+	_, err := s.Dataset(ctx, name) // want `dataset name cannot be resolved statically`
+	return "", err
+}
+
+func runNone(ctx context.Context, s *Study) (string, error) { return "", nil }
+
+func runIface(ctx context.Context, s *Study) (string, error) {
+	var f fetcher = wwFetcher{}
+	f.fetch(ctx, s)
+	return "", nil
+}
+
+func runMval(ctx context.Context, s *Study) (string, error) {
+	f := s.Worldwide
+	_ = f
+	return "", nil
+}
+
+func pick() string { return "dynamic" }
+
+var _ = registry

@@ -1,0 +1,76 @@
+// Package hotallocfix exercises the hotalloc analyzer: the functions
+// matching the configured hot-set patterns (HotWrite*, Codec.Append,
+// build) are held to the zero-alloc idioms; coldPath repeats every
+// violation and must stay quiet.
+package hotallocfix
+
+import "fmt"
+
+// Codec stands in for a wire encoder with a hot Append method.
+type Codec struct{ buf []byte }
+
+// sink is a local interface for the boxing-conversion check.
+type sink interface{ write() }
+
+type file struct{}
+
+func (file) write() {}
+
+// HotWriteRecord matches the HotWrite* prefix pattern.
+func HotWriteRecord(vals []string) string {
+	s := fmt.Sprintf("%d values", len(vals)) // want `calls fmt\.Sprintf`
+	for _, v := range vals {
+		s = s + v // want `concatenates strings in a loop`
+	}
+	for i := range vals {
+		s += vals[i] // want `concatenates strings in a loop`
+	}
+	return s
+}
+
+// HotWriteIndex covers the make and boxing idioms.
+func HotWriteIndex(vals []string) int {
+	m := make(map[string]int) // want `unsized map`
+	for i, v := range vals {
+		m[v] = i
+	}
+	sl := make([]byte, 0) // want `zero-length slice with no capacity`
+	_ = sl
+	var s sink = sink(file{}) // want `converts to interface type`
+	s.write()
+	return len(m)
+}
+
+// Append matches the Codec.Append method pattern; its one violation is
+// suppressed for the driver's suppression test.
+func (c *Codec) Append(vals []string) {
+	//lint:allow hotalloc fixture probe: the driver test asserts this suppression is honored
+	c.buf = append(c.buf, fmt.Sprintf("%v", vals)...)
+}
+
+// sized make, constant concat outside loops, and pre-sized slices are the
+// sanctioned forms.
+func build(vals []string) map[string]int {
+	m := make(map[string]int, len(vals))
+	buf := make([]byte, 0, 64)
+	for _, v := range vals {
+		buf = append(buf, v...)
+	}
+	const greeting = "hello" + " " + "world" // constant-folded: no allocation
+	_ = greeting
+	m[string(buf)] = len(vals)
+	return m
+}
+
+// coldPath is off the hot set: every idiom above is allowed here.
+func coldPath(vals []string) string {
+	s := fmt.Sprintf("%d values", len(vals))
+	for _, v := range vals {
+		s = s + v
+	}
+	m := make(map[string]int)
+	_ = m
+	var k sink = sink(file{})
+	k.write()
+	return s
+}

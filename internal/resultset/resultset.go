@@ -474,6 +474,7 @@ func build(results []scanner.Result, opts Options) *Set {
 				cp = int32(len(s.combinedCells))
 				combPos[ck] = cp
 				s.combinedCells = append(s.combinedCells, Cell{
+					//lint:allow hotalloc runs once per distinct key/sig combination (a few dozen), not per result
 					Label: s.hostKeyCells[hp].Label + " / " + s.sigAlgoCells[sp].Label,
 				})
 			}

@@ -709,6 +709,7 @@ func (s *Scanner) ScanStream(ctx context.Context, hostnames []string, fn func(Re
 				break
 			}
 			sem <- struct{}{}
+			//lint:allow chanleak workers drain idx until close, and this feeder closes it on every path (including cancellation, via the loop break above)
 			idx <- i
 		}
 		close(idx)

@@ -1,13 +1,45 @@
 #!/usr/bin/env bash
 # lint.sh runs the same static checks as the CI lint job: the repo's own
-# govlint determinism/taxonomy checker, then go vet. Run it from anywhere
-# inside the repo; it operates on the module root.
+# govlint determinism/taxonomy/concurrency checker, then go vet. Run it
+# from anywhere inside the repo; it operates on the module root.
+#
+# govlint runs in -json mode so the findings (including suppressed ones)
+# can be rendered into the GitHub Actions step summary when
+# $GITHUB_STEP_SUMMARY is set. govlint's own stderr line carries the
+# finding counts and wall time either way.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "== govlint ./..."
-go run ./cmd/govlint ./...
+echo "== govlint -json ./..."
+lint_json=$(mktemp)
+lint_status=0
+go run ./cmd/govlint -json ./... >"$lint_json" || lint_status=$?
+
+# Unsuppressed findings, one JSON object per line, straight to the log.
+grep '"suppressed":false' "$lint_json" || true
+
+if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
+  {
+    echo "### govlint"
+    echo
+    total=$(wc -l <"$lint_json" | tr -d ' ')
+    active=$(grep -c '"suppressed":false' "$lint_json" || true)
+    echo "- findings: **${active}** (suppressed: $((total - active)))"
+    if [ "$active" -gt 0 ]; then
+      echo
+      echo '```json'
+      grep '"suppressed":false' "$lint_json"
+      echo '```'
+    fi
+  } >>"$GITHUB_STEP_SUMMARY"
+fi
+
+rm -f "$lint_json"
+if [ "$lint_status" -ne 0 ]; then
+  echo "govlint: findings reported (exit $lint_status)" >&2
+  exit "$lint_status"
+fi
 
 echo "== go vet ./..."
 go vet ./...
