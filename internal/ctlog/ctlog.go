@@ -76,6 +76,9 @@ type Log struct {
 	logID   Hash
 	leaves  []Hash
 	entries []Entry
+	// known mirrors leaves as a set, maintained on Append so coverage
+	// checks don't rebuild it per call.
+	known map[Hash]bool
 	// byHost indexes entry positions by each DNS name on the certificate.
 	byHost map[string][]int
 }
@@ -91,6 +94,7 @@ func NewSized(name string, hint int) *Log {
 		name:    name,
 		logID:   LeafHash([]byte("ct-log-id:" + name)),
 		entries: make([]Entry, 0, hint),
+		known:   make(map[Hash]bool, hint),
 		byHost:  make(map[string][]int, hint),
 	}
 }
@@ -113,6 +117,7 @@ func (l *Log) Append(c *cert.Certificate, at time.Time) SCT {
 	idx := len(l.leaves)
 	l.leaves = append(l.leaves, leaf)
 	l.entries = append(l.entries, Entry{Index: idx, Cert: c, Timestamp: at})
+	l.known[leaf] = true
 	for _, name := range c.Names() {
 		key := strings.ToLower(name)
 		l.byHost[key] = append(l.byHost[key], idx)
@@ -343,6 +348,30 @@ func (l *Log) Entries() []Entry {
 	return out
 }
 
+// TailFrom returns the entries appended at or after cursor, plus the
+// advanced cursor (the log size at read time). Consumers follow the log
+// incrementally by feeding each returned cursor into the next call:
+//
+//	entries, cursor = log.TailFrom(cursor)
+//
+// A cursor of 0 reads the log from the beginning; a cursor at or past
+// the current size returns no entries. Because the log is append-only,
+// successive tails never miss or repeat an entry.
+func (l *Log) TailFrom(cursor int) ([]Entry, int) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	n := len(l.entries)
+	if cursor < 0 {
+		cursor = 0
+	}
+	if cursor >= n {
+		return nil, n
+	}
+	out := make([]Entry, n-cursor)
+	copy(out, l.entries[cursor:])
+	return out, n
+}
+
 // Coverage summarizes how much of a certificate population the log has
 // (the §2.2 "CT misses ~10%" measurement, applied to government certs).
 type Coverage struct {
@@ -359,17 +388,15 @@ func (c Coverage) Pct() float64 {
 }
 
 // MeasureCoverage checks which of the given leaf certificates appear in
-// the log (by exact encoding).
+// the log (by exact encoding). The membership set is maintained
+// incrementally by Append, so each call costs one hash per candidate
+// rather than a rebuild over the whole log.
 func (l *Log) MeasureCoverage(leaves []*cert.Certificate) Coverage {
-	l.mu.RLock()
-	known := make(map[Hash]bool, len(l.leaves))
-	for _, h := range l.leaves {
-		known[h] = true
-	}
-	l.mu.RUnlock()
 	cov := Coverage{Total: len(leaves)}
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	for _, c := range leaves {
-		if known[LeafHash(c.Encode())] {
+		if l.known[LeafHash(c.Encode())] {
 			cov.Logged++
 		}
 	}

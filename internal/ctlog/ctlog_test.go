@@ -223,3 +223,62 @@ func TestLeafHashDomainSeparation(t *testing.T) {
 		t.Fatal("missing domain separation between leaves and nodes")
 	}
 }
+
+func TestTailFrom(t *testing.T) {
+	l, certs := buildLog(t, 7)
+
+	// A zero cursor reads the whole log.
+	entries, cursor := l.TailFrom(0)
+	if len(entries) != 7 || cursor != 7 {
+		t.Fatalf("TailFrom(0) = %d entries, cursor %d", len(entries), cursor)
+	}
+	for i, e := range entries {
+		if e.Index != i || e.Cert != certs[i] {
+			t.Fatalf("entry %d = index %d cert %p", i, e.Index, e.Cert)
+		}
+	}
+
+	// A caught-up cursor returns nothing and stays put.
+	entries, cursor = l.TailFrom(cursor)
+	if len(entries) != 0 || cursor != 7 {
+		t.Fatalf("caught-up tail = %d entries, cursor %d", len(entries), cursor)
+	}
+
+	// New appends show up exactly once on the next tail.
+	r := rand.New(rand.NewSource(99))
+	extra := testCert(r, "tail.gov.xx")
+	l.Append(extra, logTime.Add(time.Hour))
+	entries, cursor = l.TailFrom(cursor)
+	if len(entries) != 1 || cursor != 8 {
+		t.Fatalf("post-append tail = %d entries, cursor %d", len(entries), cursor)
+	}
+	if entries[0].Index != 7 || entries[0].Cert != extra {
+		t.Fatalf("tailed entry = index %d", entries[0].Index)
+	}
+
+	// Negative and overshooting cursors clamp instead of panicking.
+	if entries, _ := l.TailFrom(-5); len(entries) != 8 {
+		t.Fatalf("negative cursor tailed %d entries", len(entries))
+	}
+	if entries, cursor := l.TailFrom(100); len(entries) != 0 || cursor != 8 {
+		t.Fatalf("overshoot tail = %d entries, cursor %d", len(entries), cursor)
+	}
+}
+
+func TestMeasureCoverageIncremental(t *testing.T) {
+	l, certs := buildLog(t, 5)
+	r := rand.New(rand.NewSource(42))
+	unlogged := testCert(r, "missing.gov.xx")
+
+	cov := l.MeasureCoverage(append([]*cert.Certificate{unlogged}, certs...))
+	if cov.Total != 6 || cov.Logged != 5 {
+		t.Fatalf("coverage = %d/%d", cov.Logged, cov.Total)
+	}
+
+	// Appending the missing certificate is reflected without a rebuild.
+	l.Append(unlogged, logTime.Add(time.Hour))
+	cov = l.MeasureCoverage([]*cert.Certificate{unlogged})
+	if cov.Logged != 1 {
+		t.Fatalf("post-append coverage = %d/%d", cov.Logged, cov.Total)
+	}
+}

@@ -205,14 +205,46 @@ func (r *Registry) Get(ctx context.Context, name string) (*resultset.Set, error)
 }
 
 // patch rebuilds a dataset from its cached base: only dirty hosts and
-// hosts absent from the base are rescanned, and the set is reassembled
-// in the source's current host order. Per-host results are scan-order
-// independent on fault-free worlds, so the patched set is bit-identical
-// to a full rescan at a fraction of the cost; flaky worlds should use
-// Invalidate instead (dial-ordinal fault draws depend on scan makeup).
+// hosts absent from the base are rescanned. When the corpus host list is
+// unchanged, the base's indexes are patched incrementally
+// (resultset.ApplyDelta — cost proportional to the dirty set, not the
+// corpus); when hosts appeared or disappeared, the set is reassembled in
+// the source's current host order through a Builder replay. Per-host
+// results are scan-order independent on fault-free worlds, so either
+// path is bit-identical to a full rescan at a fraction of the cost;
+// flaky worlds should use Invalidate instead (dial-ordinal fault draws
+// depend on scan makeup).
 func (r *Registry) patch(ctx context.Context, src Source, base *resultset.Set, dirty map[string]struct{}) *resultset.Set {
 	hosts := src.Hosts()
 	baseResults := base.Results()
+
+	// Fast path: same corpus, same order — re-scan only the dirty hosts
+	// (in corpus order, so the delta is deterministic) and splice the
+	// changed rows into the base's shared-index chain.
+	if len(hosts) == len(baseResults) {
+		same := true
+		for i := range hosts {
+			if hosts[i] != baseResults[i].Hostname {
+				same = false
+				break
+			}
+		}
+		if same {
+			toScan := make([]string, 0, len(dirty))
+			for _, h := range hosts {
+				if _, stale := dirty[h]; stale {
+					toScan = append(toScan, h)
+				}
+			}
+			sub := r.scan(ctx, toScan, src.Opts())
+			if next, err := base.ApplyDelta(sub.Results()); err == nil {
+				return next
+			}
+			// A delta contract violation (host vanished from the scan
+			// output) falls through to the full replay below.
+		}
+	}
+
 	baseIdx := make(map[string]int, len(baseResults))
 	for i := range baseResults {
 		baseIdx[baseResults[i].Hostname] = i

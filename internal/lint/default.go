@@ -4,9 +4,10 @@ package lint
 // tables and must be bit-identical across same-seed runs; maprange
 // enforces ordered iteration inside them. World generation, scanning,
 // verification, the ACME CA and renewal fleet, the dataset/result-set
-// aggregation layer, and the reporting/statistics layers all qualify: a
-// single unordered map walk in any of them reorders RNG draws, index
-// buckets, order dispatch, or report rows.
+// aggregation layer, the continuous-observatory loop, and the
+// reporting/statistics layers all qualify: a single unordered map walk in
+// any of them reorders RNG draws, index buckets, order dispatch, queue
+// admissions, or report rows.
 var DeterministicPackages = []string{
 	"repro/internal/world",
 	"repro/internal/scanner",
@@ -16,6 +17,7 @@ var DeterministicPackages = []string{
 	"repro/internal/acmefleet",
 	"repro/internal/dataset",
 	"repro/internal/resultset",
+	"repro/internal/observatory",
 	"repro/internal/report",
 	"repro/internal/stats",
 }
@@ -31,13 +33,15 @@ var WallClockPackages = []string{
 
 // LongRunningPackages are the packages whose goroutines live for a whole
 // suite run (the scheduler, fleet dispatch, the dataset pool, the sharded
-// builders, the scan worker pools); chanleak polices their spawn sites.
+// builders, the scan worker pools, the observatory loop); chanleak
+// polices their spawn sites.
 var LongRunningPackages = []string{
 	"repro/internal/core",
 	"repro/internal/acmefleet",
 	"repro/internal/dataset",
 	"repro/internal/resultset",
 	"repro/internal/scanner",
+	"repro/internal/observatory",
 }
 
 // HotPathFuncs is the declared zero-alloc hot set hotalloc enforces: the

@@ -1,0 +1,218 @@
+package resultset
+
+import (
+	"sort"
+	"sync"
+)
+
+// intern is an append-only key→slot table for one index family. A slot,
+// once assigned, is never reused or renumbered, so the table can be
+// shared along a whole chain of delta-patched Sets: a Set built before a
+// key was interned simply has no bucket at that slot. Post-build lookups
+// and inserts are mutex-guarded because deltas may be applied while
+// older generations are still being read.
+type intern[K comparable] struct {
+	mu   sync.RWMutex
+	pos  map[K]int32
+	keys []K // slot → key, parallel with pos
+}
+
+// lookup returns k's slot, or -1 when k was never interned.
+func (t *intern[K]) lookup(k K) int32 {
+	t.mu.RLock()
+	p, ok := t.pos[k]
+	t.mu.RUnlock()
+	if !ok {
+		return -1
+	}
+	return p
+}
+
+// slot returns k's slot, interning it first when new.
+func (t *intern[K]) slot(k K) int32 {
+	t.mu.Lock()
+	p, ok := t.pos[k]
+	if !ok {
+		p = int32(len(t.keys))
+		t.pos[k] = p
+		t.keys = append(t.keys, k)
+	}
+	t.mu.Unlock()
+	return p
+}
+
+// keySlice returns the first n slots' keys. The returned slice is
+// immutable: appends by later generations never renumber earlier slots.
+func (t *intern[K]) keySlice(n int) []K {
+	t.mu.RLock()
+	ks := t.keys[:n:n]
+	t.mu.RUnlock()
+	return ks
+}
+
+// keyOrder carries a Set's public key order for one family, derived
+// lazily after a delta (a fresh build pre-fills it for free, since slot
+// order is first-seen order there).
+type keyOrder[K comparable] struct {
+	once sync.Once
+	keys []K
+}
+
+// index is one bucket family of one Set: the family's shared intern
+// table plus this generation's slot-indexed buckets. Buckets hold
+// ascending result indices; a nil bucket means the key is absent from
+// this generation (tombstoned by a delta, or interned by a later one).
+type index[K comparable] struct {
+	tab     *intern[K]
+	buckets [][]int
+	ord     *keyOrder[K]
+}
+
+// bucket returns the result indices for k, nil when absent.
+func (x *index[K]) bucket(k K) []int {
+	p := x.tab.lookup(k)
+	if p < 0 || int(p) >= len(x.buckets) {
+		return nil
+	}
+	return x.buckets[p]
+}
+
+// orderedKeys returns the live keys in public (first-seen) order. After
+// a delta the order is re-derived by sorting live slots on their first
+// occurrence index — exactly the order a from-scratch build would
+// produce, since first-seen order is ascending first-occurrence order
+// and buckets are ascending.
+func (x *index[K]) orderedKeys() []K {
+	x.ord.once.Do(func() {
+		if x.ord.keys != nil {
+			return
+		}
+		live := make([]int32, 0, len(x.buckets))
+		for p := range x.buckets {
+			if x.buckets[p] != nil {
+				live = append(live, int32(p))
+			}
+		}
+		sort.Slice(live, func(a, b int) bool {
+			return x.buckets[live[a]][0] < x.buckets[live[b]][0]
+		})
+		all := x.tab.keySlice(len(x.buckets))
+		keys := make([]K, len(live))
+		for i, p := range live {
+			keys[i] = all[p]
+		}
+		x.ord.keys = keys
+	})
+	return x.ord.keys
+}
+
+// builtIndex wraps a finished two-pass build into an index: keys are in
+// first-seen slot order, pos (when the build already interned through a
+// map) is adopted without copying, and each bucket is a subslice of the
+// flat array.
+func builtIndex[K comparable](keys []K, pos map[K]int32, f *flatIndex) index[K] {
+	if pos == nil {
+		pos = make(map[K]int32, len(keys))
+		for p, k := range keys {
+			pos[k] = int32(p)
+		}
+	}
+	buckets := make([][]int, len(keys))
+	for p := range keys {
+		buckets[p] = f.bucket(p)
+	}
+	return index[K]{
+		tab:     &intern[K]{pos: pos, keys: keys},
+		buckets: buckets,
+		ord:     &keyOrder[K]{keys: keys},
+	}
+}
+
+// cellOrder carries a Set's public cell order for one family, derived
+// lazily after a delta.
+type cellOrder struct {
+	once  sync.Once
+	cells []Cell
+}
+
+// cellIndex is one aggregate-cell family: the shared intern table, this
+// generation's slot-indexed cells, and each cell's first contributing
+// result index (-1 = tombstone). Unlike bucket families, cells don't
+// record their members, so the first index is tracked explicitly to
+// reconstruct first-seen order after a delta.
+type cellIndex[K comparable] struct {
+	tab   *intern[K]
+	cells []Cell
+	first []int32
+	ord   *cellOrder
+}
+
+// liveSlots returns the slots of live cells ordered by first occurrence
+// (for a fresh build this is just slot order).
+func (x *cellIndex[K]) liveSlots() []int32 {
+	live := make([]int32, 0, len(x.cells))
+	for p := range x.cells {
+		if x.first[p] >= 0 {
+			live = append(live, int32(p))
+		}
+	}
+	sort.Slice(live, func(a, b int) bool { return x.first[live[a]] < x.first[live[b]] })
+	return live
+}
+
+// orderedCells returns the live cells in public (first-seen) order.
+func (x *cellIndex[K]) orderedCells() []Cell {
+	x.ord.once.Do(func() {
+		if x.ord.cells != nil {
+			return
+		}
+		live := x.liveSlots()
+		cells := make([]Cell, len(live))
+		for i, p := range live {
+			cells[i] = x.cells[p]
+		}
+		x.ord.cells = cells
+	})
+	return x.ord.cells
+}
+
+// builtCells wraps a finished build's cell family into a cellIndex.
+func builtCells[K comparable](keys []K, pos map[K]int32, cells []Cell, first []int32) cellIndex[K] {
+	if pos == nil {
+		pos = make(map[K]int32, len(keys))
+		for p, k := range keys {
+			pos[k] = int32(p)
+		}
+	}
+	return cellIndex[K]{
+		tab:   &intern[K]{pos: pos, keys: keys},
+		cells: cells,
+		first: first,
+		ord:   &cellOrder{cells: cells},
+	}
+}
+
+// spliceBucket rebuilds one ascending bucket after removing rm and
+// inserting add (both ascending, rm ⊆ old, add ∩ old = ∅), returning
+// nil when the bucket empties.
+func spliceBucket(old, rm, add []int) []int {
+	n := len(old) - len(rm) + len(add)
+	if n == 0 {
+		return nil
+	}
+	out := make([]int, 0, n)
+	ri, ai := 0, 0
+	for _, v := range old {
+		if ri < len(rm) && rm[ri] == v {
+			ri++
+			continue
+		}
+		for ai < len(add) && add[ai] < v {
+			out = append(out, add[ai])
+			ai++
+		}
+		out = append(out, v)
+	}
+	out = append(out, add[ai:]...)
+	return out
+}

@@ -35,7 +35,7 @@ func Merge(shards ...*Set) *Set {
 	}
 	results := make([]scanner.Result, 0, total)
 	for _, sh := range shards {
-		results = append(results, sh.results...)
+		results = append(results, sh.materialize()...)
 	}
 	return mergeSets(shards, results)
 }
@@ -69,36 +69,22 @@ func mergeSets(shards []*Set, results []scanner.Result) *Set {
 		s.smallRSAHosts += sh.smallRSAHosts
 	}
 
-	s.categories, s.byCategory = mergeIndex(shards, offs,
-		func(sh *Set) []scanner.Category { return sh.categories },
-		func(sh *Set, k scanner.Category) []int { return sh.byCategory[k] })
-	s.exceptions, s.byException = mergeIndex(shards, offs,
-		func(sh *Set) []scanner.Exception { return sh.exceptions },
-		func(sh *Set, k scanner.Exception) []int { return sh.byException[k] })
-	s.issuers, s.byIssuer = mergeIndex(shards, offs,
-		func(sh *Set) []string { return sh.issuers },
-		func(sh *Set, k string) []int { return sh.byIssuer[k] })
-	s.fingerprints, s.byFingerprint = mergeIndex(shards, offs,
-		func(sh *Set) [][32]byte { return sh.fingerprints },
-		func(sh *Set, k [32]byte) []int { return sh.byFingerprint[k] })
-	s.keyIDs, s.byKeyID = mergeIndex(shards, offs,
-		func(sh *Set) []cert.KeyID { return sh.keyIDs },
-		func(sh *Set, k cert.KeyID) []int { return sh.byKeyID[k] })
-	s.providers, s.byProvider = mergeIndex(shards, offs,
-		func(sh *Set) []string { return sh.providers },
-		func(sh *Set, k string) []int { return sh.byProvider[k] })
-	s.kinds, s.byKind = mergeIndex(shards, offs,
-		func(sh *Set) []hosting.Kind { return sh.kinds },
-		func(sh *Set, k hosting.Kind) []int { return sh.byKind[k] })
+	s.catIdx = mergeFamily(shards, offs, func(sh *Set) *index[scanner.Category] { return &sh.catIdx })
+	s.excIdx = mergeFamily(shards, offs, func(sh *Set) *index[scanner.Exception] { return &sh.excIdx })
+	s.issIdx = mergeFamily(shards, offs, func(sh *Set) *index[string] { return &sh.issIdx })
+	s.fpIdx = mergeFamily(shards, offs, func(sh *Set) *index[[32]byte] { return &sh.fpIdx })
+	s.kidIdx = mergeFamily(shards, offs, func(sh *Set) *index[cert.KeyID] { return &sh.kidIdx })
+	s.provIdx = mergeFamily(shards, offs, func(sh *Set) *index[string] { return &sh.provIdx })
+	s.kindIdx = mergeFamily(shards, offs, func(sh *Set) *index[hosting.Kind] { return &sh.kindIdx })
 
-	// Countries: sorted union of the (already sorted) shard lists, with
-	// per-country aggregates summed in one pass over the shard orders.
-	s.countries, s.byCountry = mergeIndex(shards, offs,
-		func(sh *Set) []string { return sh.countries },
-		func(sh *Set, k string) []int { return sh.byCountry[k] })
-	s.ccAggs = make(map[string]CountryAgg, len(s.countries))
+	// Countries: the family merges like any other (first-seen intern
+	// order), the public list is a sorted copy, and per-country
+	// aggregates are summed in one pass over the shard orders.
+	s.ccIdx = mergeFamily(shards, offs, func(sh *Set) *index[string] { return &sh.ccIdx })
+	firstSeen := s.ccIdx.ord.keys
+	s.ccAggs = make(map[string]CountryAgg, len(firstSeen))
 	for _, sh := range shards {
-		for _, cc := range sh.countries {
+		for _, cc := range sh.ccIdx.orderedKeys() {
 			agg := s.ccAggs[cc]
 			src := sh.ccAggs[cc]
 			agg.Country = cc
@@ -109,9 +95,11 @@ func mergeSets(shards []*Set, results []scanner.Result) *Set {
 			s.ccAggs[cc] = agg
 		}
 	}
+	s.countries = append([]string(nil), firstSeen...)
 	sort.Strings(s.countries)
 
 	s.chained = mergeInts(shards, offs, func(sh *Set) []int { return sh.chained })
+	s.invalidIdx = mergeInts(shards, offs, func(sh *Set) []int { return sh.invalidIdx })
 	s.failedUpgrades = mergeInts(shards, offs, func(sh *Set) []int { return sh.failedUpgrades })
 	s.ranked = mergeInts(shards, offs, func(sh *Set) []int { return sh.ranked })
 
@@ -146,29 +134,29 @@ func mergeSets(shards []*Set, results []scanner.Result) *Set {
 		}
 	}
 
-	s.hostKeyCells = mergeCells(shards, func(sh *Set) []Cell { return sh.hostKeyCells })
-	s.sigAlgoCells = mergeCells(shards, func(sh *Set) []Cell { return sh.sigAlgoCells })
-	s.combinedCells = mergeCells(shards, func(sh *Set) []Cell { return sh.combinedCells })
-	s.versionCells = mergeCells(shards, func(sh *Set) []Cell { return sh.versionCells })
+	s.hostKeyIdx = mergeCellFamily(shards, offs, func(sh *Set) *cellIndex[uint64] { return &sh.hostKeyIdx })
+	s.sigAlgoIdx = mergeCellFamily(shards, offs, func(sh *Set) *cellIndex[int] { return &sh.sigAlgoIdx })
+	s.combinedIdx = mergeCellFamily(shards, offs, func(sh *Set) *cellIndex[combKey] { return &sh.combinedIdx })
+	s.versionIdx = mergeCellFamily(shards, offs, func(sh *Set) *cellIndex[int] { return &sh.versionIdx })
 	return s
 }
 
-// mergeIndex recombines one bucket family across shards: the merged key
+// mergeFamily recombines one bucket family across shards: the merged key
 // order is the first-seen dedup-concat of the shard orders, per-key
 // totals are summed up front, and every merged bucket is a subslice of
 // one exact-size flat array filled shard by shard with index rebasing —
 // so buckets stay ascending and nothing grows incrementally. Map lookups
 // happen once per shard-distinct key, never per result.
-func mergeIndex[K comparable](
+func mergeFamily[K comparable](
 	shards []*Set, offs []int,
-	orderOf func(*Set) []K,
-	bucketOf func(*Set, K) []int,
-) ([]K, map[K][]int) {
+	get func(*Set) *index[K],
+) index[K] {
 	pos := make(map[K]int32)
 	var order []K
 	var counts []int
 	for _, sh := range shards {
-		for _, k := range orderOf(sh) {
+		x := get(sh)
+		for _, k := range x.orderedKeys() {
 			p, seen := pos[k]
 			if !seen {
 				p = int32(len(order))
@@ -176,7 +164,7 @@ func mergeIndex[K comparable](
 				order = append(order, k)
 				counts = append(counts, 0)
 			}
-			counts[p] += len(bucketOf(sh, k))
+			counts[p] += len(x.bucket(k))
 		}
 	}
 
@@ -192,11 +180,12 @@ func mergeIndex[K comparable](
 	flat := make([]int, total)
 
 	for si, sh := range shards {
+		x := get(sh)
 		d := offs[si]
-		for _, k := range orderOf(sh) {
+		for _, k := range x.orderedKeys() {
 			p := pos[k]
 			c := cur[p]
-			for _, idx := range bucketOf(sh, k) {
+			for _, idx := range x.bucket(k) {
 				flat[c] = idx + d
 				c++
 			}
@@ -204,12 +193,16 @@ func mergeIndex[K comparable](
 		}
 	}
 
-	m := make(map[K][]int, len(order))
-	for p, k := range order {
+	buckets := make([][]int, len(order))
+	for p := range order {
 		lo, hi := start[p], start[p+1]
-		m[k] = flat[lo:hi:hi]
+		buckets[p] = flat[lo:hi:hi]
 	}
-	return order, m
+	return index[K]{
+		tab:     &intern[K]{pos: pos, keys: order},
+		buckets: buckets,
+		ord:     &keyOrder[K]{keys: order},
+	}
 }
 
 // mergeInts concatenates one rebased []int slice per shard, presized.
@@ -228,21 +221,44 @@ func mergeInts(shards []*Set, offs []int, get func(*Set) []int) []int {
 	return out
 }
 
-// mergeCells sums per-label cells with first-seen dedup-concat ordering.
-func mergeCells(shards []*Set, get func(*Set) []Cell) []Cell {
-	pos := make(map[string]int32)
-	var out []Cell
-	for _, sh := range shards {
-		for _, c := range get(sh) {
-			p, seen := pos[c.Label]
+// mergeCellFamily sums one cell family with first-seen dedup-concat
+// ordering, keyed on the stable value keys and tracking the rebased
+// minimum first-occurrence index per cell (what a delta needs to keep
+// first-seen order reconstructible).
+func mergeCellFamily[K comparable](
+	shards []*Set, offs []int,
+	get func(*Set) *cellIndex[K],
+) cellIndex[K] {
+	pos := make(map[K]int32)
+	var keys []K
+	var cells []Cell
+	var first []int32
+	for si, sh := range shards {
+		x := get(sh)
+		d := int32(offs[si])
+		shardKeys := x.tab.keySlice(len(x.cells))
+		for _, p0 := range x.liveSlots() {
+			k := shardKeys[p0]
+			src := x.cells[p0]
+			f := x.first[p0] + d
+			p, seen := pos[k]
 			if !seen {
-				p = int32(len(out))
-				pos[c.Label] = p
-				out = append(out, Cell{Label: c.Label})
+				p = int32(len(keys))
+				pos[k] = p
+				keys = append(keys, k)
+				cells = append(cells, Cell{Label: src.Label})
+				first = append(first, f)
+			} else if f < first[p] {
+				first[p] = f
 			}
-			out[p].Total += c.Total
-			out[p].Valid += c.Valid
+			cells[p].Total += src.Total
+			cells[p].Valid += src.Valid
 		}
 	}
-	return out
+	return cellIndex[K]{
+		tab:   &intern[K]{pos: pos, keys: keys},
+		cells: cells,
+		first: first,
+		ord:   &cellOrder{cells: cells},
+	}
 }

@@ -96,6 +96,19 @@ type Set struct {
 	opts    Options
 	results []scanner.Result
 
+	// overlay, when non-nil, marks this Set as an unmaterialized delta
+	// generation: its rows are the backing slice in results — shared
+	// with the base generation, never written — with overlay's entries
+	// substituted (pointers into the generation's own changed-row slab,
+	// immutable once installed). Kept small relative to the corpus by
+	// ApplyDelta's compaction, so per-row access stays one map probe.
+	overlay map[int]*scanner.Result
+	// flat caches the contiguous patched slice for Results/WriteJSONL,
+	// built on first use — a delta generation pays the O(corpus) copy
+	// only if something actually asks for the flat view.
+	flatOnce sync.Once
+	flat     []scanner.Result
+
 	// byHost is built lazily on first Lookup: the host index is off the
 	// aggregation hot path and a per-result string map insert is the
 	// single most expensive step of an eager build.
@@ -104,44 +117,46 @@ type Set struct {
 
 	counts Counts
 
-	categories []scanner.Category // first-seen
-	byCategory map[scanner.Category][]int
-
-	exceptions  []scanner.Exception // first-seen, ExcNone excluded
-	byException map[scanner.Exception][]int
+	// Bucket families: a shared intern table (key → slot) plus this
+	// generation's slot-indexed buckets. Key order (first-seen, except
+	// countries which sort) is carried alongside and re-derived lazily
+	// after a delta. See intern.go.
+	catIdx  index[scanner.Category]
+	excIdx  index[scanner.Exception] // ExcNone excluded
+	ccIdx   index[string]
+	provIdx index[string]       // available hosts only
+	kindIdx index[hosting.Kind] // available hosts only
+	fpIdx   index[[32]byte]
+	kidIdx  index[cert.KeyID]
+	issIdx  index[string] // leaf issuer CN, "" excluded
 
 	countries []string // sorted at build
-	byCountry map[string][]int
 	ccAggs    map[string]CountryAgg
 
-	issuers  []string // first-seen; leaf issuer CN, "" excluded
-	byIssuer map[string][]int
-
-	fingerprints  [][32]byte // first-seen
-	byFingerprint map[[32]byte][]int
-
-	keyIDs  []cert.KeyID // first-seen
-	byKeyID map[cert.KeyID][]int
-
-	providers  []string // first-seen
-	byProvider map[string][]int
-	kinds      []hosting.Kind // first-seen; keeps byKind mergeable without a map range
-	byKind     map[hosting.Kind][]int
-
 	chained        []int    // indices with a retrieved chain
-	invalidHosts   []string // hostnames measured invalid https, input order
+	invalidIdx     []int    // indices measured invalid https, ascending
+	invalidHosts   []string // hostnames of invalidIdx, same order
 	failedUpgrades []int    // valid https but full content still on http
 
 	ranked      []int
 	rankBuckets [][]int
 
-	hostKeyCells  []Cell
-	sigAlgoCells  []Cell
-	combinedCells []Cell
-	versionCells  []Cell
+	hostKeyIdx  cellIndex[uint64] // (type,bits) numeric identity
+	sigAlgoIdx  cellIndex[int]    // signature algorithm enum
+	combinedIdx cellIndex[combKey]
+	versionIdx  cellIndex[int] // version+1; 0 = no-handshake sentinel
+
 	weakSigHosts  int
 	smallRSAHosts int
 	issuerDomain  int // chain-bearing results with a non-empty issuer CN
+}
+
+// combKey is the value identity of one key-type × signing-algorithm
+// cell — stable across shards and delta generations, unlike the
+// per-build cell positions.
+type combKey struct {
+	hk  uint64
+	sig int32
 }
 
 // Builder accumulates results into a Set. Add must be called from a
@@ -276,6 +291,13 @@ func build(results []scanner.Result, opts Options) *Set {
 	var catCount, excCount, kindCount, ccCount, provCount, issCount, fpCount, kidCount []int32
 	var rbCount []int32
 
+	var cats []scanner.Category
+	var excs []scanner.Exception
+	var ccs, provs, isss []string
+	var kinds []hosting.Kind
+	var fps [][32]byte
+	var kids []cert.KeyID
+
 	ccPos := make(map[string]int32, 64)
 	var ccAgg []CountryAgg
 	provPos := make(map[string]int32, 16)
@@ -284,6 +306,14 @@ func build(results []scanner.Result, opts Options) *Set {
 	kidPos := make(map[cert.KeyID]int32, n/2)
 	hkPos := make(map[uint64]int32, 8)
 	combPos := make(map[uint64]int32, 16)
+
+	// Cell state: slot-ordered cells plus each cell's first contributing
+	// result index and value key (what ApplyDelta and Merge rekey on).
+	var hostKeyCells, sigAlgoCells, combinedCells, versionCells []Cell
+	var hkFirst, sigFirst, combFirst, verFirst []int32
+	var hkKeys []uint64
+	var sigKeys, verKeys []int
+	var combKeys []combKey
 
 	rankEnabled := opts.RankOf != nil && opts.RankBuckets > 0 && opts.RankMax > 0
 	if rankEnabled {
@@ -298,22 +328,22 @@ func build(results []scanner.Result, opts Options) *Set {
 		cat := r.Category()
 		p := catPos.lookup(int(cat))
 		if p < 0 {
-			p = int32(len(s.categories))
+			p = int32(len(cats))
 			catPos.insert(int(cat), p)
-			s.categories = append(s.categories, cat)
+			cats = append(cats, cat)
 			catCount = append(catCount, 0)
 		}
 		catP[i] = uint8(p)
 		catCount[p]++
-		s.tally(r, cat)
+		tallySigned(&s.counts, r, cat, 1)
 
 		excP[i] = excNonePos
 		if e := r.Exception; e != scanner.ExcNone {
 			p := excPos.lookup(int(e))
 			if p < 0 {
-				p = int32(len(s.exceptions))
+				p = int32(len(excs))
 				excPos.insert(int(e), p)
-				s.exceptions = append(s.exceptions, e)
+				excs = append(excs, e)
 				excCount = append(excCount, 0)
 			}
 			excP[i] = uint8(p)
@@ -325,9 +355,9 @@ func build(results []scanner.Result, opts Options) *Set {
 			if cc := opts.CountryOf(r.Hostname); cc != "" {
 				p, seen := ccPos[cc]
 				if !seen {
-					p = int32(len(s.countries))
+					p = int32(len(ccs))
 					ccPos[cc] = p
-					s.countries = append(s.countries, cc)
+					ccs = append(ccs, cc)
 					ccCount = append(ccCount, 0)
 					ccAgg = append(ccAgg, CountryAgg{Country: cc})
 				}
@@ -351,9 +381,9 @@ func build(results []scanner.Result, opts Options) *Set {
 		if r.Available {
 			p, seen := provPos[r.Provider]
 			if !seen {
-				p = int32(len(s.providers))
+				p = int32(len(provs))
 				provPos[r.Provider] = p
-				s.providers = append(s.providers, r.Provider)
+				provs = append(provs, r.Provider)
 				provCount = append(provCount, 0)
 			}
 			provP[i] = p
@@ -361,9 +391,9 @@ func build(results []scanner.Result, opts Options) *Set {
 
 			kp := kindPos.lookup(int(r.HostKind))
 			if kp < 0 {
-				kp = int32(len(s.kinds))
+				kp = int32(len(kinds))
 				kindPos.insert(int(r.HostKind), kp)
-				s.kinds = append(s.kinds, r.HostKind)
+				kinds = append(kinds, r.HostKind)
 				kindCount = append(kindCount, 0)
 			}
 			kindP[i] = int8(kp)
@@ -391,15 +421,17 @@ func build(results []scanner.Result, opts Options) *Set {
 			}
 			vp := verPos.lookup(key)
 			if vp < 0 {
-				vp = int32(len(s.versionCells))
+				vp = int32(len(versionCells))
 				verPos.insert(key, vp)
 				label := "(no handshake)"
 				if key != 0 {
 					label = r.TLSVersion.String()
 				}
-				s.versionCells = append(s.versionCells, Cell{Label: label})
+				versionCells = append(versionCells, Cell{Label: label})
+				verKeys = append(verKeys, key)
+				verFirst = append(verFirst, int32(i))
 			}
-			cell := &s.versionCells[vp]
+			cell := &versionCells[vp]
 			cell.Total++
 			if valid {
 				cell.Valid++
@@ -414,9 +446,9 @@ func build(results []scanner.Result, opts Options) *Set {
 			fp := leaf.Fingerprint()
 			p, seen := fpPos[fp]
 			if !seen {
-				p = int32(len(s.fingerprints))
+				p = int32(len(fps))
 				fpPos[fp] = p
-				s.fingerprints = append(s.fingerprints, fp)
+				fps = append(fps, fp)
 				fpCount = append(fpCount, 0)
 			}
 			fpP[i] = p
@@ -425,9 +457,9 @@ func build(results []scanner.Result, opts Options) *Set {
 			id := leaf.PublicKey.ID
 			p, seen = kidPos[id]
 			if !seen {
-				p = int32(len(s.keyIDs))
+				p = int32(len(kids))
 				kidPos[id] = p
-				s.keyIDs = append(s.keyIDs, id)
+				kids = append(kids, id)
 				kidCount = append(kidCount, 0)
 			}
 			kidP[i] = p
@@ -437,9 +469,9 @@ func build(results []scanner.Result, opts Options) *Set {
 				s.issuerDomain++
 				p, seen := issPos[cn]
 				if !seen {
-					p = int32(len(s.issuers))
+					p = int32(len(isss))
 					issPos[cn] = p
-					s.issuers = append(s.issuers, cn)
+					isss = append(isss, cn)
 					issCount = append(issCount, 0)
 				}
 				issP[i] = p
@@ -454,31 +486,40 @@ func build(results []scanner.Result, opts Options) *Set {
 			hk := uint64(leaf.PublicKey.Type)<<32 | uint64(uint32(leaf.PublicKey.Bits))
 			hp, seen := hkPos[hk]
 			if !seen {
-				hp = int32(len(s.hostKeyCells))
+				hp = int32(len(hostKeyCells))
 				hkPos[hk] = hp
-				s.hostKeyCells = append(s.hostKeyCells, Cell{Label: leaf.PublicKey.Label()})
+				hostKeyCells = append(hostKeyCells, Cell{Label: leaf.PublicKey.Label()})
+				hkKeys = append(hkKeys, hk)
+				hkFirst = append(hkFirst, int32(i))
 			}
-			bumpCell(&s.hostKeyCells[hp], valid)
+			bumpCell(&hostKeyCells[hp], valid)
 
 			sp := sigPos.lookup(int(leaf.SignatureAlgorithm))
 			if sp < 0 {
-				sp = int32(len(s.sigAlgoCells))
+				sp = int32(len(sigAlgoCells))
 				sigPos.insert(int(leaf.SignatureAlgorithm), sp)
-				s.sigAlgoCells = append(s.sigAlgoCells, Cell{Label: leaf.SignatureAlgorithm.String()})
+				sigAlgoCells = append(sigAlgoCells, Cell{Label: leaf.SignatureAlgorithm.String()})
+				sigKeys = append(sigKeys, int(leaf.SignatureAlgorithm))
+				sigFirst = append(sigFirst, int32(i))
 			}
-			bumpCell(&s.sigAlgoCells[sp], valid)
+			bumpCell(&sigAlgoCells[sp], valid)
 
+			// The within-build intern key is the fast (hp,sp) slot pair;
+			// the value key recorded for merge and delta is (hk, sig),
+			// which is stable across shards and generations.
 			ck := uint64(hp)<<32 | uint64(sp)
 			cp, seen := combPos[ck]
 			if !seen {
-				cp = int32(len(s.combinedCells))
+				cp = int32(len(combinedCells))
 				combPos[ck] = cp
-				s.combinedCells = append(s.combinedCells, Cell{
+				combinedCells = append(combinedCells, Cell{
 					//lint:allow hotalloc runs once per distinct key/sig combination (a few dozen), not per result
-					Label: s.hostKeyCells[hp].Label + " / " + s.sigAlgoCells[sp].Label,
+					Label: hostKeyCells[hp].Label + " / " + sigAlgoCells[sp].Label,
 				})
+				combKeys = append(combKeys, combKey{hk: hk, sig: int32(leaf.SignatureAlgorithm)})
+				combFirst = append(combFirst, int32(i))
 			}
-			bumpCell(&s.combinedCells[cp], valid)
+			bumpCell(&combinedCells[cp], valid)
 
 			if leaf.SignatureAlgorithm.IsWeak() {
 				s.weakSigHosts++
@@ -503,46 +544,48 @@ func build(results []scanner.Result, opts Options) *Set {
 	}
 
 	// Pass B: exact-size flat buckets, filled in ascending result order.
-	catIdx := newFlatIndex(catCount)
-	excIdx := newFlatIndex(excCount)
-	ccIdx := newFlatIndex(ccCount)
-	provIdx := newFlatIndex(provCount)
-	kindIdx := newFlatIndex(kindCount)
-	fpIdx := newFlatIndex(fpCount)
-	kidIdx := newFlatIndex(kidCount)
-	issIdx := newFlatIndex(issCount)
-	var rbIdx *flatIndex
+	catFlat := newFlatIndex(catCount)
+	excFlat := newFlatIndex(excCount)
+	ccFlat := newFlatIndex(ccCount)
+	provFlat := newFlatIndex(provCount)
+	kindFlat := newFlatIndex(kindCount)
+	fpFlat := newFlatIndex(fpCount)
+	kidFlat := newFlatIndex(kidCount)
+	issFlat := newFlatIndex(issCount)
+	var rbFlat *flatIndex
 	if rankEnabled {
-		rbIdx = newFlatIndex(rbCount)
+		rbFlat = newFlatIndex(rbCount)
 	}
 
 	s.chained = make([]int, 0, chainedN)
+	s.invalidIdx = make([]int, 0, invalidN)
 	s.invalidHosts = make([]string, 0, invalidN)
 	s.failedUpgrades = make([]int, 0, failedN)
 	s.ranked = make([]int, 0, rankedN)
 
 	for i := 0; i < n; i++ {
-		catIdx.put(int32(catP[i]), i)
+		catFlat.put(int32(catP[i]), i)
 		if p := excP[i]; p != excNonePos {
-			excIdx.put(int32(p), i)
+			excFlat.put(int32(p), i)
 		}
 		if p := ccP[i]; p >= 0 {
-			ccIdx.put(p, i)
+			ccFlat.put(p, i)
 		}
 		if p := provP[i]; p >= 0 {
-			provIdx.put(p, i)
-			kindIdx.put(int32(kindP[i]), i)
+			provFlat.put(p, i)
+			kindFlat.put(int32(kindP[i]), i)
 		}
 		if p := fpP[i]; p >= 0 {
-			fpIdx.put(p, i)
-			kidIdx.put(kidP[i], i)
+			fpFlat.put(p, i)
+			kidFlat.put(kidP[i], i)
 			s.chained = append(s.chained, i)
 			if ip := issP[i]; ip >= 0 {
-				issIdx.put(ip, i)
+				issFlat.put(ip, i)
 			}
 		}
 		f := flags[i]
 		if f&flagInvalid != 0 {
+			s.invalidIdx = append(s.invalidIdx, i)
 			s.invalidHosts = append(s.invalidHosts, results[i].Hostname)
 		}
 		if f&flagFailedUpgrade != 0 {
@@ -551,55 +594,45 @@ func build(results []scanner.Result, opts Options) *Set {
 		if f&flagRanked != 0 {
 			s.ranked = append(s.ranked, i)
 			if b := rankB[i]; b >= 0 {
-				rbIdx.put(int32(b), i)
+				rbFlat.put(int32(b), i)
 			}
 		}
 	}
 
-	// Materialize the public maps as subslices of the flat arrays.
-	s.byCategory = make(map[scanner.Category][]int, len(s.categories))
-	for p, cat := range s.categories {
-		s.byCategory[cat] = catIdx.bucket(p)
-	}
-	s.byException = make(map[scanner.Exception][]int, len(s.exceptions))
-	for p, e := range s.exceptions {
-		s.byException[e] = excIdx.bucket(p)
-	}
-	s.byCountry = make(map[string][]int, len(s.countries))
-	s.ccAggs = make(map[string]CountryAgg, len(s.countries))
-	for p, cc := range s.countries {
-		s.byCountry[cc] = ccIdx.bucket(p)
+	// Wrap the flat arrays and interning maps into the index families.
+	// The pass-A pos maps are adopted as the shared intern tables at no
+	// extra cost; key slices double as the first-seen public orders.
+	s.catIdx = builtIndex(cats, nil, catFlat)
+	s.excIdx = builtIndex(excs, nil, excFlat)
+	s.ccIdx = builtIndex(ccs, ccPos, ccFlat)
+	s.provIdx = builtIndex(provs, provPos, provFlat)
+	s.kindIdx = builtIndex(kinds, nil, kindFlat)
+	s.fpIdx = builtIndex(fps, fpPos, fpFlat)
+	s.kidIdx = builtIndex(kids, kidPos, kidFlat)
+	s.issIdx = builtIndex(isss, issPos, issFlat)
+
+	// Countries sort; the intern table keeps slot (first-seen) order, so
+	// the sorted public list must be a copy.
+	s.countries = append([]string(nil), ccs...)
+	sort.Strings(s.countries)
+	s.ccAggs = make(map[string]CountryAgg, len(ccs))
+	for p, cc := range ccs {
 		s.ccAggs[cc] = ccAgg[p]
 	}
-	sort.Strings(s.countries)
-	s.byProvider = make(map[string][]int, len(s.providers))
-	for p, prov := range s.providers {
-		s.byProvider[prov] = provIdx.bucket(p)
-	}
-	s.byKind = make(map[hosting.Kind][]int, len(s.kinds))
-	for p, k := range s.kinds {
-		s.byKind[k] = kindIdx.bucket(p)
-	}
-	s.byFingerprint = make(map[[32]byte][]int, len(s.fingerprints))
-	for p, fp := range s.fingerprints {
-		s.byFingerprint[fp] = fpIdx.bucket(p)
-	}
-	s.byKeyID = make(map[cert.KeyID][]int, len(s.keyIDs))
-	for p, id := range s.keyIDs {
-		s.byKeyID[id] = kidIdx.bucket(p)
-	}
-	s.byIssuer = make(map[string][]int, len(s.issuers))
-	for p, cn := range s.issuers {
-		s.byIssuer[cn] = issIdx.bucket(p)
-	}
+
 	if rankEnabled {
 		s.rankBuckets = make([][]int, opts.RankBuckets)
 		for b := range s.rankBuckets {
 			if rbCount[b] > 0 {
-				s.rankBuckets[b] = rbIdx.bucket(b)
+				s.rankBuckets[b] = rbFlat.bucket(b)
 			}
 		}
 	}
+
+	s.hostKeyIdx = builtCells(hkKeys, hkPos, hostKeyCells, hkFirst)
+	s.sigAlgoIdx = builtCells(sigKeys, nil, sigAlgoCells, sigFirst)
+	s.combinedIdx = builtCells(combKeys, nil, combinedCells, combFirst)
+	s.versionIdx = builtCells(verKeys, nil, versionCells, verFirst)
 	return s
 }
 
@@ -610,34 +643,35 @@ func bumpCell(c *Cell, valid bool) {
 	}
 }
 
-// tally updates the Table 2 counts, mirroring the taxonomy walk the
-// analysis layer used to run per experiment.
-func (s *Set) tally(r *scanner.Result, cat scanner.Category) {
-	c := &s.counts
+// tallySigned adjusts the Table 2 counts by one result's contribution,
+// mirroring the taxonomy walk the analysis layer used to run per
+// experiment. The build pass adds (d=1); ApplyDelta retracts a replaced
+// result (d=-1) before adding its successor.
+func tallySigned(c *Counts, r *scanner.Result, cat scanner.Category, d int) {
 	if cat == scanner.CatUnavailable {
-		c.Unavailable++
+		c.Unavailable += d
 		return
 	}
-	c.Total++
+	c.Total += d
 	switch {
 	case cat == scanner.CatHTTPOnly:
-		c.HTTPOnly++
+		c.HTTPOnly += d
 		return
 	case cat == scanner.CatValid:
-		c.HTTPS++
-		c.Valid++
+		c.HTTPS += d
+		c.Valid += d
 		if r.HSTS {
-			c.HSTS++
+			c.HSTS += d
 		}
 	default:
-		c.HTTPS++
-		c.Invalid++
+		c.HTTPS += d
+		c.Invalid += d
 		if cat.IsException() {
-			c.Exceptions++
+			c.Exceptions += d
 		}
 	}
 	if r.ServesHTTP && r.ServesHTTPS {
-		c.BothSchemes++
+		c.BothSchemes += d
 	}
 }
 
@@ -653,15 +687,44 @@ func rankBucket(rank int, opts Options) (int, bool) {
 // Len returns the number of results.
 func (s *Set) Len() int { return len(s.results) }
 
-// Results returns the underlying results in scan input order (read-only).
-func (s *Set) Results() []scanner.Result { return s.results }
+// Results returns the results in scan input order (read-only). On a
+// delta generation the contiguous view is materialized on first call
+// and cached.
+func (s *Set) Results() []scanner.Result { return s.materialize() }
 
 // WriteJSONL streams the set's results as JSON lines through the zero-copy
 // exporter, in scan input order.
-func (s *Set) WriteJSONL(w io.Writer) error { return scanner.WriteJSONL(w, s.results) }
+func (s *Set) WriteJSONL(w io.Writer) error { return scanner.WriteJSONL(w, s.materialize()) }
+
+// materialize returns the contiguous patched result slice, building it
+// lazily for unmaterialized delta generations.
+func (s *Set) materialize() []scanner.Result {
+	if s.overlay == nil {
+		return s.results
+	}
+	s.flatOnce.Do(func() {
+		flat := make([]scanner.Result, len(s.results))
+		copy(flat, s.results)
+		// Index-keyed writes into distinct slots are order-independent,
+		// so the unordered walk cannot affect any derived output.
+		//lint:allow maprange overlay entries write disjoint indices; iteration order is immaterial
+		for i, r := range s.overlay {
+			flat[i] = *r
+		}
+		s.flat = flat
+	})
+	return s.flat
+}
 
 // At returns the i-th result.
-func (s *Set) At(i int) *scanner.Result { return &s.results[i] }
+func (s *Set) At(i int) *scanner.Result {
+	if s.overlay != nil {
+		if r, ok := s.overlay[i]; ok {
+			return r
+		}
+	}
+	return &s.results[i]
+}
 
 // Lookup finds a hostname's result. The host index is built lazily on
 // first use (and is safe for concurrent lookups).
@@ -671,10 +734,15 @@ func (s *Set) Lookup(hostname string) (*scanner.Result, bool) {
 	if !ok {
 		return nil, false
 	}
-	return &s.results[i], true
+	return s.At(i), true
 }
 
 func (s *Set) buildHostIndex() {
+	if s.byHost != nil {
+		// Pre-filled by ApplyDelta: the corpus host list is unchanged, so
+		// the index is inherited from the base generation.
+		return
+	}
 	m := make(map[string]int, len(s.results))
 	for i := range s.results {
 		m[s.results[i].Hostname] = i
@@ -695,26 +763,26 @@ func (s *Set) CountryOf(hostname string) string {
 func (s *Set) Counts() Counts { return s.counts }
 
 // CategoryCount returns the number of results in one Table 2 category.
-func (s *Set) CategoryCount(cat scanner.Category) int { return len(s.byCategory[cat]) }
+func (s *Set) CategoryCount(cat scanner.Category) int { return len(s.catIdx.bucket(cat)) }
 
 // Categories lists the categories present, in first-seen order.
-func (s *Set) Categories() []scanner.Category { return s.categories }
+func (s *Set) Categories() []scanner.Category { return s.catIdx.orderedKeys() }
 
 // ByCategory returns the result indices in one category.
-func (s *Set) ByCategory(cat scanner.Category) []int { return s.byCategory[cat] }
+func (s *Set) ByCategory(cat scanner.Category) []int { return s.catIdx.bucket(cat) }
 
 // Exceptions lists the exception kinds present (ExcNone excluded), in
 // first-seen order.
-func (s *Set) Exceptions() []scanner.Exception { return s.exceptions }
+func (s *Set) Exceptions() []scanner.Exception { return s.excIdx.orderedKeys() }
 
 // ByException returns the result indices carrying one exception kind.
-func (s *Set) ByException(e scanner.Exception) []int { return s.byException[e] }
+func (s *Set) ByException(e scanner.Exception) []int { return s.excIdx.bucket(e) }
 
 // Countries lists the countries present, sorted.
 func (s *Set) Countries() []string { return s.countries }
 
 // ByCountry returns the result indices attributed to one country.
-func (s *Set) ByCountry(cc string) []int { return s.byCountry[cc] }
+func (s *Set) ByCountry(cc string) []int { return s.ccIdx.bucket(cc) }
 
 // CountryAggs returns per-country availability tallies, sorted by country.
 func (s *Set) CountryAggs() []CountryAgg {
@@ -727,10 +795,10 @@ func (s *Set) CountryAggs() []CountryAgg {
 
 // Issuers lists the issuing-CA common names present, in first-seen order
 // (certificates without issuer information are not indexed).
-func (s *Set) Issuers() []string { return s.issuers }
+func (s *Set) Issuers() []string { return s.issIdx.orderedKeys() }
 
 // ByIssuer returns the chain-bearing result indices for one issuer CN.
-func (s *Set) ByIssuer(cn string) []int { return s.byIssuer[cn] }
+func (s *Set) ByIssuer(cn string) []int { return s.issIdx.bucket(cn) }
 
 // IssuerAnalyzed counts chain-bearing results with issuer information —
 // the denominator of the EV statistics.
@@ -738,26 +806,26 @@ func (s *Set) IssuerAnalyzed() int { return s.issuerDomain }
 
 // Fingerprints lists the distinct leaf-certificate fingerprints, in
 // first-seen order.
-func (s *Set) Fingerprints() [][32]byte { return s.fingerprints }
+func (s *Set) Fingerprints() [][32]byte { return s.fpIdx.orderedKeys() }
 
 // ByFingerprint returns the result indices serving one exact certificate.
-func (s *Set) ByFingerprint(fp [32]byte) []int { return s.byFingerprint[fp] }
+func (s *Set) ByFingerprint(fp [32]byte) []int { return s.fpIdx.bucket(fp) }
 
 // KeyIDs lists the distinct leaf public-key identities, in first-seen
 // order.
-func (s *Set) KeyIDs() []cert.KeyID { return s.keyIDs }
+func (s *Set) KeyIDs() []cert.KeyID { return s.kidIdx.orderedKeys() }
 
 // ByKeyID returns the result indices serving one public key.
-func (s *Set) ByKeyID(id cert.KeyID) []int { return s.byKeyID[id] }
+func (s *Set) ByKeyID(id cert.KeyID) []int { return s.kidIdx.bucket(id) }
 
 // Providers lists the hosting providers of available hosts, first-seen.
-func (s *Set) Providers() []string { return s.providers }
+func (s *Set) Providers() []string { return s.provIdx.orderedKeys() }
 
 // ByProvider returns the available result indices on one provider.
-func (s *Set) ByProvider(p string) []int { return s.byProvider[p] }
+func (s *Set) ByProvider(p string) []int { return s.provIdx.bucket(p) }
 
 // ByKind returns the available result indices in one hosting kind.
-func (s *Set) ByKind(k hosting.Kind) []int { return s.byKind[k] }
+func (s *Set) ByKind(k hosting.Kind) []int { return s.kindIdx.bucket(k) }
 
 // Chained returns the indices of results with a retrieved chain.
 func (s *Set) Chained() []int { return s.chained }
@@ -786,17 +854,17 @@ func (s *Set) RankOf(hostname string) (int, bool) {
 }
 
 // HostKeyCells returns per-host-key-type validity cells (first-seen).
-func (s *Set) HostKeyCells() []Cell { return s.hostKeyCells }
+func (s *Set) HostKeyCells() []Cell { return s.hostKeyIdx.orderedCells() }
 
 // SigAlgoCells returns per-signing-algorithm validity cells (first-seen).
-func (s *Set) SigAlgoCells() []Cell { return s.sigAlgoCells }
+func (s *Set) SigAlgoCells() []Cell { return s.sigAlgoIdx.orderedCells() }
 
 // CombinedCells returns key-type × signing-algorithm cells (first-seen).
-func (s *Set) CombinedCells() []Cell { return s.combinedCells }
+func (s *Set) CombinedCells() []Cell { return s.combinedIdx.orderedCells() }
 
 // VersionCells returns per-negotiated-TLS-version cells over hosts that
 // attempt https, with "(no handshake)" for protocol-layer failures.
-func (s *Set) VersionCells() []Cell { return s.versionCells }
+func (s *Set) VersionCells() []Cell { return s.versionIdx.orderedCells() }
 
 // WeakSignatureHosts counts hosts whose leaf is signed with MD5 or SHA1.
 func (s *Set) WeakSignatureHosts() int { return s.weakSigHosts }

@@ -5,6 +5,7 @@ import (
 	"net/netip"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cert"
 	"repro/internal/httpsim"
@@ -123,12 +124,25 @@ func (w *World) RotateCert(hostname string, chain []*cert.Certificate) bool {
 	if !ok || !s.IP.IsValid() || len(chain) == 0 {
 		return false
 	}
+	leaf := chain[0]
 	s.Chain = chain
-	if chain[0].SelfSigned() {
+	if leaf.SelfSigned() {
 		s.Issuer = ""
 	} else {
-		s.Issuer = chain[0].Issuer.CommonName
+		s.Issuer = leaf.Issuer.CommonName
 	}
+	// Fresh CA issuance reaches the transparency log, the same way
+	// buildCT submits chains: self-signed and unknown-issuer chains
+	// never log. The CT timestamp convention matches buildCT's.
+	if w.CT != nil && !leaf.SelfSigned() {
+		if _, known := w.CAs.Lookup(leaf.Issuer.CommonName); known {
+			for _, c := range chain {
+				c.Freeze()
+			}
+			w.CT.Append(leaf, leaf.NotBefore.Add(time.Minute))
+		}
+	}
+	w.recordChange(leaf.NotBefore, hostname, CertRotated)
 	// Clear declared and injected faults on 443 (SetFaultSpec with the
 	// zero spec also removes transient flaky specs that were installed
 	// without marking s.Fault).

@@ -110,12 +110,14 @@ func (w *World) Remediate(invalidHosts []string, rates RemediationRates, r *rand
 			w.serveSite(s)
 			out.NewlyValidFromHTTP++
 			out.NewlyServingHosts = append(out.NewlyServingHosts, h)
+			w.recordChange(FollowUpScanTime, h, GainedHTTPS)
 		case x < 0.0115+0.0185:
 			s.Serving = BothNoRedirect
 			f.configure(s, ClassHostnameMismatch, caMixWorldwide)
 			w.serveSite(s)
 			out.NewlyInvalidFromHTTP++
 			out.NewlyServingHosts = append(out.NewlyServingHosts, h)
+			w.recordChange(FollowUpScanTime, h, GainedHTTPS)
 		}
 	}
 	for _, h := range w.UnreachableHosts {
@@ -151,6 +153,7 @@ func (w *World) fixSite(s *Site, f *certFactory) {
 		s.Serving = BothRedirect
 	}
 	w.serveSite(s)
+	w.recordChange(FollowUpScanTime, s.Hostname, SiteFixed)
 }
 
 // removeSite takes a host off the Internet.
@@ -160,6 +163,7 @@ func (w *World) removeSite(s *Site) {
 	w.Net.Handle(netip.AddrPortFrom(s.IP, 443), nil)
 	w.Net.SetFault(netip.AddrPortFrom(s.IP, 443), simnet.FaultNone)
 	s.Serving = Unavailable
+	w.recordChange(FollowUpScanTime, s.Hostname, SiteRemoved)
 }
 
 // reviveSite brings a previously unreachable hostname online.
@@ -171,4 +175,5 @@ func (w *World) reviveSite(host string, f *certFactory, class ErrorClass, r *ran
 	w.DNS.Remove(host) // clear any half-registered A records
 	w.DNS.AddA(host, ip)
 	w.serveSite(s)
+	w.recordChange(FollowUpScanTime, host, SiteRevived)
 }

@@ -151,6 +151,9 @@ type World struct {
 	// iteration over every site (buildCT) walk it instead of sorting the
 	// Sites keys from scratch.
 	siteOrder []string
+	// changes is the append-only record of post-build world mutations
+	// (rotations, remediation, churn) that the observatory tails.
+	changes changeLog
 }
 
 // addSite registers the site in the hostname index, tracking insertion
