@@ -18,7 +18,19 @@ type SuiteOptions struct {
 	// configuration) any Jobs value produces byte-identical output. Under
 	// injected flakiness the simnet's per-endpoint dial ordinals depend on
 	// scan interleaving, so reproducible flaky runs need Jobs <= 1.
+	//
+	// Effective parallelism: on a single-CPU host (GOMAXPROCS==1) the
+	// concurrent scheduler can only lose to the sequential loop it
+	// replaced — goroutine switches and pool coordination buy nothing
+	// when there is one runner — so any Jobs value falls back to the
+	// sequential path there unless ForceParallel is set.
 	Jobs int
+	// ForceParallel runs the concurrent scheduler even where the
+	// effective-parallelism policy would fall back to the sequential
+	// loop. Tests use it to exercise the pool on single-CPU CI; the
+	// benchmark uses it to record the forced-parallel number honestly
+	// next to the policy number.
+	ForceParallel bool
 	// Shards, when non-zero, fixes the shard count for full dataset
 	// builds before the suite starts (see Study.SetShards): > 1 forces
 	// sharded scanning, 1 forces the sequential path. Fault-free worlds
@@ -49,6 +61,12 @@ func RunAllExperiments(ctx context.Context, s *Study, opts SuiteOptions) ([]Suit
 	jobs := opts.Jobs
 	if jobs == 0 {
 		jobs = runtime.GOMAXPROCS(0)
+	}
+	// Effective-parallelism policy: with a single CPU the pool cannot
+	// beat the sequential loop (BENCH_scan.json's report_suite section
+	// measured 0.88x on the 1-core CI host), so don't pretend otherwise.
+	if runtime.GOMAXPROCS(0) == 1 && !opts.ForceParallel {
+		jobs = 1
 	}
 	exps, _ := registry()
 	results := make([]SuiteResult, 0, len(exps))

@@ -11,10 +11,14 @@ import (
 )
 
 // suiteTranscript renders a full suite the way govreport -all does.
+// ForceParallel keeps jobs>1 runs on the concurrent scheduler even on a
+// single-CPU host, where the effective-parallelism policy would
+// otherwise silently fall back to the sequential loop and the
+// differential proof would compare the loop against itself.
 func suiteTranscript(t *testing.T, jobs int) string {
 	t.Helper()
 	s := MustNewStudy(world.TestConfig())
-	results, err := RunAllExperiments(context.Background(), s, SuiteOptions{Jobs: jobs})
+	results, err := RunAllExperiments(context.Background(), s, SuiteOptions{Jobs: jobs, ForceParallel: jobs != 1})
 	if err != nil {
 		t.Fatalf("jobs=%d: %v", jobs, err)
 	}
@@ -56,7 +60,7 @@ func TestSchedulerMatchesSequential(t *testing.T) {
 // registry all contend at once. Run under -race in CI.
 func TestSchedulerColdRegistryRace(t *testing.T) {
 	s := MustNewStudy(world.TestConfig())
-	results, err := RunAllExperiments(context.Background(), s, SuiteOptions{Jobs: 16})
+	results, err := RunAllExperiments(context.Background(), s, SuiteOptions{Jobs: 16, ForceParallel: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +81,7 @@ func TestSchedulerCancellation(t *testing.T) {
 	s := MustNewStudy(world.TestConfig())
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := RunAllExperiments(ctx, s, SuiteOptions{Jobs: 4}); err == nil {
+	if _, err := RunAllExperiments(ctx, s, SuiteOptions{Jobs: 4, ForceParallel: true}); err == nil {
 		t.Fatal("cancelled suite returned no error")
 	}
 }

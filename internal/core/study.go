@@ -343,6 +343,11 @@ func (s *Study) Dataset(ctx context.Context, name string) (*resultset.Set, error
 // DatasetNames lists the registered datasets in registration order.
 func (s *Study) DatasetNames() []string { return s.datasets.Names() }
 
+// Registry exposes the dataset registry itself — the serving layer pins
+// generations on it directly (dataset.Registry.Pin) so queries keep a
+// consistent snapshot while MarkDirty/UseStore churn underneath.
+func (s *Study) Registry() *dataset.Registry { return s.datasets }
+
 // InvalidateDataset drops one dataset's cached results, forcing a full
 // rescan on next use.
 func (s *Study) InvalidateDataset(name string) bool { return s.datasets.Invalidate(name) }

@@ -18,6 +18,7 @@ package dataset
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/resultset"
@@ -64,6 +65,16 @@ type entry struct {
 	dirty map[string]struct{}
 	// inflight is non-nil while a scan runs; waiters block on it.
 	inflight chan struct{}
+	// pins holds the generations readers have pinned (Pin): each keeps its
+	// Set reachable until the last reader releases it, independent of
+	// invalidation and patching. Entries exist only while readers > 0.
+	pins map[int]*pinState
+}
+
+// pinState is the registry-side record of one pinned generation.
+type pinState struct {
+	set     *resultset.Set
+	readers int
 }
 
 // Registry holds the named datasets.
@@ -141,19 +152,26 @@ func (r *Registry) Has(name string) bool {
 // after invalidation). Concurrent callers share one scan; a scan whose
 // generation was invalidated mid-flight is discarded and redone.
 func (r *Registry) Get(ctx context.Context, name string) (*resultset.Set, error) {
+	set, _, err := r.get(ctx, name)
+	return set, err
+}
+
+// get is Get plus the generation number the returned set is installed
+// under — the identity Pin records and generation-keyed caches embed.
+func (r *Registry) get(ctx context.Context, name string) (*resultset.Set, int, error) {
 	r.mu.Lock()
 	e, ok := r.entries[name]
 	if !ok {
 		known := make([]string, len(r.names))
 		copy(known, r.names)
 		r.mu.Unlock()
-		return nil, fmt.Errorf("dataset: unknown dataset %q (have %v)", name, known)
+		return nil, 0, fmt.Errorf("dataset: unknown dataset %q (have %v)", name, known)
 	}
 	for {
 		if e.set != nil && len(e.dirty) == 0 {
-			set := e.set
+			set, gen := e.set, e.gen
 			r.mu.Unlock()
-			return set, nil
+			return set, gen, nil
 		}
 		if e.inflight != nil {
 			// Another goroutine is scanning this generation: wait for it,
@@ -191,17 +209,149 @@ func (r *Registry) Get(ctx context.Context, name string) (*resultset.Set, error)
 		close(done)
 		if err != nil {
 			r.mu.Unlock()
-			return nil, fmt.Errorf("dataset: building %s: %w", name, err)
+			return nil, 0, fmt.Errorf("dataset: building %s: %w", name, err)
 		}
 		if e.gen == gen {
 			e.set = set
 			r.mu.Unlock()
-			return set, nil
+			return set, gen, nil
 		}
 		// The dataset was invalidated (store switch, world mutation) while
 		// we scanned: the result reflects stale state. Drop it and retry
 		// under the new generation.
 	}
+}
+
+// Pinned is a read lease on one dataset generation: the Set it carries
+// stays valid — and is retained by the registry's pin table — no matter
+// how many invalidations, dirty-patches or store switches happen
+// underneath. Serving-layer requests pin a generation for their whole
+// lifetime (a paginated export included), so they observe one immutable
+// snapshot; Release drops the lease, and once the last reader of a
+// superseded generation releases, the registry forgets the Set and its
+// memory becomes collectable.
+type Pinned struct {
+	r    *Registry
+	name string
+	gen  int
+	set  *resultset.Set
+
+	mu       sync.Mutex
+	released bool
+}
+
+// Set returns the pinned snapshot (immutable, read-only).
+func (p *Pinned) Set() *resultset.Set { return p.set }
+
+// Generation returns the registry generation the snapshot was installed
+// under — unique per installed Set, so it is safe to embed in cache keys.
+func (p *Pinned) Generation() int { return p.gen }
+
+// Name returns the dataset name.
+func (p *Pinned) Name() string { return p.name }
+
+// Release drops the lease. Safe to call more than once; after the first
+// call the registry may forget a superseded generation.
+func (p *Pinned) Release() {
+	p.mu.Lock()
+	done := p.released
+	p.released = true
+	p.mu.Unlock()
+	if done {
+		return
+	}
+	p.r.unpin(p.name, p.gen)
+}
+
+// Pin resolves the dataset (scanning on first use, exactly like Get) and
+// pins the generation it resolved to. Every Pin must be paired with a
+// Release; concurrent pins of the same generation share one registry
+// record with a reader count.
+func (r *Registry) Pin(ctx context.Context, name string) (*Pinned, error) {
+	set, gen, err := r.get(ctx, name)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	e := r.entries[name]
+	if e.pins == nil {
+		e.pins = make(map[int]*pinState, 2)
+	}
+	ps := e.pins[gen]
+	if ps == nil {
+		ps = &pinState{set: set}
+		e.pins[gen] = ps
+	}
+	ps.readers++
+	r.mu.Unlock()
+	return &Pinned{r: r, name: name, gen: gen, set: set}, nil
+}
+
+// unpin drops one reader from (name, gen), forgetting the generation
+// when the last reader leaves.
+func (r *Registry) unpin(name string, gen int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[name]
+	if !ok {
+		return
+	}
+	ps := e.pins[gen]
+	if ps == nil {
+		return
+	}
+	ps.readers--
+	if ps.readers <= 0 {
+		delete(e.pins, gen)
+	}
+}
+
+// PinnedGeneration is one pinned generation's introspection record.
+type PinnedGeneration struct {
+	Generation int
+	Readers    int
+}
+
+// GenerationInfo is one dataset's generation bookkeeping: the generation
+// a new build would install under, whether a clean set is cached, how
+// many hosts are marked dirty, and the generations readers hold pinned.
+type GenerationInfo struct {
+	Name    string
+	Current int
+	Cached  bool
+	Dirty   int
+	Pinned  []PinnedGeneration // ascending by generation
+}
+
+// Generations reports every dataset's generation state, in registration
+// order — the introspection surface behind the serving layer's
+// /v1/datasets endpoint and the pin-lifecycle tests.
+func (r *Registry) Generations() []GenerationInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]GenerationInfo, 0, len(r.names))
+	for _, name := range r.names {
+		e := r.entries[name]
+		info := GenerationInfo{
+			Name:    name,
+			Current: e.gen,
+			Cached:  e.set != nil && len(e.dirty) == 0,
+			Dirty:   len(e.dirty),
+		}
+		if len(e.pins) > 0 {
+			gens := make([]int, 0, len(e.pins))
+			for g := range e.pins {
+				gens = append(gens, g)
+			}
+			sort.Ints(gens)
+			info.Pinned = make([]PinnedGeneration, len(gens))
+			for i, g := range gens {
+				info.Pinned[i] = PinnedGeneration{Generation: g, Readers: e.pins[g].readers}
+			}
+		}
+		out = append(out, info)
+	}
+	return out
 }
 
 // patch rebuilds a dataset from its cached base: only dirty hosts and
@@ -308,6 +458,11 @@ func (r *Registry) MarkDirty(name string, hosts []string) bool {
 	for _, h := range hosts {
 		e.dirty[h] = struct{}{}
 	}
+	// The patched set the next Get installs is a distinct snapshot, so it
+	// must carry a distinct generation: pinned readers keep the base under
+	// the old number, and generation-keyed response caches miss instead of
+	// serving the base's bytes for the patched data.
+	e.gen++
 	return true
 }
 

@@ -1,0 +1,168 @@
+package dataset_test
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// pinInfo digs one dataset's generation record out of Generations.
+func pinInfo(t *testing.T, r *dataset.Registry, name string) dataset.GenerationInfo {
+	t.Helper()
+	for _, info := range r.Generations() {
+		if info.Name == name {
+			return info
+		}
+	}
+	t.Fatalf("dataset %q missing from Generations()", name)
+	return dataset.GenerationInfo{}
+}
+
+// TestPinSurvivesMarkDirtyPatch is the snapshot-isolation contract: a
+// pinned generation keeps serving its exact snapshot across a
+// MarkDirty+patch cycle, the patched set installs under a new
+// generation, and releasing the pin makes the registry forget the old
+// generation (the Set becomes collectable — no registry reference left).
+func TestPinSurvivesMarkDirtyPatch(t *testing.T) {
+	var scans atomic.Int64
+	r := newTestRegistry(&scans, "d")
+	ctx := context.Background()
+
+	pin, err := r.Pin(ctx, "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := pin.Set()
+	baseGen := pin.Generation()
+	if got := pinInfo(t, r, "d").Pinned; len(got) != 1 || got[0].Generation != baseGen || got[0].Readers != 1 {
+		t.Fatalf("pinned generations after Pin = %+v, want [{%d 1}]", got, baseGen)
+	}
+
+	// A second pin of the same generation shares the record.
+	pin2, err := r.Pin(ctx, "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pin2.Generation() != baseGen || pin2.Set() != base {
+		t.Fatalf("second pin got gen %d (want %d)", pin2.Generation(), baseGen)
+	}
+	if got := pinInfo(t, r, "d").Pinned; len(got) != 1 || got[0].Readers != 2 {
+		t.Fatalf("pinned generations after second Pin = %+v, want one record with 2 readers", got)
+	}
+	pin2.Release()
+
+	// Dirty-patch the dataset underneath the pin.
+	if !r.MarkDirty("d", []string{"d.gov"}) {
+		t.Fatal("MarkDirty rejected known dataset")
+	}
+	patched, err := r.Get(ctx, "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if patched == base {
+		t.Fatal("patch returned the base set; expected a new generation")
+	}
+	info := pinInfo(t, r, "d")
+	if info.Current == baseGen {
+		t.Fatalf("current generation %d did not advance past the pinned %d", info.Current, baseGen)
+	}
+
+	// The pinned snapshot is still fully readable and untouched.
+	if pin.Set() != base {
+		t.Fatal("pin's set changed identity")
+	}
+	if got := base.Len(); got != 1 {
+		t.Fatalf("pinned set Len = %d, want 1", got)
+	}
+	if _, ok := base.Lookup("d.gov"); !ok {
+		t.Fatal("pinned set lost its host")
+	}
+	if got := info.Pinned; len(got) != 1 || got[0].Generation != baseGen || got[0].Readers != 1 {
+		t.Fatalf("pinned generations after patch = %+v, want [{%d 1}]", got, baseGen)
+	}
+
+	// Releasing the last reader forgets the superseded generation.
+	pin.Release()
+	pin.Release() // idempotent
+	if got := pinInfo(t, r, "d").Pinned; len(got) != 0 {
+		t.Fatalf("pinned generations after Release = %+v, want none", got)
+	}
+}
+
+// TestPinAcrossInvalidateAll covers the trust-store-switch path: pins
+// taken before InvalidateAll keep their snapshot; pins taken after
+// resolve to a fresh scan under a new generation.
+func TestPinAcrossInvalidateAll(t *testing.T) {
+	var scans atomic.Int64
+	r := newTestRegistry(&scans, "a")
+	ctx := context.Background()
+
+	before, err := r.Pin(ctx, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.InvalidateAll()
+	after, err := r.Pin(ctx, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer after.Release()
+	if before.Set() == after.Set() {
+		t.Fatal("pin after InvalidateAll returned the invalidated set")
+	}
+	if before.Generation() == after.Generation() {
+		t.Fatal("generations collide across InvalidateAll")
+	}
+	if got := pinInfo(t, r, "a").Pinned; len(got) != 2 {
+		t.Fatalf("pinned generations = %+v, want two", got)
+	}
+	before.Release()
+	if got := pinInfo(t, r, "a").Pinned; len(got) != 1 || got[0].Generation != after.Generation() {
+		t.Fatalf("pinned generations after releasing the old one = %+v", got)
+	}
+}
+
+// TestPinConcurrentChurn hammers Pin/Release against MarkDirty+Get churn
+// (run under -race in CI) and checks the pin table drains to empty.
+func TestPinConcurrentChurn(t *testing.T) {
+	var scans atomic.Int64
+	r := newTestRegistry(&scans, "d")
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				pin, err := r.Pin(ctx, "d")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if pin.Set().Len() != 1 {
+					t.Error("pinned set wrong size")
+				}
+				pin.Release()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			r.MarkDirty("d", []string{"d.gov"})
+			if _, err := r.Get(ctx, "d"); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if got := pinInfo(t, r, "d").Pinned; len(got) != 0 {
+		t.Fatalf("pin table not drained: %+v", got)
+	}
+}

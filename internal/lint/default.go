@@ -20,6 +20,8 @@ var DeterministicPackages = []string{
 	"repro/internal/observatory",
 	"repro/internal/report",
 	"repro/internal/stats",
+	"repro/internal/serve",
+	"repro/internal/serve/loadgen",
 }
 
 // WallClockPackages are the packages whose business is genuinely the wall
@@ -33,8 +35,8 @@ var WallClockPackages = []string{
 
 // LongRunningPackages are the packages whose goroutines live for a whole
 // suite run (the scheduler, fleet dispatch, the dataset pool, the sharded
-// builders, the scan worker pools, the observatory loop); chanleak
-// polices their spawn sites.
+// builders, the scan worker pools, the observatory loop, the query API
+// and its load generator); chanleak polices their spawn sites.
 var LongRunningPackages = []string{
 	"repro/internal/core",
 	"repro/internal/acmefleet",
@@ -42,6 +44,8 @@ var LongRunningPackages = []string{
 	"repro/internal/resultset",
 	"repro/internal/scanner",
 	"repro/internal/observatory",
+	"repro/internal/serve",
+	"repro/internal/serve/loadgen",
 }
 
 // HotPathFuncs is the declared zero-alloc hot set hotalloc enforces: the
@@ -65,6 +69,7 @@ var HotPathFuncs = []string{
 	"repro/internal/cert.Append*",
 	"repro/internal/resultset.build",
 	"repro/internal/resultset.Builder.Add",
+	"repro/internal/serve.append*",
 }
 
 // DefaultAnalyzers is the invariant set enforced on this repository — the

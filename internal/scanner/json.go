@@ -90,7 +90,7 @@ func (r *Result) ToRecord() Record {
 // certificate encodings are appended straight from their caches.
 func (r *Result) AppendRecord(dst []byte) []byte {
 	dst = append(dst, `{"hostname":`...)
-	dst = appendJSONString(dst, r.Hostname)
+	dst = AppendJSONString(dst, r.Hostname)
 	if r.IP.IsValid() {
 		// netip's textual form never needs escaping.
 		dst = append(dst, `,"ip":"`...)
@@ -158,7 +158,7 @@ func (r *Result) AppendRecord(dst []byte) []byte {
 // appendField appends `<prefix><json-escaped s>` unconditionally.
 func appendField(dst []byte, prefix string, s string) []byte {
 	dst = append(dst, prefix...)
-	return appendJSONString(dst, s)
+	return AppendJSONString(dst, s)
 }
 
 // appendOptField is appendField with omitempty semantics: nothing is
@@ -172,12 +172,13 @@ func appendOptField(dst []byte, prefix string, s string) []byte {
 
 const jsonHex = "0123456789abcdef"
 
-// appendJSONString appends s as a quoted JSON string, escaping exactly as
+// AppendJSONString appends s as a quoted JSON string, escaping exactly as
 // encoding/json does with HTML escaping on (the json.Encoder default): `"`
 // and `\` named, control characters \b \f \n \r \t named and the rest \u00xx,
 // `<` `>` `&` as \u003c \u003e \u0026, invalid UTF-8 as \ufffd, and the
-// JS-hostile U+2028/U+2029 as \u2028/\u2029.
-func appendJSONString(dst []byte, s string) []byte {
+// JS-hostile U+2028/U+2029 as \u2028/\u2029. Exported for the serving
+// layer's append-style response builders.
+func AppendJSONString(dst []byte, s string) []byte {
 	dst = append(dst, '"')
 	start := 0
 	for i := 0; i < len(s); {

@@ -84,7 +84,7 @@ func TestAppendJSONString(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got := appendJSONString(nil, s)
+		got := AppendJSONString(nil, s)
 		if !bytes.Equal(got, want) {
 			t.Fatalf("%q: got %s want %s", s, got, want)
 		}

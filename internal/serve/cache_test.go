@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"bytes"
+	"strconv"
+	"sync"
+	"testing"
+)
+
+// TestCacheLRUEviction fills one shard past its byte budget and checks
+// the least-recently-used entries fall out while the recently-touched
+// survivor stays resident.
+func TestCacheLRUEviction(t *testing.T) {
+	// One shard, room for roughly four 100-byte bodies.
+	c := newCache(CacheConfig{Shards: 1, MaxBytes: 450})
+	body := bytes.Repeat([]byte("x"), 95)
+	fillCount := 0
+	fill := func() ([]byte, error) { fillCount++; return body, nil }
+
+	for i := 0; i < 8; i++ {
+		if _, _, err := c.getOrFill("k"+strconv.Itoa(i), fill); err != nil {
+			t.Fatal(err)
+		}
+		// Keep k0 hot so eviction prefers the colder middle keys.
+		c.getOrFill("k0", fill)
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions despite exceeding the byte budget: %+v", st)
+	}
+	if st.Bytes > 450 {
+		t.Fatalf("resident bytes %d exceed the budget", st.Bytes)
+	}
+
+	before := fillCount
+	c.getOrFill("k0", fill)
+	if fillCount != before {
+		t.Fatal("recently-used k0 was evicted")
+	}
+	c.getOrFill("k1", fill)
+	if fillCount != before+1 {
+		t.Fatal("cold k1 should have been evicted and refilled")
+	}
+}
+
+// TestCacheSingleFlight parks 8 goroutines on one cold key: the fill
+// must run once, with everyone sharing its bytes.
+func TestCacheSingleFlight(t *testing.T) {
+	c := newCache(CacheConfig{})
+	release := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	fill := func() ([]byte, error) {
+		select {
+		case entered <- struct{}{}:
+		default:
+		}
+		<-release
+		return []byte("shared"), nil
+	}
+
+	const n = 8
+	got := make([][]byte, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b, _, err := c.getOrFill("hot", fill)
+			if err != nil {
+				t.Error(err)
+			}
+			got[i] = b
+		}(i)
+	}
+	<-entered // the winner is inside the fill; the rest must park, not fill
+	close(release)
+	wg.Wait()
+
+	st := c.Stats()
+	if st.Fills != 1 {
+		t.Fatalf("fills = %d, want 1 (%+v)", st.Fills, st)
+	}
+	for i := range got {
+		if string(got[i]) != "shared" {
+			t.Fatalf("goroutine %d got %q", i, got[i])
+		}
+	}
+}
+
+// TestCacheGenerationKeying is the invalidation model: a new generation
+// is a new key, so it misses; the old generation's entry stays readable
+// until the LRU ages it out — no global flush.
+func TestCacheGenerationKeying(t *testing.T) {
+	c := newCache(CacheConfig{})
+	old := func() ([]byte, error) { return []byte("gen1"), nil }
+	fresh := func() ([]byte, error) { return []byte("gen2"), nil }
+
+	c.getOrFill("table2|worldwide|g1|", old)
+	b, hit, _ := c.getOrFill("table2|worldwide|g2|", fresh)
+	if hit || string(b) != "gen2" {
+		t.Fatalf("new generation key served hit=%v body=%q", hit, b)
+	}
+	b, hit, _ = c.getOrFill("table2|worldwide|g1|", old)
+	if !hit || string(b) != "gen1" {
+		t.Fatalf("old generation entry gone: hit=%v body=%q", hit, b)
+	}
+}

@@ -1,0 +1,203 @@
+// Package loadgen is the deterministic load generator behind the serve
+// benchmarks: it drives an http.Handler in-process with a seeded request
+// mix and reports throughput, latency percentiles, and an
+// order-independent checksum of every response body.
+//
+// Determinism contract: one global request sequence is generated from
+// the seed and dealt round-robin across the client goroutines, so the
+// multiset of requests — and therefore the XOR-of-body-hashes checksum —
+// is identical at any client count. The tests pin that: the same seed at
+// 1, 2, and 8 clients must produce the same checksum against the same
+// server snapshot. Time is read only through the injected simclock.Clock
+// (virtual in tests, wall clock in benchmarks).
+package loadgen
+
+import (
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+// Config describes one load run.
+type Config struct {
+	// Handler is the server under test, driven in-process.
+	Handler http.Handler
+	// Clients is the number of concurrent request loops (default 1).
+	Clients int
+	// Requests is the total request count across all clients.
+	Requests int
+	// Seed picks the request sequence from Paths.
+	Seed uint64
+	// Paths is the request menu ("/v1/table2", "/v1/host?name=x", ...);
+	// the seeded sequence draws from it uniformly.
+	Paths []string
+	// Clock measures latency and elapsed wall time (default Real).
+	Clock simclock.Clock
+}
+
+// Result is one run's aggregate outcome.
+type Result struct {
+	Requests int
+	// Errors counts non-2xx responses (backpressure 503s land here).
+	Errors int
+	// Bytes is the total response-body volume.
+	Bytes int64
+	// Checksum XORs an FNV-64a hash of every response body — identical
+	// across client counts and arrival orders for the same request
+	// multiset against the same snapshot.
+	Checksum uint64
+	// Elapsed is the whole run's duration on the injected clock; QPS is
+	// Requests/Elapsed (0 when the clock did not advance).
+	Elapsed time.Duration
+	QPS     float64
+	// P50/P99 are latency percentiles over all requests.
+	P50, P99 time.Duration
+}
+
+// splitmix64 is the seeded generator for the request sequence — tiny,
+// fast, and unrelated to the study's replayable RNG streams (this is
+// load shaping, not simulation; a local generator keeps the package off
+// math/rand per the globalrand lint).
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+const (
+	fnv64Offset = 14695981039346656037
+	fnv64Prime  = 1099511628211
+)
+
+// recorder is a reusable in-process ResponseWriter: it hashes and counts
+// the body instead of retaining it, so a run's memory cost is flat no
+// matter how much the server streams.
+type recorder struct {
+	hdr    http.Header
+	status int
+	n      int64
+	sum    uint64
+}
+
+func (rc *recorder) Header() http.Header { return rc.hdr }
+
+func (rc *recorder) WriteHeader(code int) { rc.status = code }
+
+func (rc *recorder) Write(p []byte) (int, error) {
+	if rc.status == 0 {
+		rc.status = http.StatusOK
+	}
+	s := rc.sum
+	for _, b := range p {
+		s ^= uint64(b)
+		s *= fnv64Prime
+	}
+	rc.sum = s
+	rc.n += int64(len(p))
+	return len(p), nil
+}
+
+func (rc *recorder) reset() {
+	clear(rc.hdr)
+	rc.status = 0
+	rc.n = 0
+	rc.sum = fnv64Offset
+}
+
+// Run executes one load run and blocks until every request completed.
+func Run(cfg Config) Result {
+	clients := cfg.Clients
+	if clients < 1 {
+		clients = 1
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = simclock.Real{}
+	}
+	if cfg.Requests <= 0 || len(cfg.Paths) == 0 || cfg.Handler == nil {
+		return Result{}
+	}
+
+	// The global sequence: request i is Paths[seq[i]], regardless of how
+	// many clients deal it out.
+	seq := make([]int, cfg.Requests)
+	state := cfg.Seed
+	for i := range seq {
+		seq[i] = int(splitmix64(&state) % uint64(len(cfg.Paths)))
+	}
+
+	// Disjoint per-request result slots — no channels, no contention.
+	lat := make([]int64, cfg.Requests)
+	type clientStat struct {
+		errors int
+		bytes  int64
+		sum    uint64
+		_      [40]byte // pad out false sharing between adjacent clients
+	}
+	stats := make([]clientStat, clients)
+
+	start := clock.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			// Each client parses its own request objects: the mux may
+			// rewrite requests in flight, so nothing request-shaped is
+			// shared across goroutines.
+			reqs := make([]*http.Request, len(cfg.Paths))
+			rc := &recorder{hdr: make(http.Header, 8)}
+			st := &stats[c]
+			for i := c; i < cfg.Requests; i += clients {
+				p := seq[i]
+				if reqs[p] == nil {
+					u, err := url.ParseRequestURI(cfg.Paths[p])
+					if err != nil {
+						st.errors++
+						continue
+					}
+					reqs[p] = &http.Request{
+						Method:     http.MethodGet,
+						URL:        u,
+						Proto:      "HTTP/1.1",
+						ProtoMajor: 1,
+						ProtoMinor: 1,
+						Host:       "govserve",
+						RequestURI: cfg.Paths[p],
+					}
+				}
+				rc.reset()
+				t0 := clock.Now()
+				cfg.Handler.ServeHTTP(rc, reqs[p])
+				lat[i] = clock.Now().Sub(t0).Nanoseconds()
+				if rc.status < 200 || rc.status > 299 {
+					st.errors++
+				}
+				st.bytes += rc.n
+				st.sum ^= rc.sum
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := clock.Now().Sub(start)
+
+	res := Result{Requests: cfg.Requests, Elapsed: elapsed}
+	for i := range stats {
+		res.Errors += stats[i].errors
+		res.Bytes += stats[i].bytes
+		res.Checksum ^= stats[i].sum
+	}
+	if elapsed > 0 {
+		res.QPS = float64(cfg.Requests) / elapsed.Seconds()
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	res.P50 = time.Duration(lat[(cfg.Requests-1)*50/100])
+	res.P99 = time.Duration(lat[(cfg.Requests-1)*99/100])
+	return res
+}
